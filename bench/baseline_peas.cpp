@@ -1,0 +1,101 @@
+// Baseline: PEAS (related work [22]) vs DECOR's coverage-aware sleep
+// scheduling.
+//
+// Both approaches exploit redundancy to extend lifetime; the contrast the
+// paper draws is that PEAS is probing-based (no coverage knowledge, k=1
+// only, no placement) while DECOR works on the approximation points and
+// supports any k. This bench deploys a k-covered network and compares
+// (a) how many nodes each approach keeps awake and (b) how much of the
+// area the awake subset actually covers.
+#include <iostream>
+
+#include "decor/sleep_scheduling.hpp"
+#include "fig_common.hpp"
+#include "net/peas.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  setup.base.field = geom::make_rect(0, 0, 40, 40);
+  setup.base.num_points = 400;
+  setup.initial_nodes = 30;
+  bench::print_header("Baseline: PEAS vs DECOR sleep scheduling",
+                      "awake-set size and residual coverage", setup);
+
+  struct Job {
+    std::uint32_t k;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t k = 2; k <= 4; ++k) {
+    for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+      jobs.push_back({k, trial});
+    }
+  }
+
+  common::SeriesTable table("k");
+  bench::run_jobs(jobs.size(), table, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    auto params = setup.base;
+    params.k = job.k;
+    auto field = setup.make_field(params, job.trial, 27);
+    common::Rng rng = setup.trial_rng(job.trial, 270);
+    core::voronoi_decor(field, rng);
+    const double total = static_cast<double>(field.sensors.alive_count());
+
+    std::vector<bench::Sample> out;
+    const double x = static_cast<double>(job.k);
+
+    // DECOR-style scheduling: greedy set cover on the point set.
+    {
+      std::vector<double> energy(field.sensors.size(), 1e9);
+      const auto plan = core::plan_epoch(field, energy);
+      coverage::CoverageMap awake(
+          params.field,
+          std::vector<geom::Point2>(field.map.index().points()), params.rs);
+      for (auto id : plan.awake) awake.add_disc(field.sensors.position(id));
+      out.push_back({x, "decor_awake%",
+                     100.0 * static_cast<double>(plan.awake.size()) / total});
+      out.push_back({x, "decor_cov%", 100.0 * awake.fraction_covered(1)});
+    }
+
+    // PEAS on the simulator: same node positions, probing range ~ rs.
+    {
+      net::PeasParams pp;
+      pp.probing_range = params.rs;
+      sim::World world(params.field, sim::RadioParams{1e-3, 1e-4, 0.0},
+                       setup.seed + job.trial);
+      std::vector<std::uint32_t> ids;
+      for (const auto& s : field.sensors.all()) {
+        if (s.alive) {
+          ids.push_back(world.spawn(s.pos,
+                                    std::make_unique<net::PeasNode>(pp)));
+        }
+      }
+      world.sim().run_until(150.0);
+      coverage::CoverageMap awake(
+          params.field,
+          std::vector<geom::Point2>(field.map.index().points()), params.rs);
+      std::size_t workers = 0;
+      for (auto id : ids) {
+        if (world.node_as<net::PeasNode>(id).working()) {
+          ++workers;
+          awake.add_disc(world.position(id));
+        }
+      }
+      out.push_back({x, "peas_awake%",
+                     100.0 * static_cast<double>(workers) / total});
+      out.push_back({x, "peas_cov%", 100.0 * awake.fraction_covered(1)});
+    }
+    return out;
+  });
+
+  std::cout << table.to_text()
+            << "\nreading: both keep a small awake fraction; DECOR's "
+               "coverage-aware set cover retains full\n1-coverage of the "
+               "point set, while PEAS's blind probing leaves residual "
+               "holes —\nthe paper's argument for coverage-aware "
+               "mechanisms, measured.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 5: "An example of the resulting DECOR deployment."
+//
+// Runs grid DECOR (small cell) on the standard field and renders the
+// resulting deployment: node counts, coverage summary and the ASCII map
+// that corresponds to the paper's scatter plot.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  auto params = setup.base;
+  params.k = static_cast<std::uint32_t>(opts.get_int("k", 1));
+  params.cell_side = 5.0;
+  bench::print_header("Figure 5", "an example DECOR deployment", setup);
+
+  auto field = setup.make_field(params, /*trial=*/0, /*tag=*/5);
+  common::Rng rng = setup.trial_rng(0, 55);
+
+  std::cout << "before (k=" << params.k << "): "
+            << coverage::summarize(
+                   coverage::compute_metrics(field.map, params.k + 1),
+                   params.k)
+            << '\n';
+
+  const auto result = core::grid_decor(field, rng);
+  const auto metrics = coverage::compute_metrics(field.map, params.k + 1);
+  const auto redundancy =
+      coverage::find_redundant(field.map, field.sensors, params.k);
+
+  std::cout << "after:  " << coverage::summarize(metrics, params.k) << '\n'
+            << "placed " << result.placed_nodes << " new nodes ("
+            << result.total_nodes() << " total) over " << result.rounds
+            << " rounds; " << redundancy.redundant_ids.size()
+            << " redundant; " << result.messages
+            << " protocol messages\n\n";
+
+  std::cout << "deployment map ('.' = " << params.k
+            << "-covered, digits = missing coverage):\n"
+            << coverage::ascii_field(field.map, params.k) << '\n';
+
+  if (opts.get_bool("dump", false)) {
+    std::cout << "placement positions (x,y):\n";
+    for (const auto& p : result.placements) {
+      std::cout << p.x << ',' << p.y << '\n';
+    }
+  } else {
+    std::cout << "first placements (x,y): ";
+    for (std::size_t i = 0; i < std::min<std::size_t>(8, result.placements.size());
+         ++i) {
+      const auto& p = result.placements[i];
+      std::cout << (i ? "  " : "") << '(' << p.x << ',' << p.y << ')';
+    }
+    std::cout << "\n(--dump prints all placements as CSV)\n";
+  }
+  return 0;
+}

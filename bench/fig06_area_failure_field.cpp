@@ -1,0 +1,37 @@
+// Figure 6: "An uncovered area."
+//
+// Deploys to full 1-coverage, then destroys every node inside a disc of
+// radius 24 (~17% of the field, the paper's disaster scenario) and shows
+// the resulting hole.
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  auto params = setup.base;
+  params.k = static_cast<std::uint32_t>(opts.get_int("k", 1));
+  bench::print_header("Figure 6", "an uncovered (disaster) area", setup);
+
+  auto field = setup.make_field(params, 0, 6);
+  common::Rng rng = setup.trial_rng(0, 66);
+  core::grid_decor(field, rng);
+
+  const double radius = opts.get_double("radius", 24.0);
+  const geom::Disc disaster{{50.0, 50.0}, radius};
+  std::cout << "deployed " << field.sensors.alive_count()
+            << " nodes; disaster disc at (50,50) radius " << radius << " ("
+            << 100.0 * disaster.area() / params.field.area()
+            << "% of the field)\n";
+
+  const auto killed = core::fail_area(field, disaster);
+  const auto metrics = coverage::compute_metrics(field.map, params.k + 1);
+  std::cout << "killed " << killed.size() << " nodes; "
+            << coverage::summarize(metrics, params.k) << "\n\n"
+            << "field after the disaster ('.' = still " << params.k
+            << "-covered, digits = coverage deficit):\n"
+            << coverage::ascii_field(field.map, params.k) << '\n';
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figure 9: "Percentage of redundant nodes vs. k."
+//
+// After each full deployment, counts the nodes whose removal would not
+// break k-coverage. Expected shapes: centralized ~0, random by far the
+// worst, and Voronoi redundancy dropping as rc grows (each node is
+// informed about a larger area).
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  const auto k_max = static_cast<std::uint32_t>(opts.get_int("k-max", 5));
+  bench::print_header("Figure 9", "percentage of redundant nodes vs k",
+                      setup);
+
+  struct Job {
+    std::uint32_t k;
+    core::NamedConfig cfg;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    auto base = setup.base;
+    base.k = k;
+    for (const auto& cfg : core::paper_configs(base)) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        jobs.push_back({k, cfg, trial});
+      }
+    }
+  }
+
+  common::SeriesTable pct("k");
+  common::SeriesTable counts("k");
+  std::vector<std::vector<bench::Sample>> count_batches(jobs.size());
+  bench::run_jobs(jobs.size(), pct, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    auto field = setup.make_field(job.cfg.params, job.trial, 9);
+    common::Rng rng = setup.trial_rng(job.trial, 99);
+    core::run_engine(job.cfg.scheme, field, rng,
+                     setup.limits_for(job.cfg.scheme));
+    const auto report =
+        coverage::find_redundant(field.map, field.sensors, job.k);
+    count_batches[i].push_back(
+        {static_cast<double>(job.k), job.cfg.label,
+         static_cast<double>(report.redundant_ids.size())});
+    return std::vector<bench::Sample>{
+        {static_cast<double>(job.k), job.cfg.label,
+         100.0 * report.fraction()}};
+  });
+  for (const auto& batch : count_batches) {
+    for (const auto& s : batch) counts.add(s.x, s.series, s.value);
+  }
+
+  std::cout << "% of deployed nodes that are redundant:\n" << pct.to_text()
+            << "\nredundant node counts:\n"
+            << counts.to_text() << '\n';
+  if (opts.get_bool("csv", false)) std::cout << pct.to_csv();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 10: "Message overhead of DECOR."
+//
+// Messages per cell for the four DECOR variants (the baselines send no
+// protocol messages). Grid: per grid cell; Voronoi: per node, matching
+// the paper's normalization ("there is one node per cell"). Expected
+// shapes: overhead grows with cell size / rc and is roughly flat in k.
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  const auto k_max = static_cast<std::uint32_t>(opts.get_int("k-max", 5));
+  bench::print_header("Figure 10", "messages per cell vs k", setup);
+
+  common::SeriesTable table("k");
+  common::SeriesTable per_node("k");
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    auto base = setup.base;
+    base.k = k;
+    for (const auto& cfg : core::decor_configs(base)) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        auto field = setup.make_field(cfg.params, trial, 10);
+        common::Rng rng = setup.trial_rng(trial, 110);
+        const auto result = core::run_engine(cfg.scheme, field, rng);
+        table.add(k, cfg.label, result.messages_per_cell());
+        per_node.add(k, cfg.label,
+                     static_cast<double>(result.messages) /
+                         static_cast<double>(result.total_nodes()));
+      }
+    }
+  }
+
+  std::cout << "messages per cell (grid: per grid cell; voronoi: per "
+               "node):\n"
+            << table.to_text()
+            << "\nmessages per deployed node (leader-rotation view):\n"
+            << per_node.to_text() << '\n';
+  if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  return 0;
+}

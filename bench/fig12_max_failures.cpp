@@ -1,0 +1,55 @@
+// Figure 12: "Maximum allowed failures for 1-coverage of 90% of the area."
+//
+// For each k and series: deploy to full k-coverage, then kill random
+// nodes one at a time until fewer than 90% of the points remain
+// 1-covered; report the largest tolerated failure percentage. The paper's
+// claim: depending on k, DECOR withstands up to ~75% node loss.
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  const auto k_max = static_cast<std::uint32_t>(opts.get_int("k-max", 5));
+  const double min_coverage = opts.get_double("min-coverage", 0.9);
+  bench::print_header("Figure 12",
+                      "max % of failed nodes keeping >=90% 1-coverage",
+                      setup);
+
+  struct Job {
+    std::uint32_t k;
+    core::NamedConfig cfg;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    auto base = setup.base;
+    base.k = k;
+    for (const auto& cfg : core::paper_configs(base)) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        jobs.push_back({k, cfg, trial});
+      }
+    }
+  }
+
+  common::SeriesTable table("k");
+  bench::run_jobs(jobs.size(), table, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    auto field = setup.make_field(job.cfg.params, job.trial, 12);
+    common::Rng rng = setup.trial_rng(job.trial, 112);
+    core::run_engine(job.cfg.scheme, field, rng,
+                     setup.limits_for(job.cfg.scheme));
+    common::Rng fail_rng = setup.trial_rng(job.trial, 1120 + job.k);
+    const double tol =
+        core::max_tolerable_failure_fraction(field, min_coverage, fail_rng);
+    return std::vector<bench::Sample>{
+        {static_cast<double>(job.k), job.cfg.label, 100.0 * tol}};
+  });
+
+  std::cout << "maximum tolerated failure percentage:\n" << table.to_text()
+            << '\n';
+  if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  return 0;
+}

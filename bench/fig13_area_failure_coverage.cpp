@@ -1,0 +1,57 @@
+// Figure 13: "k-covered points after an area failure."
+//
+// A disaster destroys every node in a disc of radius 24 (~17% of the
+// field). As the paper notes, the share of points that stay k-covered is
+// essentially the same for all deployment algorithms — what differs is
+// the recovery cost (Figure 14).
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  const auto k_max = static_cast<std::uint32_t>(opts.get_int("k-max", 5));
+  const double radius = opts.get_double("radius", 24.0);
+  bench::print_header("Figure 13",
+                      "% of points still k-covered after an area failure",
+                      setup);
+
+  const geom::Disc disaster{{50.0, 50.0}, radius};
+  struct Job {
+    std::uint32_t k;
+    core::NamedConfig cfg;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    auto base = setup.base;
+    base.k = k;
+    for (const auto& cfg : core::paper_configs(base)) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        jobs.push_back({k, cfg, trial});
+      }
+    }
+  }
+
+  common::SeriesTable table("k");
+  bench::run_jobs(jobs.size(), table, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    auto field = setup.make_field(job.cfg.params, job.trial, 13);
+    common::Rng rng = setup.trial_rng(job.trial, 113);
+    core::run_engine(job.cfg.scheme, field, rng,
+                     setup.limits_for(job.cfg.scheme));
+    core::fail_area(field, disaster);
+    return std::vector<bench::Sample>{
+        {static_cast<double>(job.k), job.cfg.label,
+         100.0 * field.map.fraction_covered(job.k)}};
+  });
+
+  std::cout << "disaster disc at (50,50), radius " << radius << " ("
+            << 100.0 * disaster.area() / setup.base.field.area()
+            << "% of the field)\n\n% of points still k-covered:\n"
+            << table.to_text() << '\n';
+  if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  return 0;
+}

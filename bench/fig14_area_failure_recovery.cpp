@@ -1,0 +1,59 @@
+// Figure 14: "Number of nodes required to recover coverage of a failure
+// area."
+//
+// After the radius-24 disaster, the same engine that deployed the network
+// restores k-coverage; the extra nodes it places are the recovery cost.
+// Expected shapes: centralized cheapest, Voronoi close behind, grid
+// moderately above, random needing thousands.
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  const auto k_max = static_cast<std::uint32_t>(opts.get_int("k-max", 5));
+  const double radius = opts.get_double("radius", 24.0);
+  bench::print_header("Figure 14",
+                      "extra nodes needed to recover a failure area",
+                      setup);
+
+  const geom::Disc disaster{{50.0, 50.0}, radius};
+  struct Job {
+    std::uint32_t k;
+    core::NamedConfig cfg;
+    std::size_t trial;
+  };
+  std::vector<Job> jobs;
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    auto base = setup.base;
+    base.k = k;
+    for (const auto& cfg : core::paper_configs(base)) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        jobs.push_back({k, cfg, trial});
+      }
+    }
+  }
+
+  common::SeriesTable table("k");
+  bench::run_jobs(jobs.size(), table, [&](std::size_t i) {
+    const auto& job = jobs[i];
+    auto field = setup.make_field(job.cfg.params, job.trial, 14);
+    common::Rng rng = setup.trial_rng(job.trial, 114);
+    core::run_engine(job.cfg.scheme, field, rng,
+                     setup.limits_for(job.cfg.scheme));
+    common::Rng restore_rng = setup.trial_rng(job.trial, 1140 + job.k);
+    const auto outcome = core::restore_after_area_failure(
+        job.cfg.scheme, field, disaster, restore_rng,
+        setup.limits_for(job.cfg.scheme));
+    return std::vector<bench::Sample>{
+        {static_cast<double>(job.k), job.cfg.label,
+         static_cast<double>(outcome.restoration.placed_nodes)}};
+  });
+
+  std::cout << "extra nodes placed to restore k-coverage:\n"
+            << table.to_text() << '\n';
+  if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared scaffolding for the figure harnesses.
+//
+// Every figure binary reproduces one figure of the paper's Section 4 with
+// the paper's setup: a 100x100 field approximated by 2000 Halton points,
+// rs = 4, 200 initially deployed random sensors, averages over 5 seeded
+// trials. Each binary accepts --trials, --initial, --points and --seed to
+// explore other regimes.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/options.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "decor/decor.hpp"
+
+namespace decor::bench {
+
+/// One measurement produced by a job; merged into a SeriesTable after
+/// the parallel phase so results are independent of scheduling.
+struct Sample {
+  double x;
+  std::string series;
+  double value;
+};
+
+/// Runs `fn(job) -> samples` for every job index in parallel (each job
+/// owns its field and RNG), then merges into `table` in job order.
+template <typename JobFn>
+void run_jobs(std::size_t jobs, common::SeriesTable& table, JobFn&& fn) {
+  std::vector<std::vector<Sample>> results(jobs);
+  common::parallel_for(jobs,
+                       [&](std::size_t i) { results[i] = fn(i); });
+  for (const auto& batch : results) {
+    for (const auto& s : batch) table.add(s.x, s.series, s.value);
+  }
+}
+
+struct FigSetup {
+  core::DecorParams base;
+  std::size_t trials = 5;
+  std::size_t initial_nodes = 200;
+  std::uint64_t seed = 20070326;  // IPDPS 2007 :-)
+  /// Random placement safety cap (the baseline's tail is unbounded).
+  std::size_t random_cap = 20000;
+
+  explicit FigSetup(const common::Options& opts) {
+    trials = static_cast<std::size_t>(opts.get_int("trials", 5));
+    initial_nodes =
+        static_cast<std::size_t>(opts.get_int("initial", 200));
+    seed = static_cast<std::uint64_t>(opts.get_int("seed", 20070326));
+    base.num_points =
+        static_cast<std::size_t>(opts.get_int("points", 2000));
+    base.rs = opts.get_double("rs", 4.0);
+    base.rc = opts.get_double("rc", 2.0 * base.rs);
+    const double side = opts.get_double("side", 100.0);
+    base.field = geom::make_rect(0.0, 0.0, side, side);
+  }
+
+  /// Independent RNG for (trial, experiment-tag).
+  common::Rng trial_rng(std::size_t trial, std::uint64_t tag) const {
+    common::Rng root(seed);
+    return root.split(common::mix64(trial * 1000003ULL + tag));
+  }
+
+  /// Fresh field with the initial random deployment for one trial.
+  core::Field make_field(const core::DecorParams& params, std::size_t trial,
+                         std::uint64_t tag) const {
+    common::Rng rng = trial_rng(trial, tag);
+    core::Field field(params, rng);
+    field.deploy_random(initial_nodes, rng);
+    return field;
+  }
+
+  core::EngineLimits limits_for(core::Scheme scheme) const {
+    core::EngineLimits limits;
+    if (scheme == core::Scheme::kRandom) limits.max_new_nodes = random_cap;
+    return limits;
+  }
+};
+
+inline void print_header(const std::string& figure,
+                         const std::string& caption, const FigSetup& s) {
+  std::cout << "=== " << figure << ": " << caption << " ===\n"
+            << "setup: field " << s.base.field.width() << "x"
+            << s.base.field.height() << ", " << s.base.num_points
+            << " Halton points, rs=" << s.base.rs << ", "
+            << s.initial_nodes << " initial nodes, " << s.trials
+            << " trials, seed=" << s.seed << "\n\n";
+}
+
+}  // namespace decor::bench

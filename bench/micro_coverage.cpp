@@ -1,0 +1,91 @@
+// Micro-benchmarks: incremental coverage maintenance and benefit
+// evaluation — the inner loops of every deployment engine.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "coverage/coverage_map.hpp"
+#include "coverage/redundancy.hpp"
+#include "coverage/sensor.hpp"
+#include "lds/halton.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+const geom::Rect kField = geom::make_rect(0, 0, 100, 100);
+
+coverage::CoverageMap make_map(std::size_t points) {
+  return coverage::CoverageMap(kField, lds::halton_points(kField, points),
+                               4.0);
+}
+
+void BM_AddRemoveDisc(benchmark::State& state) {
+  auto map = make_map(static_cast<std::size_t>(state.range(0)));
+  common::Rng rng(1);
+  for (auto _ : state) {
+    const auto pos = lds::random_point(kField, rng);
+    map.add_disc(pos);
+    map.remove_disc(pos);
+  }
+}
+BENCHMARK(BM_AddRemoveDisc)->Arg(2000)->Arg(20000);
+
+void BM_Benefit(benchmark::State& state) {
+  auto map = make_map(2000);
+  common::Rng rng(2);
+  for (int i = 0; i < 300; ++i) map.add_disc(lds::random_point(kField, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.benefit(lds::random_point(kField, rng), 3));
+  }
+}
+BENCHMARK(BM_Benefit);
+
+void BM_FractionCovered(benchmark::State& state) {
+  auto map = make_map(static_cast<std::size_t>(state.range(0)));
+  common::Rng rng(3);
+  for (int i = 0; i < 500; ++i) map.add_disc(lds::random_point(kField, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.fraction_covered(3));
+  }
+}
+BENCHMARK(BM_FractionCovered)->Arg(2000)->Arg(20000);
+
+void BM_UncoveredPoints(benchmark::State& state) {
+  auto map = make_map(2000);
+  common::Rng rng(4);
+  for (int i = 0; i < 500; ++i) map.add_disc(lds::random_point(kField, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.uncovered_points(3));
+  }
+}
+BENCHMARK(BM_UncoveredPoints);
+
+void BM_FindRedundant(benchmark::State& state) {
+  auto map = make_map(2000);
+  coverage::SensorSet sensors(kField, 4.0);
+  common::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto pos = lds::random_point(kField, rng);
+    sensors.add(pos);
+    map.add_disc(pos);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coverage::find_redundant(map, sensors, 3));
+  }
+}
+BENCHMARK(BM_FindRedundant);
+
+void BM_SensorIndexQuery(benchmark::State& state) {
+  geom::DynamicSensorIndex index(kField, 8.0);
+  common::Rng rng(6);
+  for (std::uint32_t i = 0; i < 2000; ++i) {
+    index.insert(i, lds::random_point(kField, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.count_in_disc(lds::random_point(kField, rng), 8.0));
+  }
+}
+BENCHMARK(BM_SensorIndexQuery);
+
+}  // namespace

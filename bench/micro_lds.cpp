@@ -1,0 +1,81 @@
+// Micro-benchmarks: low-discrepancy point generation and discrepancy
+// estimation (the per-node cost of DECOR's field approximation).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "lds/discrepancy.hpp"
+#include "lds/halton.hpp"
+#include "lds/hammersley.hpp"
+#include "lds/radical_inverse.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+const geom::Rect kField = geom::make_rect(0, 0, 100, 100);
+
+void BM_RadicalInverseBase2(benchmark::State& state) {
+  std::uint64_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds::radical_inverse(n++, 2));
+  }
+}
+BENCHMARK(BM_RadicalInverseBase2);
+
+void BM_RadicalInverseScrambled(benchmark::State& state) {
+  std::uint64_t n = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds::scrambled_radical_inverse(n++, 3, 42));
+  }
+}
+BENCHMARK(BM_RadicalInverseScrambled);
+
+void BM_HaltonPoints(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds::halton_points(kField, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HaltonPoints)->Arg(200)->Arg(2000)->Arg(20000);
+
+void BM_HammersleyPoints(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds::hammersley_points(kField, n));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HammersleyPoints)->Arg(200)->Arg(2000)->Arg(20000);
+
+void BM_RandomPoints(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds::random_points(kField, n, rng));
+  }
+}
+BENCHMARK(BM_RandomPoints)->Arg(2000);
+
+void BM_StarDiscrepancyExact(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = lds::halton_points(kField, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lds::star_discrepancy(pts, kField));
+  }
+}
+BENCHMARK(BM_StarDiscrepancyExact)->Arg(256)->Arg(1024);
+
+void BM_StarDiscrepancySampled(benchmark::State& state) {
+  const auto pts = lds::halton_points(kField, 2000);
+  common::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lds::star_discrepancy_sampled(pts, kField, 1000, rng));
+  }
+}
+BENCHMARK(BM_StarDiscrepancySampled);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Micro-benchmarks: full deployment engines end-to-end (the cost of one
+// restoration run at paper scale).
+#include <benchmark/benchmark.h>
+
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+
+core::DecorParams paper_params(std::uint32_t k) {
+  core::DecorParams p;  // defaults are the paper's setup
+  p.k = k;
+  return p;
+}
+
+void run_engine_bench(benchmark::State& state, core::Scheme scheme,
+                      std::uint32_t k) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::Rng rng(42);
+    core::Field field(paper_params(k), rng);
+    field.deploy_random(200, rng);
+    state.ResumeTiming();
+    auto result = core::run_engine(scheme, field, rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_CentralizedGreedy(benchmark::State& state) {
+  run_engine_bench(state, core::Scheme::kCentralized,
+                   static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_CentralizedGreedy)->Arg(1)->Arg(3);
+
+void BM_GridDecor(benchmark::State& state) {
+  run_engine_bench(state, core::Scheme::kGrid,
+                   static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_GridDecor)->Arg(1)->Arg(3);
+
+void BM_VoronoiDecor(benchmark::State& state) {
+  run_engine_bench(state, core::Scheme::kVoronoi,
+                   static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_VoronoiDecor)->Arg(1)->Arg(3);
+
+void BM_RandomPlacement(benchmark::State& state) {
+  run_engine_bench(state, core::Scheme::kRandom,
+                   static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_RandomPlacement)->Arg(1)->Arg(3);
+
+void BM_AreaFailureRestoration(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::Rng rng(42);
+    core::Field field(paper_params(3), rng);
+    field.deploy_random(200, rng);
+    core::grid_decor(field, rng);
+    state.ResumeTiming();
+    auto outcome = core::restore_after_area_failure(
+        core::Scheme::kGrid, field, {{50, 50}, 24.0}, rng);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_AreaFailureRestoration);
+
+}  // namespace

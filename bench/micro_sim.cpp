@@ -1,0 +1,74 @@
+// Micro-benchmarks: discrete-event kernel and radio throughput.
+#include <benchmark/benchmark.h>
+
+#include "lds/random_points.hpp"
+#include "net/sensor_node.hpp"
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace decor;
+using namespace decor::sim;
+
+void BM_EventScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule(static_cast<double>(i % 97), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_EventScheduleRun);
+
+class Sink : public NodeProcess {
+ public:
+  using NodeProcess::broadcast;
+};
+
+void BM_BroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  World world(geom::make_rect(0, 0, 100, 100), RadioParams{1e-3, 0.0, 0.0},
+              1);
+  common::Rng rng(2);
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(world.spawn(
+        lds::random_point(geom::make_rect(0, 0, 100, 100), rng),
+        std::make_unique<Sink>()));
+  }
+  world.sim().run();
+  for (auto _ : state) {
+    world.node_as<Sink>(ids[0]).broadcast(Message::make(ids[0], 1, 0), 20.0);
+    world.sim().run();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(world.radio().total_rx()));
+}
+BENCHMARK(BM_BroadcastFanout)->Arg(200)->Arg(1000);
+
+void BM_HeartbeatNetworkSecond(benchmark::State& state) {
+  // One simulated second of a 100-node heartbeat network.
+  const geom::Rect field = geom::make_rect(0, 0, 100, 100);
+  World world(field, RadioParams{1e-3, 1e-4, 0.0}, 3);
+  common::Rng rng(4);
+  net::SensorNodeParams params;
+  params.rc = 12.0;
+  for (int i = 0; i < 100; ++i) {
+    world.spawn(lds::random_point(field, rng),
+                std::make_unique<net::SensorNode>(params));
+  }
+  world.sim().run_until(2.0);  // discovery settles
+  for (auto _ : state) {
+    world.sim().run_until(world.sim().now() + 1.0);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(world.radio().total_rx()));
+}
+BENCHMARK(BM_HeartbeatNetworkSecond);
+
+}  // namespace

@@ -1,0 +1,68 @@
+// Heterogeneous networks: mixed sensing radii, exact verification.
+//
+// Section 2: "In a heterogeneous network deployment, the sensing and
+// coverage radii of the sensors may vary ... Our solution is designed to
+// work under such a setting." This example deploys an initial network of
+// mixed-grade sensors (cheap rs=2.5 motes through premium rs=7 units),
+// restores k-coverage with each scheme, verifies the result three ways —
+// point set, dense sampling, and the exact Huang-Tseng perimeter check —
+// and confirms the k-connectivity corollary on the result.
+//
+// Usage: heterogeneous [--k=2] [--seed=9]
+#include <iostream>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "coverage/area_estimate.hpp"
+#include "coverage/perimeter.hpp"
+#include "decor/decor.hpp"
+#include "graph/comm_graph.hpp"
+#include "graph/vertex_connectivity.hpp"
+
+using namespace decor;
+
+int main(int argc, char** argv) {
+  const common::Options opts(argc, argv);
+  core::DecorParams params;
+  params.field = geom::make_rect(0, 0, 60, 60);
+  params.num_points = 900;
+  params.k = static_cast<std::uint32_t>(opts.get_int("k", 2));
+  params.rs = 4.0;  // radius of the replacement sensors DECOR places
+  params.rc = 8.0;
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 9));
+
+  std::cout << "heterogeneous restoration: 60x60 field, k=" << params.k
+            << ", initial sensors with rs in [2.5, 7.0], replacements "
+               "rs=4\n\n";
+
+  common::Table table({"scheme", "placed", "total", "points k-cov",
+                       "area k-cov%", "exact min cov", "kappa"});
+  for (const auto& cfg : core::paper_configs(params)) {
+    if (cfg.scheme == core::Scheme::kRandom) continue;
+    common::Rng rng(seed);
+    core::Field field(cfg.params, rng);
+    field.deploy_random_heterogeneous(60, 2.5, 7.0, rng);
+    const auto result = core::run_engine(cfg.scheme, field, rng);
+
+    const double area_cov = coverage::area_coverage_grid(
+        field.sensors, params.field, params.k, params.rs, 300);
+    const auto exact_min =
+        coverage::min_area_coverage(field.sensors, params.field, params.rs);
+    const auto g = graph::build_comm_graph(field.sensors, params.rc);
+    const auto kappa = graph::vertex_connectivity(g);
+
+    table.add_row({cfg.label, std::to_string(result.placed_nodes),
+                   std::to_string(result.total_nodes()),
+                   result.reached_full_coverage ? "yes" : "NO",
+                   std::to_string(100.0 * area_cov),
+                   std::to_string(exact_min), std::to_string(kappa)});
+  }
+  std::cout << table.to_text()
+            << "\nnotes: 'points k-cov' is what the algorithms optimize "
+               "(the 900 Halton points);\n'area k-cov%' samples the "
+               "continuum; 'exact min cov' is the Huang-Tseng perimeter\n"
+               "minimum over the whole area (slivers between points keep "
+               "it below k); kappa is the\nexact vertex connectivity at "
+               "rc=2*rs — >= k per the paper's corollary.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Intruder detection (the paper's second motivating application).
+//
+// A surveillance network must detect an intruder with at least k sensors
+// simultaneously — multi-sensor confirmation suppresses spurious reports
+// and enables triangulation. This example deploys the same field at
+// k = 1..4 with grid DECOR, walks a random-motion intruder across it, and
+// measures detection multiplicity and localization error at each k. It
+// demonstrates the claim (Section 1) that k-coverage improves both the
+// detection confidence and the position estimate.
+//
+// Usage: intruder [--steps=400] [--seed=11]
+#include <cmath>
+#include <iostream>
+#include <numbers>
+
+#include "common/options.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+
+/// Centroid-of-detecting-sensors localization; returns the error.
+double localize_error(const core::Field& field, geom::Point2 truth) {
+  double sx = 0, sy = 0;
+  std::size_t n = 0;
+  field.sensors.index().for_each_in_disc(
+      truth, field.params.rs, [&](std::uint32_t, geom::Point2 pos) {
+        sx += pos.x;
+        sy += pos.y;
+        ++n;
+      });
+  if (n == 0) return -1.0;
+  return geom::distance({sx / static_cast<double>(n),
+                         sy / static_cast<double>(n)},
+                        truth);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const common::Options opts(argc, argv);
+  const auto steps = static_cast<std::size_t>(opts.get_int("steps", 400));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 11));
+
+  std::cout << "intruder detection: random-walk intruder, " << steps
+            << " steps, detection radius = rs = 4\n\n";
+
+  common::Table table({"k", "nodes", "det.rate%", "mean sensors",
+                       "conf>=k%", "mean loc err", "p95 loc err"});
+
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    core::DecorParams params;
+    params.field = geom::make_rect(0, 0, 60, 60);
+    params.num_points = 800;
+    params.k = k;
+    common::Rng rng(seed);
+    core::Field field(params, rng);
+    field.deploy_random(50, rng);
+    core::grid_decor(field, rng);
+
+    // Random-waypoint-ish walk: heading persists with small turns.
+    common::Rng walk(seed + 1);  // same walk for every k
+    geom::Point2 pos{30, 30};
+    double heading = 0.0;
+    common::Accumulator sensors_seen;
+    std::vector<double> errors;
+    std::size_t detected = 0, confirmed = 0;
+    for (std::size_t s = 0; s < steps; ++s) {
+      heading += walk.uniform(-0.5, 0.5);
+      pos.x += std::cos(heading);
+      pos.y += std::sin(heading);
+      if (!params.field.contains(pos)) {
+        pos = params.field.clamp(pos);
+        heading += std::numbers::pi / 2.0;
+      }
+      const std::size_t watchers =
+          field.sensors.index().count_in_disc(pos, params.rs);
+      sensors_seen.add(static_cast<double>(watchers));
+      if (watchers >= 1) ++detected;
+      if (watchers >= k) ++confirmed;
+      const double err = localize_error(field, pos);
+      if (err >= 0.0) errors.push_back(err);
+    }
+
+    table.add_row(
+        {std::to_string(k), std::to_string(field.sensors.alive_count()),
+         std::to_string(100.0 * static_cast<double>(detected) /
+                        static_cast<double>(steps)),
+         std::to_string(sensors_seen.mean()),
+         std::to_string(100.0 * static_cast<double>(confirmed) /
+                        static_cast<double>(steps)),
+         [&] {
+           common::Accumulator acc;
+           for (double e : errors) acc.add(e);
+           return std::to_string(errors.empty() ? -1.0 : acc.mean());
+         }(),
+         std::to_string(errors.empty()
+                            ? -1.0
+                            : common::percentile(errors, 95.0))});
+  }
+
+  std::cout << table.to_text()
+            << "\nhigher k: more simultaneous watchers -> higher-confidence "
+               "detections and tighter localization.\n";
+  return 0;
+}

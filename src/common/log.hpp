@@ -1,0 +1,38 @@
+// Leveled logging to stderr, controlled by the DECOR_LOG environment
+// variable (error | warn | info | debug; default warn). Logging is kept
+// deliberately simple: the simulator has its own structured trace facility
+// (sim/trace.hpp) for event-level observation.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace decor::common {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current global level (initialized once from DECOR_LOG).
+LogLevel log_level() noexcept;
+
+/// Overrides the global level (mainly for tests).
+void set_log_level(LogLevel level) noexcept;
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+}  // namespace decor::common
+
+#define DECOR_LOG(level, expr)                                        \
+  do {                                                                \
+    if (static_cast<int>(level) <=                                    \
+        static_cast<int>(::decor::common::log_level())) {             \
+      std::ostringstream decor_log_os;                                \
+      decor_log_os << expr;                                           \
+      ::decor::common::log_line(level, decor_log_os.str());           \
+    }                                                                 \
+  } while (0)
+
+#define DECOR_LOG_ERROR(expr) DECOR_LOG(::decor::common::LogLevel::kError, expr)
+#define DECOR_LOG_WARN(expr) DECOR_LOG(::decor::common::LogLevel::kWarn, expr)
+#define DECOR_LOG_INFO(expr) DECOR_LOG(::decor::common::LogLevel::kInfo, expr)
+#define DECOR_LOG_DEBUG(expr) DECOR_LOG(::decor::common::LogLevel::kDebug, expr)

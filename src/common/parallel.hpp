@@ -1,0 +1,26 @@
+// Minimal data-parallel helper for the benchmark harnesses.
+//
+// Experiment sweeps are embarrassingly parallel over (configuration,
+// trial) jobs: every job owns an independent seeded RNG and field, so
+// running them on worker threads changes nothing about the results.
+// Determinism is preserved by collecting each job's output into its own
+// slot and merging sequentially afterwards — never by sharing mutable
+// state across jobs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace decor::common {
+
+/// Worker count used when `threads == 0`: hardware concurrency, at least 1.
+std::size_t default_thread_count() noexcept;
+
+/// Invokes fn(i) for every i in [0, n), distributing indices over worker
+/// threads (atomic work stealing). Runs inline when n <= 1 or only one
+/// thread is available. The first exception thrown by any job is
+/// rethrown on the caller's thread after all workers finish.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  std::size_t threads = 0);
+
+}  // namespace decor::common

@@ -1,0 +1,47 @@
+// Lightweight runtime checking for preconditions and invariants.
+//
+// DECOR_REQUIRE is always on (API misuse should fail loudly in release
+// builds too); DECOR_ASSERT compiles out under NDEBUG for hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace decor::common {
+
+/// Thrown when a DECOR_REQUIRE precondition is violated.
+class RequireError : public std::logic_error {
+ public:
+  explicit RequireError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void require_fail(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw RequireError(os.str());
+}
+}  // namespace detail
+
+}  // namespace decor::common
+
+#define DECOR_REQUIRE(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::decor::common::detail::require_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define DECOR_REQUIRE_MSG(expr, msg)                                          \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::decor::common::detail::require_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define DECOR_ASSERT(expr) ((void)0)
+#else
+#define DECOR_ASSERT(expr) DECOR_REQUIRE(expr)
+#endif

@@ -1,0 +1,82 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the library (random fields, failure
+// injection, leader election, random placement) draw from decor::common::Rng
+// so that every experiment is reproducible from a single 64-bit seed.
+// The engine is xoshiro256** seeded through splitmix64, following the
+// reference construction by Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace decor::common {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a value (single splitmix64 round).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator so it can be
+/// used with <random> distributions, but the common draws (uniform double,
+/// integer range, bernoulli) are provided as members to keep call sites
+/// terse and portable across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state via splitmix64(seed).
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (rejection).
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean) noexcept;
+
+  /// Standard normal deviate (Box–Muller, no caching).
+  double normal() noexcept;
+
+  /// Derives an independent child generator; children with distinct tags
+  /// are statistically independent of each other and of the parent's
+  /// future output.
+  Rng split(std::uint64_t tag) noexcept;
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples m distinct indices from [0, n) in uniformly random order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t m);
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace decor::common

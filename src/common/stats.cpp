@@ -1,0 +1,148 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace decor::common {
+
+void Accumulator::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+void Accumulator::merge(const Accumulator& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double percentile(std::vector<double> values, double q) {
+  DECOR_REQUIRE_MSG(!values.empty(), "percentile of empty sample");
+  DECOR_REQUIRE(q >= 0.0 && q <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+void SeriesTable::add(double x, const std::string& series, double value) {
+  auto& cell = cells_[x][series];
+  if (std::find(series_order_.begin(), series_order_.end(), series) ==
+      series_order_.end()) {
+    series_order_.push_back(series);
+  }
+  cell.add(value);
+}
+
+std::vector<double> SeriesTable::xs() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& [x, _] : cells_) out.push_back(x);
+  return out;
+}
+
+double SeriesTable::mean(double x, const std::string& series) const {
+  auto row = cells_.find(x);
+  if (row == cells_.end()) return std::numeric_limits<double>::quiet_NaN();
+  auto cell = row->second.find(series);
+  if (cell == row->second.end())
+    return std::numeric_limits<double>::quiet_NaN();
+  return cell->second.mean();
+}
+
+double SeriesTable::stddev(double x, const std::string& series) const {
+  auto row = cells_.find(x);
+  if (row == cells_.end()) return std::numeric_limits<double>::quiet_NaN();
+  auto cell = row->second.find(series);
+  if (cell == row->second.end())
+    return std::numeric_limits<double>::quiet_NaN();
+  return cell->second.stddev();
+}
+
+namespace {
+std::string format_cell(double v) {
+  if (std::isnan(v)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << v;
+  return os.str();
+}
+}  // namespace
+
+std::string SeriesTable::to_text() const {
+  // Compute column widths.
+  std::vector<std::size_t> widths;
+  widths.push_back(x_name_.size());
+  for (const auto& name : series_order_)
+    widths.push_back(std::max<std::size_t>(name.size(), 8));
+  for (const auto& [x, _] : cells_) {
+    widths[0] = std::max(widths[0], format_cell(x).size());
+  }
+  std::ostringstream os;
+  os << std::left << std::setw(static_cast<int>(widths[0]) + 2) << x_name_;
+  for (std::size_t i = 0; i < series_order_.size(); ++i)
+    os << std::right << std::setw(static_cast<int>(widths[i + 1]) + 2)
+       << series_order_[i];
+  os << '\n';
+  for (const auto& [x, row] : cells_) {
+    (void)row;
+    os << std::left << std::setw(static_cast<int>(widths[0]) + 2)
+       << format_cell(x);
+    for (std::size_t i = 0; i < series_order_.size(); ++i)
+      os << std::right << std::setw(static_cast<int>(widths[i + 1]) + 2)
+         << format_cell(mean(x, series_order_[i]));
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string SeriesTable::to_csv() const {
+  std::ostringstream os;
+  os << x_name_;
+  for (const auto& name : series_order_)
+    os << ',' << name << ',' << name << "_sd";
+  os << '\n';
+  for (const auto& [x, row] : cells_) {
+    (void)row;
+    os << x;
+    for (const auto& name : series_order_) {
+      const double m = mean(x, name);
+      const double sd = stddev(x, name);
+      os << ',' << (std::isnan(m) ? std::string{} : std::to_string(m)) << ','
+         << (std::isnan(sd) ? std::string{} : std::to_string(sd));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace decor::common

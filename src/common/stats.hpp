@@ -1,0 +1,82 @@
+// Streaming statistics and multi-trial series aggregation.
+//
+// Every experiment in the benchmark harness runs several seeded trials and
+// reports means; Accumulator implements numerically stable (Welford)
+// streaming moments, and SeriesTable collects named columns of per-trial
+// values keyed by an x coordinate (k, node count, failure fraction, ...).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace decor::common {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the observed values; 0 when empty.
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator into this one (parallel Welford merge).
+  void merge(const Accumulator& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Percentile of a sample (linear interpolation); q in [0,100].
+double percentile(std::vector<double> values, double q);
+
+/// A table of (x -> {series name -> Accumulator}) used by every figure
+/// harness: call add(x, series, value) once per trial, then print.
+class SeriesTable {
+ public:
+  explicit SeriesTable(std::string x_name) : x_name_(std::move(x_name)) {}
+
+  void add(double x, const std::string& series, double value);
+
+  /// Names of all series in first-seen order.
+  const std::vector<std::string>& series_names() const noexcept {
+    return series_order_;
+  }
+
+  /// Sorted distinct x values.
+  std::vector<double> xs() const;
+
+  /// Mean of a series at x; NaN if absent.
+  double mean(double x, const std::string& series) const;
+  /// Standard deviation of a series at x; NaN if absent.
+  double stddev(double x, const std::string& series) const;
+
+  /// Renders an aligned text table of means (one row per x).
+  std::string to_text() const;
+  /// Renders CSV of means with a stddev column per series.
+  std::string to_csv() const;
+
+ private:
+  std::string x_name_;
+  std::map<double, std::map<std::string, Accumulator>> cells_;
+  std::vector<std::string> series_order_;
+};
+
+}  // namespace decor::common

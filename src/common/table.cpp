@@ -1,0 +1,66 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace decor::common {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  DECOR_REQUIRE_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  DECOR_REQUIRE_MSG(row.size() == header_.size(),
+                    "row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_row_numeric(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    cells.push_back(os.str());
+  }
+  add_row(std::move(cells));
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "  " : "") << std::left
+       << std::setw(static_cast<int>(widths[c])) << header_[c];
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "  " : "") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << header_[c];
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << row[c];
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace decor::common

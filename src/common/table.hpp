@@ -1,0 +1,31 @@
+// Simple aligned text / CSV table writer for harness output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace decor::common {
+
+/// Collects string rows under a fixed header and renders them either as an
+/// aligned monospace table (for terminals) or CSV (for plotting scripts).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary numeric row values with fixed precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 2);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  std::string to_text() const;
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace decor::common

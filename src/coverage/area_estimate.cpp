@@ -1,0 +1,73 @@
+#include "coverage/area_estimate.hpp"
+
+#include "common/require.hpp"
+#include "geometry/disc.hpp"
+
+namespace decor::coverage {
+
+namespace {
+
+/// Counts alive sensors covering `p` (capped at k, which is all callers
+/// need) using the alive-sensor index. Heterogeneous radii are handled by
+/// querying with the maximum radius and filtering per sensor.
+std::uint32_t covering_count(const SensorSet& sensors, geom::Point2 p,
+                             std::uint32_t k, double default_rs,
+                             double max_rs) {
+  std::uint32_t n = 0;
+  sensors.index().for_each_in_disc(
+      p, max_rs, [&](std::uint32_t id, geom::Point2 pos) {
+        if (n >= k) return;
+        const auto& s = sensors.sensor(id);
+        const double rs = s.rs > 0.0 ? s.rs : default_rs;
+        if (geom::within(p, pos, rs)) ++n;
+      });
+  return n;
+}
+
+double max_radius(const SensorSet& sensors, double default_rs) {
+  double r = default_rs;
+  for (const auto& s : sensors.all()) {
+    if (s.alive && s.rs > r) r = s.rs;
+  }
+  return r;
+}
+
+}  // namespace
+
+double area_coverage_grid(const SensorSet& sensors, const geom::Rect& field,
+                          std::uint32_t k, double default_rs,
+                          std::size_t resolution) {
+  DECOR_REQUIRE_MSG(resolution > 0, "resolution must be positive");
+  DECOR_REQUIRE_MSG(default_rs > 0.0, "default rs must be positive");
+  const double max_rs = max_radius(sensors, default_rs);
+  const double dx = field.width() / static_cast<double>(resolution);
+  const double dy = field.height() / static_cast<double>(resolution);
+  std::size_t covered = 0;
+  for (std::size_t iy = 0; iy < resolution; ++iy) {
+    for (std::size_t ix = 0; ix < resolution; ++ix) {
+      const geom::Point2 p{field.x0 + (static_cast<double>(ix) + 0.5) * dx,
+                           field.y0 + (static_cast<double>(iy) + 0.5) * dy};
+      if (covering_count(sensors, p, k, default_rs, max_rs) >= k) ++covered;
+    }
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(resolution * resolution);
+}
+
+double area_coverage_monte_carlo(const SensorSet& sensors,
+                                 const geom::Rect& field, std::uint32_t k,
+                                 double default_rs, std::size_t samples,
+                                 common::Rng& rng) {
+  DECOR_REQUIRE_MSG(samples > 0, "samples must be positive");
+  DECOR_REQUIRE_MSG(default_rs > 0.0, "default rs must be positive");
+  const double max_rs = max_radius(sensors, default_rs);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const geom::Point2 p{rng.uniform(field.x0, field.x1),
+                         rng.uniform(field.y0, field.y1)};
+    if (covering_count(sensors, p, k, default_rs, max_rs) >= k) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(samples);
+}
+
+}  // namespace decor::coverage

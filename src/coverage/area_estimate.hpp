@@ -1,0 +1,34 @@
+// True-area coverage estimation, independent of the approximation points.
+//
+// DECOR's correctness argument rests on the approximation points tracking
+// the continuous area: "Since Halton and Hammersley points accurately
+// represent an area, this [#points covered] is actually the number of
+// nodes required to cover 100% of the area" (Section 4). These estimators
+// measure coverage of the *area itself* — on a dense reference lattice or
+// by Monte Carlo — so the claim can be tested rather than assumed (see
+// bench/ablation_pointsets and the approximation-error tests).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "coverage/sensor.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::coverage {
+
+/// Fraction of `field` covered by >= k alive sensors, measured on a
+/// uniform `resolution x resolution` lattice of cell centers. Sensors
+/// with rs == 0 use `default_rs`.
+double area_coverage_grid(const SensorSet& sensors, const geom::Rect& field,
+                          std::uint32_t k, double default_rs,
+                          std::size_t resolution = 200);
+
+/// Monte-Carlo estimate of the same quantity from `samples` uniform
+/// points; standard error ~ sqrt(p(1-p)/samples).
+double area_coverage_monte_carlo(const SensorSet& sensors,
+                                 const geom::Rect& field, std::uint32_t k,
+                                 double default_rs, std::size_t samples,
+                                 common::Rng& rng);
+
+}  // namespace decor::coverage

@@ -1,0 +1,71 @@
+#include "coverage/coverage_map.hpp"
+
+#include "common/require.hpp"
+
+namespace decor::coverage {
+
+CoverageMap::CoverageMap(const geom::Rect& bounds,
+                         std::vector<geom::Point2> points, double rs)
+    : rs_(rs),
+      index_(std::make_shared<geom::PointGridIndex>(bounds, std::move(points),
+                                                    rs)),
+      counts_(index_->size(), 0) {
+  DECOR_REQUIRE_MSG(rs > 0.0, "sensing radius must be positive");
+}
+
+void CoverageMap::add_disc(geom::Point2 pos) { add_disc(pos, rs_); }
+
+void CoverageMap::add_disc(geom::Point2 pos, double radius) {
+  index_->for_each_in_disc(pos, radius,
+                           [this](std::size_t id) { ++counts_[id]; });
+}
+
+void CoverageMap::remove_disc(geom::Point2 pos) { remove_disc(pos, rs_); }
+
+void CoverageMap::remove_disc(geom::Point2 pos, double radius) {
+  index_->for_each_in_disc(pos, radius, [this](std::size_t id) {
+    DECOR_REQUIRE_MSG(counts_[id] > 0,
+                      "removing a disc that was never added here");
+    --counts_[id];
+  });
+}
+
+std::size_t CoverageMap::num_covered(std::uint32_t k) const {
+  std::size_t n = 0;
+  for (auto c : counts_) {
+    if (c >= k) ++n;
+  }
+  return n;
+}
+
+double CoverageMap::fraction_covered(std::uint32_t k) const {
+  if (counts_.empty()) return 1.0;
+  return static_cast<double>(num_covered(k)) /
+         static_cast<double>(counts_.size());
+}
+
+std::vector<std::size_t> CoverageMap::uncovered_points(std::uint32_t k) const {
+  std::vector<std::size_t> out;
+  for (std::size_t id = 0; id < counts_.size(); ++id) {
+    if (counts_[id] < k) out.push_back(id);
+  }
+  return out;
+}
+
+bool CoverageMap::fully_covered(std::uint32_t k) const {
+  for (auto c : counts_) {
+    if (c < k) return false;
+  }
+  return true;
+}
+
+std::uint64_t CoverageMap::benefit(geom::Point2 pos, std::uint32_t k) const {
+  std::uint64_t b = 0;
+  index_->for_each_in_disc(pos, rs_, [&](std::size_t id) {
+    const std::uint32_t c = counts_[id];
+    if (c < k) b += k - c;
+  });
+  return b;
+}
+
+}  // namespace decor::coverage

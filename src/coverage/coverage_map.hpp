@@ -1,0 +1,71 @@
+// Ground-truth coverage state over the approximation point set.
+//
+// The continuous field is represented by a low-discrepancy point set
+// (Section 3.2 of the paper); CoverageMap maintains, incrementally, the
+// per-point coverage count k_p = |{alive sensors s : d(p, s) <= rs}|.
+// Adding or removing one sensing disc touches only the points inside it
+// (found through the spatial index), so a full deployment of M sensors
+// costs O(M * points-per-disc) instead of O(M * N).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geometry/grid_index.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::coverage {
+
+class CoverageMap {
+ public:
+  /// Builds the map over `points` (the field approximation) with sensing
+  /// radius `rs`. All counts start at zero.
+  CoverageMap(const geom::Rect& bounds, std::vector<geom::Point2> points,
+              double rs);
+
+  double rs() const noexcept { return rs_; }
+  const geom::PointGridIndex& index() const noexcept { return *index_; }
+  std::size_t num_points() const noexcept { return counts_.size(); }
+
+  /// Coverage count of one approximation point.
+  std::uint32_t kp(std::size_t point_id) const { return counts_[point_id]; }
+  const std::vector<std::uint32_t>& counts() const noexcept { return counts_; }
+
+  /// Registers a sensing disc of the default radius rs centred at `pos`
+  /// (a sensor deployment).
+  void add_disc(geom::Point2 pos);
+
+  /// Registers a sensing disc with an explicit radius (heterogeneous
+  /// deployments, Section 2 of the paper).
+  void add_disc(geom::Point2 pos, double radius);
+
+  /// Unregisters a sensing disc (a sensor failure). The caller must pass
+  /// the exact position (and radius) used at add time.
+  void remove_disc(geom::Point2 pos);
+  void remove_disc(geom::Point2 pos, double radius);
+
+  /// Number of points with k_p >= k.
+  std::size_t num_covered(std::uint32_t k) const;
+
+  /// Fraction of points with k_p >= k, in [0, 1].
+  double fraction_covered(std::uint32_t k) const;
+
+  /// IDs of points with k_p < k.
+  std::vector<std::size_t> uncovered_points(std::uint32_t k) const;
+
+  /// True when every point is k-covered.
+  bool fully_covered(std::uint32_t k) const;
+
+  /// Benefit of placing a sensor at `pos` (Equation 1 of the paper):
+  ///   b(pos) = sum over points p' within rs of pos of max(k - k_{p'}, 0).
+  std::uint64_t benefit(geom::Point2 pos, std::uint32_t k) const;
+
+ private:
+  double rs_;
+  std::shared_ptr<const geom::PointGridIndex> index_;
+  std::vector<std::uint32_t> counts_;
+};
+
+}  // namespace decor::coverage

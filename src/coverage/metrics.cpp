@@ -1,0 +1,88 @@
+#include "coverage/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace decor::coverage {
+
+double CoverageMetrics::at_least(std::uint32_t k) const noexcept {
+  if (k < fraction_at_least.size()) return fraction_at_least[k];
+  return 0.0;
+}
+
+CoverageMetrics compute_metrics(const CoverageMap& map, std::uint32_t k_max) {
+  CoverageMetrics m;
+  m.num_points = map.num_points();
+  m.fraction_at_least.assign(k_max + 1, 0.0);
+  if (m.num_points == 0) {
+    m.fraction_at_least[0] = 1.0;
+    return m;
+  }
+  std::vector<std::size_t> at_least(k_max + 1, 0);
+  std::uint64_t total = 0;
+  m.min_kp = map.counts().empty() ? 0 : map.counts().front();
+  for (auto c : map.counts()) {
+    total += c;
+    m.min_kp = std::min(m.min_kp, c);
+    m.max_kp = std::max(m.max_kp, c);
+    const std::uint32_t top = std::min(c, k_max);
+    for (std::uint32_t j = 0; j <= top; ++j) ++at_least[j];
+  }
+  for (std::uint32_t j = 0; j <= k_max; ++j) {
+    m.fraction_at_least[j] = static_cast<double>(at_least[j]) /
+                             static_cast<double>(m.num_points);
+  }
+  m.mean_kp = static_cast<double>(total) / static_cast<double>(m.num_points);
+  return m;
+}
+
+std::string summarize(const CoverageMetrics& m, std::uint32_t k) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
+  os << "points=" << m.num_points << " mean_kp=" << std::setprecision(2)
+     << m.mean_kp << std::setprecision(1);
+  os << " >=1:" << m.at_least(1) * 100.0 << '%';
+  if (k > 1) os << " >=" << k << ":" << m.at_least(k) * 100.0 << '%';
+  return os.str();
+}
+
+std::string ascii_field(const CoverageMap& map, std::uint32_t k,
+                        std::size_t cols, std::size_t rows) {
+  DECOR_REQUIRE(cols > 0 && rows > 0);
+  const auto& bounds = map.index().bounds();
+  // For each character cell, show the worst deficit among the points that
+  // fall inside it; '.' means fully k-covered, ' ' means no point there.
+  std::vector<std::vector<int>> worst(rows, std::vector<int>(cols, -1));
+  const auto& pts = map.index().points();
+  for (std::size_t id = 0; id < pts.size(); ++id) {
+    const auto cx = static_cast<std::size_t>(std::min(
+        (pts[id].x - bounds.x0) / bounds.width() * static_cast<double>(cols),
+        static_cast<double>(cols - 1)));
+    const auto cy = static_cast<std::size_t>(std::min(
+        (pts[id].y - bounds.y0) / bounds.height() * static_cast<double>(rows),
+        static_cast<double>(rows - 1)));
+    const int deficit =
+        map.kp(id) >= k ? 0 : static_cast<int>(k - map.kp(id));
+    worst[cy][cx] = std::max(worst[cy][cx], deficit);
+  }
+  std::ostringstream os;
+  for (std::size_t r = rows; r-- > 0;) {  // y grows upward
+    for (std::size_t c = 0; c < cols; ++c) {
+      const int w = worst[r][c];
+      if (w < 0) {
+        os << ' ';
+      } else if (w == 0) {
+        os << '.';
+      } else {
+        os << std::min(w, 9);
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace decor::coverage

@@ -1,0 +1,38 @@
+// Coverage metrics reported by the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+
+namespace decor::coverage {
+
+/// Snapshot of the coverage state used by every figure harness.
+struct CoverageMetrics {
+  std::size_t num_points = 0;
+  /// fraction_at_least[j] = fraction of points with k_p >= j, for j in
+  /// [0, k_max]; element 0 is always 1.
+  std::vector<double> fraction_at_least;
+  double mean_kp = 0.0;
+  std::uint32_t min_kp = 0;
+  std::uint32_t max_kp = 0;
+
+  /// Fraction of points with k_p >= k (0 when k beyond the computed range).
+  double at_least(std::uint32_t k) const noexcept;
+};
+
+/// Computes metrics up to coverage level `k_max`.
+CoverageMetrics compute_metrics(const CoverageMap& map, std::uint32_t k_max);
+
+/// Renders a compact one-line summary ("N=2000 mean_kp=3.2 >=1:100% >=3:97%").
+std::string summarize(const CoverageMetrics& m, std::uint32_t k);
+
+/// ASCII-art rendering of the field (rows x cols characters): '.' for
+/// k-covered regions, digits for the local deficit; used by the example
+/// binaries and by Figure 4-6 style output.
+std::string ascii_field(const CoverageMap& map, std::uint32_t k,
+                        std::size_t cols = 50, std::size_t rows = 25);
+
+}  // namespace decor::coverage

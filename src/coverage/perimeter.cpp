@@ -1,0 +1,207 @@
+#include "coverage/perimeter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <vector>
+
+#include "common/require.hpp"
+#include "geometry/point.hpp"
+
+namespace decor::coverage {
+
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// Angular interval [begin, end) on a circle, already normalized to
+/// non-wrapping pieces within [0, tau].
+struct Arc {
+  double begin;
+  double end;
+};
+
+void push_normalized(std::vector<Arc>& out, double a, double b) {
+  // Normalize a into [0, tau), keep span b - a <= tau.
+  const double span = b - a;
+  a = std::fmod(a, kTau);
+  if (a < 0) a += kTau;
+  b = a + span;
+  if (b <= kTau) {
+    if (span > 0) out.push_back({a, b});
+  } else {
+    out.push_back({a, kTau});
+    out.push_back({0.0, b - kTau});
+  }
+}
+
+enum class Kind { kAll, kNone, kPartial };
+
+/// Angles where cos(theta) >= u  ->  [-beta, beta].
+Kind cos_at_least(double u, std::vector<Arc>& out) {
+  if (u <= -1.0) return Kind::kAll;
+  if (u > 1.0) return Kind::kNone;
+  const double beta = std::acos(u);
+  push_normalized(out, -beta, beta);
+  return Kind::kPartial;
+}
+
+/// Angles where cos(theta) <= u  ->  [beta, tau - beta].
+Kind cos_at_most(double u, std::vector<Arc>& out) {
+  if (u >= 1.0) return Kind::kAll;
+  if (u < -1.0) return Kind::kNone;
+  const double beta = std::acos(u);
+  push_normalized(out, beta, kTau - beta);
+  return Kind::kPartial;
+}
+
+/// Angles where sin(theta) >= v  ->  [asin(v), pi - asin(v)].
+Kind sin_at_least(double v, std::vector<Arc>& out) {
+  if (v <= -1.0) return Kind::kAll;
+  if (v > 1.0) return Kind::kNone;
+  const double a = std::asin(v);
+  push_normalized(out, a, std::numbers::pi - a);
+  return Kind::kPartial;
+}
+
+/// Angles where sin(theta) <= v  ->  [pi - asin(v), tau + asin(v)].
+Kind sin_at_most(double v, std::vector<Arc>& out) {
+  if (v >= 1.0) return Kind::kAll;
+  if (v < -1.0) return Kind::kNone;
+  const double a = std::asin(v);
+  push_normalized(out, std::numbers::pi - a, kTau + a);
+  return Kind::kPartial;
+}
+
+/// Segment of s's perimeter covered by the disc (ct, rt); returns kAll /
+/// kNone or appends the partial arc.
+Kind covered_by(geom::Point2 c, double r, geom::Point2 ct, double rt,
+                std::vector<Arc>& out) {
+  const double d = geom::distance(c, ct);
+  if (d + r <= rt) return Kind::kAll;       // perimeter inside t's disc
+  if (d >= r + rt) return Kind::kNone;      // too far
+  if (d + rt <= r) return Kind::kNone;      // t entirely inside, no touch
+  const double cos_alpha =
+      (d * d + r * r - rt * rt) / (2.0 * d * r);
+  const double alpha = std::acos(std::clamp(cos_alpha, -1.0, 1.0));
+  const double phi = std::atan2(ct.y - c.y, ct.x - c.x);
+  push_normalized(out, phi - alpha, phi + alpha);
+  return Kind::kPartial;
+}
+
+struct Event {
+  double angle;
+  int gate_delta;
+  int cover_delta;
+};
+
+}  // namespace
+
+std::uint32_t min_area_coverage(const SensorSet& sensors,
+                                const geom::Rect& field, double default_rs) {
+  DECOR_REQUIRE_MSG(default_rs > 0.0, "default rs must be positive");
+
+  double max_rs = default_rs;
+  for (const auto& s : sensors.all()) {
+    if (s.alive && s.rs > max_rs) max_rs = s.rs;
+  }
+
+  auto radius_of = [&](const Sensor& s) {
+    return s.rs > 0.0 ? s.rs : default_rs;
+  };
+
+  bool any_segment = false;
+  std::uint32_t global_min = std::numeric_limits<std::uint32_t>::max();
+
+  for (const auto& s : sensors.all()) {
+    if (!s.alive) continue;
+    const double r = radius_of(s);
+    const geom::Point2 c = s.pos;
+
+    // Field gates: the four half-planes whose intersection is the field.
+    std::vector<Arc> gate_arcs;
+    int active_gates = 0;  // number of partial gates to satisfy
+    bool outside = false;
+    auto add_gate = [&](Kind kind) {
+      if (kind == Kind::kNone) outside = true;
+      if (kind == Kind::kPartial) ++active_gates;
+    };
+    add_gate(cos_at_least((field.x0 - c.x) / r, gate_arcs));   // x >= x0
+    add_gate(cos_at_most((field.x1 - c.x) / r, gate_arcs));    // x <= x1
+    add_gate(sin_at_least((field.y0 - c.y) / r, gate_arcs));   // y >= y0
+    add_gate(sin_at_most((field.y1 - c.y) / r, gate_arcs));    // y <= y1
+    if (outside) continue;  // perimeter never enters the field
+
+    // Coverage by every other sensor that can reach the perimeter.
+    std::vector<Arc> cover_arcs;
+    std::uint32_t always_covered = 0;
+    sensors.index().for_each_in_disc(
+        c, r + max_rs, [&](std::uint32_t tid, geom::Point2 tpos) {
+          if (tid == s.id) return;
+          const double rt = radius_of(sensors.sensor(tid));
+          if (covered_by(c, r, tpos, rt, cover_arcs) == Kind::kAll) {
+            ++always_covered;
+          }
+        });
+
+    // Sweep the circle: coverage count over gated segments.
+    std::vector<Event> events;
+    events.reserve(2 * (gate_arcs.size() + cover_arcs.size()));
+    for (const auto& a : gate_arcs) {
+      events.push_back({a.begin, +1, 0});
+      events.push_back({a.end, -1, 0});
+    }
+    for (const auto& a : cover_arcs) {
+      events.push_back({a.begin, 0, +1});
+      events.push_back({a.end, 0, -1});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                return a.angle < b.angle;
+              });
+
+    int gates = 0;
+    int covers = 0;
+    std::size_t i = 0;
+    double cursor = 0.0;
+    auto consider = [&](double upto) {
+      if (upto - cursor > 1e-12 && gates == active_gates) {
+        any_segment = true;
+        global_min = std::min(
+            global_min,
+            always_covered + static_cast<std::uint32_t>(covers));
+      }
+      cursor = upto;
+    };
+    while (i < events.size()) {
+      const double angle = events[i].angle;
+      consider(angle);
+      while (i < events.size() && events[i].angle == angle) {
+        gates += events[i].gate_delta;
+        covers += events[i].cover_delta;
+        ++i;
+      }
+    }
+    consider(kTau);
+  }
+
+  if (!any_segment) {
+    // No perimeter intersects the field interior: coverage is constant.
+    std::uint32_t n = 0;
+    const geom::Point2 center = field.center();
+    for (const auto& s : sensors.all()) {
+      if (s.alive && geom::within(center, s.pos, radius_of(s))) ++n;
+    }
+    return n;
+  }
+  return global_min;
+}
+
+bool is_area_k_covered(const SensorSet& sensors, const geom::Rect& field,
+                       std::uint32_t k, double default_rs) {
+  if (k == 0) return true;
+  return min_area_coverage(sensors, field, default_rs) >= k;
+}
+
+}  // namespace decor::coverage

@@ -1,0 +1,38 @@
+// Exact k-coverage decision via perimeter coverage (Huang & Tseng, the
+// paper's reference [8]).
+//
+// The coverage level over the field is piecewise constant, changing only
+// across sensing-circle arcs, and the field is connected — so the global
+// minimum is attained in a region bounded from inside by some sensor's
+// perimeter. Sweeping every sensor's perimeter (restricted to the part
+// inside the field) and recording how many *other* sensors cover each
+// angular segment therefore yields the exact minimum coverage level of
+// the whole continuous area, with no sampling error:
+//
+//   min over the area = min over sensors s, over angular segments of s's
+//   perimeter inside the field, of |{t != s covering the segment}|,
+//
+// unless no perimeter intersects the field interior at all, in which
+// case coverage is constant and equals the number of discs containing
+// the field's center. This complements the grid/Monte-Carlo estimators
+// in area_estimate.hpp: those measure the covered fraction, this one
+// decides full k-coverage exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "coverage/sensor.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::coverage {
+
+/// Exact minimum coverage level over the (open) field area. Sensors with
+/// rs == 0 use `default_rs`.
+std::uint32_t min_area_coverage(const SensorSet& sensors,
+                                const geom::Rect& field, double default_rs);
+
+/// True iff every interior point of `field` is covered by >= k sensors.
+bool is_area_k_covered(const SensorSet& sensors, const geom::Rect& field,
+                       std::uint32_t k, double default_rs);
+
+}  // namespace decor::coverage

@@ -1,0 +1,34 @@
+#include "coverage/redundancy.hpp"
+
+namespace decor::coverage {
+
+RedundancyReport find_redundant(const CoverageMap& map,
+                                const SensorSet& sensors, std::uint32_t k) {
+  RedundancyReport report;
+  report.alive_nodes = sensors.alive_count();
+
+  // Scratch copy: counts after the removals accepted so far.
+  std::vector<std::uint32_t> counts = map.counts();
+  const auto& index = map.index();
+
+  for (const auto& s : sensors.all()) {
+    if (!s.alive) continue;
+    // Heterogeneous deployments carry per-sensor radii; 0 falls back to
+    // the map's network-wide rs.
+    const double rs = s.rs > 0.0 ? s.rs : map.rs();
+    // Removable iff every point it covers stays at >= k afterwards, i.e.
+    // currently has k_p > k. A point at exactly k (or below) depends on
+    // this sensor for its current coverage level.
+    bool removable = true;
+    index.for_each_in_disc(s.pos, rs, [&](std::size_t id) {
+      if (counts[id] <= k) removable = false;
+    });
+    if (!removable) continue;
+    index.for_each_in_disc(s.pos, rs,
+                           [&](std::size_t id) { --counts[id]; });
+    report.redundant_ids.push_back(s.id);
+  }
+  return report;
+}
+
+}  // namespace decor::coverage

@@ -1,0 +1,40 @@
+// Redundant-node identification (Section 4 metric).
+//
+// A node is redundant when removing it leaves the point set k-covered; the
+// paper counts redundant nodes at the end of each deployment as the measure
+// of wasted resources. Redundancy is order-dependent (removing one node may
+// make another essential), so — like the paper — we report the size of a
+// greedily-constructed removable set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/sensor.hpp"
+
+namespace decor::coverage {
+
+struct RedundancyReport {
+  /// IDs of nodes that can be removed (in scan order) while preserving
+  /// k-coverage of every point that was k-covered to begin with.
+  std::vector<std::uint32_t> redundant_ids;
+  std::size_t alive_nodes = 0;
+
+  double fraction() const noexcept {
+    return alive_nodes == 0
+               ? 0.0
+               : static_cast<double>(redundant_ids.size()) /
+                     static_cast<double>(alive_nodes);
+  }
+};
+
+/// Scans alive sensors in id order; a sensor is removable when every point
+/// within rs of it either has k_p > k or was not k-covered anyway (k_p <= k
+/// but the sensor's removal cannot break a guarantee that does not hold).
+/// Removals are applied to a scratch copy of the counts so later decisions
+/// see earlier removals. The input map is not modified.
+RedundancyReport find_redundant(const CoverageMap& map,
+                                const SensorSet& sensors, std::uint32_t k);
+
+}  // namespace decor::coverage

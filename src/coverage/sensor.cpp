@@ -1,0 +1,51 @@
+#include "coverage/sensor.hpp"
+
+#include "common/require.hpp"
+
+namespace decor::coverage {
+
+SensorSet::SensorSet(const geom::Rect& bounds, double index_cell,
+                     double default_rs)
+    : bounds_(bounds), default_rs_(default_rs), index_(bounds, index_cell) {}
+
+std::uint32_t SensorSet::add(geom::Point2 pos) {
+  return add(pos, default_rs_);
+}
+
+std::uint32_t SensorSet::add(geom::Point2 pos, double rs) {
+  const auto id = static_cast<std::uint32_t>(sensors_.size());
+  sensors_.push_back(Sensor{id, pos, true, rs});
+  index_.insert(id, pos);
+  ++alive_count_;
+  return id;
+}
+
+void SensorSet::kill(std::uint32_t id) {
+  DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
+  if (!sensors_[id].alive) return;
+  sensors_[id].alive = false;
+  index_.remove(id);
+  --alive_count_;
+}
+
+const Sensor& SensorSet::sensor(std::uint32_t id) const {
+  DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
+  return sensors_[id];
+}
+
+bool SensorSet::alive(std::uint32_t id) const { return sensor(id).alive; }
+
+geom::Point2 SensorSet::position(std::uint32_t id) const {
+  return sensor(id).pos;
+}
+
+std::vector<std::uint32_t> SensorSet::alive_ids() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(alive_count_);
+  for (const auto& s : sensors_) {
+    if (s.alive) out.push_back(s.id);
+  }
+  return out;
+}
+
+}  // namespace decor::coverage

@@ -1,0 +1,103 @@
+#include "decor/centralized.hpp"
+
+#include <queue>
+
+namespace decor::core {
+
+namespace {
+
+/// Max-heap entry: larger benefit first, then smaller point id (matching
+/// the reference scan, which takes the first maximum in id order).
+struct Candidate {
+  std::uint64_t benefit;
+  std::size_t point;
+};
+struct Worse {
+  bool operator()(const Candidate& a, const Candidate& b) const noexcept {
+    if (a.benefit != b.benefit) return a.benefit < b.benefit;
+    return a.point > b.point;
+  }
+};
+
+}  // namespace
+
+DeploymentResult centralized_greedy(Field& field, EngineLimits limits) {
+  const std::uint32_t k = field.params.k;
+  auto& map = field.map;
+
+  DeploymentResult result;
+  result.initial_nodes = field.sensors.alive_count();
+  result.rounds = 1;
+
+  // Seed the queue with every currently-uncovered point. Coverage only
+  // grows during the run, so no new candidates ever appear and covered
+  // points can be dropped for good.
+  std::priority_queue<Candidate, std::vector<Candidate>, Worse> queue;
+  for (std::size_t id : map.uncovered_points(k)) {
+    queue.push({map.benefit(map.index().point(id), k), id});
+  }
+
+  while (result.placed_nodes < limits.max_new_nodes && !queue.empty()) {
+    const Candidate top = queue.top();
+    queue.pop();
+    if (map.kp(top.point) >= k) continue;  // covered since queued: drop
+    const geom::Point2 pos = map.index().point(top.point);
+    const std::uint64_t fresh = map.benefit(pos, k);
+    if (fresh != top.benefit) {
+      // Stale: re-queue with the current value; since benefits only
+      // decrease, anything that survives to the top fresh is the argmax.
+      queue.push({fresh, top.point});
+      continue;
+    }
+    field.deploy(pos);
+    ++result.placed_nodes;
+    result.placements.push_back(pos);
+    if (limits.on_place) limits.on_place(result.placed_nodes, map);
+    // The selected point may still need more coverage (k > 1).
+    if (map.kp(top.point) < k) {
+      queue.push({map.benefit(pos, k), top.point});
+    }
+  }
+  result.reached_full_coverage = map.fully_covered(k);
+  return result;
+}
+
+DeploymentResult centralized_greedy_reference(Field& field,
+                                              EngineLimits limits) {
+  const std::uint32_t k = field.params.k;
+  auto& map = field.map;
+
+  DeploymentResult result;
+  result.initial_nodes = field.sensors.alive_count();
+  result.rounds = 1;
+
+  while (result.placed_nodes < limits.max_new_nodes) {
+    // Candidates are exactly the uncovered approximation points
+    // (Algorithm 1 places new sensors *at* points of the set).
+    const auto candidates = map.uncovered_points(k);
+    if (candidates.empty()) {
+      result.reached_full_coverage = true;
+      break;
+    }
+    std::uint64_t best_benefit = 0;
+    std::size_t best_point = candidates.front();
+    for (std::size_t id : candidates) {
+      const std::uint64_t b = map.benefit(map.index().point(id), k);
+      if (b > best_benefit) {
+        best_benefit = b;
+        best_point = id;
+      }
+    }
+    const geom::Point2 pos = map.index().point(best_point);
+    field.deploy(pos);
+    ++result.placed_nodes;
+    result.placements.push_back(pos);
+    if (limits.on_place) limits.on_place(result.placed_nodes, map);
+  }
+  if (!result.reached_full_coverage && map.fully_covered(k)) {
+    result.reached_full_coverage = true;
+  }
+  return result;
+}
+
+}  // namespace decor::core

@@ -1,0 +1,61 @@
+// Deployment engine interface types.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/sensor.hpp"
+#include "geometry/point.hpp"
+
+namespace decor::core {
+
+/// Budget and instrumentation for one engine run.
+struct EngineLimits {
+  /// Hard cap on new sensors; engines stop (without full coverage) when
+  /// they hit it.
+  std::size_t max_new_nodes = std::numeric_limits<std::size_t>::max();
+
+  /// Invoked after every placement with the number placed so far; figure
+  /// harnesses sample coverage curves through this.
+  std::function<void(std::size_t placed, const coverage::CoverageMap&)>
+      on_place;
+};
+
+/// Outcome of one deployment / restoration run.
+struct DeploymentResult {
+  /// Alive sensors before the engine ran.
+  std::size_t initial_nodes = 0;
+  /// Sensors the engine deployed.
+  std::size_t placed_nodes = 0;
+  /// True when every point reached k coverage within the budget.
+  bool reached_full_coverage = false;
+
+  /// Protocol messages attributable to the deployment (placement
+  /// notifications, election bids, seeding requests). Zero for the
+  /// centralized and random baselines.
+  std::uint64_t messages = 0;
+
+  /// Normalization denominators for the message-overhead metric: cells is
+  /// the number of grid cells (grid scheme) or alive nodes (Voronoi).
+  std::size_t cells = 1;
+
+  /// Concurrent rounds the distributed engines took (1 for baselines).
+  std::size_t rounds = 0;
+
+  /// Positions deployed, in placement order.
+  std::vector<geom::Point2> placements;
+
+  std::size_t total_nodes() const noexcept {
+    return initial_nodes + placed_nodes;
+  }
+  double messages_per_cell() const noexcept {
+    return cells == 0 ? 0.0
+                      : static_cast<double>(messages) /
+                            static_cast<double>(cells);
+  }
+};
+
+}  // namespace decor::core

@@ -1,0 +1,54 @@
+#include "decor/engines.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace decor::core {
+
+DeploymentResult run_engine(Scheme scheme, Field& field, common::Rng& rng,
+                            EngineLimits limits) {
+  switch (scheme) {
+    case Scheme::kCentralized:
+      return centralized_greedy(field, std::move(limits));
+    case Scheme::kRandom:
+      return random_placement(field, rng, std::move(limits));
+    case Scheme::kGrid:
+      return grid_decor(field, rng, std::move(limits));
+    case Scheme::kVoronoi:
+      return voronoi_decor(field, rng, std::move(limits));
+  }
+  DECOR_REQUIRE_MSG(false, "unknown scheme");
+  return {};
+}
+
+std::vector<NamedConfig> decor_configs(const DecorParams& base) {
+  std::vector<NamedConfig> out;
+
+  DecorParams grid_small = base;
+  grid_small.cell_side = 5.0;
+  out.push_back({"grid-small-cell", Scheme::kGrid, grid_small});
+
+  DecorParams grid_big = base;
+  grid_big.cell_side = 10.0;
+  out.push_back({"grid-big-cell", Scheme::kGrid, grid_big});
+
+  DecorParams vor_small = base;
+  vor_small.rc = 2.0 * base.rs;  // rc = 8 in the paper's setup
+  out.push_back({"voronoi-small-rc", Scheme::kVoronoi, vor_small});
+
+  DecorParams vor_big = base;
+  vor_big.rc = 10.0 * std::sqrt(2.0);  // max inter-leader distance, 5x5 grid
+  out.push_back({"voronoi-big-rc", Scheme::kVoronoi, vor_big});
+
+  return out;
+}
+
+std::vector<NamedConfig> paper_configs(const DecorParams& base) {
+  auto out = decor_configs(base);
+  out.push_back({"centralized", Scheme::kCentralized, base});
+  out.push_back({"random", Scheme::kRandom, base});
+  return out;
+}
+
+}  // namespace decor::core

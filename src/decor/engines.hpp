@@ -1,0 +1,30 @@
+// Engine dispatch and the paper's named experiment configurations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "decor/centralized.hpp"
+#include "decor/deployment.hpp"
+#include "decor/grid_engine.hpp"
+#include "decor/params.hpp"
+#include "decor/random_placement.hpp"
+#include "decor/voronoi_engine.hpp"
+
+namespace decor::core {
+
+/// Runs the engine selected by `scheme` on `field`.
+DeploymentResult run_engine(Scheme scheme, Field& field, common::Rng& rng,
+                            EngineLimits limits = {});
+
+/// The six configurations of Section 4, in the order the figures list
+/// them: Grid small cell (5x5), Grid big cell (10x10), Voronoi small rc
+/// (8), Voronoi big rc (10*sqrt(2)), Centralized, Random. `base` supplies
+/// everything except scheme-specific cell_side / rc.
+std::vector<NamedConfig> paper_configs(const DecorParams& base);
+
+/// The four DECOR variants only (Figure 10 has no baselines).
+std::vector<NamedConfig> decor_configs(const DecorParams& base);
+
+}  // namespace decor::core

@@ -1,0 +1,34 @@
+// Grid-based DECOR (Section 3, grid scheme).
+//
+// The field is partitioned into fixed square cells, each run by an elected
+// leader. A leader only knows (a) the sensors inside its own cell — the
+// paper assumes intra-cell connectivity — and (b) the new placements that
+// neighboring leaders notify it about when a deployed disc crosses the
+// boundary. Every leader runs Algorithm 1 on its own cell's approximation
+// points concurrently with all others; this engine emulates that
+// concurrency with synchronous rounds: all leaders decide on the
+// round-start knowledge, then all placements and notifications apply at
+// once. Cross-boundary races and coverage hidden in neighboring cells are
+// exactly what produces the redundant nodes the paper measures.
+//
+// Cells that contain points but no sensor are seeded by an adjacent
+// leader ("the leader of a neighboring cell will place a new leader in the
+// uncovered cell"); a fully sensor-less field falls back to seeding the
+// worst cell directly (the paper's regular-positioning fallback).
+//
+// Message accounting (Figure 10): one election bid per member plus one
+// leader announcement per occupied cell, one notification per affected
+// neighboring leader per placement, one message per seeding directive, and
+// one neighbor-state query per adjacent leader when a seeded leader boots.
+#pragma once
+
+#include "common/rng.hpp"
+#include "decor/deployment.hpp"
+#include "decor/point_field.hpp"
+
+namespace decor::core {
+
+DeploymentResult grid_decor(Field& field, common::Rng& rng,
+                            EngineLimits limits = {});
+
+}  // namespace decor::core

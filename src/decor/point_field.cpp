@@ -1,0 +1,71 @@
+#include "decor/point_field.hpp"
+
+#include "common/require.hpp"
+#include "lds/halton.hpp"
+#include "lds/hammersley.hpp"
+#include "lds/random_points.hpp"
+
+namespace decor::core {
+
+std::vector<geom::Point2> make_points(const DecorParams& params,
+                                      common::Rng& rng) {
+  switch (params.point_kind) {
+    case PointKind::kHalton:
+      return lds::halton_points(params.field, params.num_points,
+                                params.scramble_seed);
+    case PointKind::kHammersley:
+      return lds::hammersley_points(params.field, params.num_points, 2,
+                                    params.scramble_seed);
+    case PointKind::kRandom:
+      return lds::random_points(params.field, params.num_points, rng);
+    case PointKind::kJittered:
+      return lds::jittered_points(params.field, params.num_points, rng);
+  }
+  DECOR_REQUIRE_MSG(false, "unknown point kind");
+  return {};
+}
+
+Field::Field(const DecorParams& p, common::Rng& rng)
+    : params(p),
+      map(p.field, make_points(p, rng), p.rs),
+      sensors(p.field, p.rs, p.rs) {
+  DECOR_REQUIRE_MSG(p.rs <= p.rc, "the paper's model requires rs <= rc");
+  DECOR_REQUIRE_MSG(p.k >= 1, "coverage requirement must be >= 1");
+}
+
+void Field::deploy_random(std::size_t n, common::Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    deploy(lds::random_point(params.field, rng));
+  }
+}
+
+void Field::deploy_random_heterogeneous(std::size_t n, double rs_min,
+                                        double rs_max, common::Rng& rng) {
+  DECOR_REQUIRE_MSG(0.0 < rs_min && rs_min <= rs_max,
+                    "invalid heterogeneous radius range");
+  for (std::size_t i = 0; i < n; ++i) {
+    deploy(lds::random_point(params.field, rng),
+           rng.uniform(rs_min, rs_max));
+  }
+}
+
+std::uint32_t Field::deploy(geom::Point2 pos) {
+  return deploy(pos, params.rs);
+}
+
+std::uint32_t Field::deploy(geom::Point2 pos, double rs) {
+  const auto id = sensors.add(pos, rs);
+  map.add_disc(pos, rs);
+  return id;
+}
+
+void Field::fail(std::uint32_t id) {
+  if (!sensors.alive(id)) return;
+  const auto& s = sensors.sensor(id);
+  const auto pos = s.pos;
+  const double rs = s.rs > 0.0 ? s.rs : params.rs;
+  sensors.kill(id);
+  map.remove_disc(pos, rs);
+}
+
+}  // namespace decor::core

@@ -1,0 +1,46 @@
+// Field construction: approximation points + initial sensor deployment.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "coverage/coverage_map.hpp"
+#include "coverage/sensor.hpp"
+#include "decor/params.hpp"
+
+namespace decor::core {
+
+/// The mutable experiment state shared by all engines: the ground-truth
+/// coverage map over the approximation points and the deployed sensors.
+struct Field {
+  Field(const DecorParams& params, common::Rng& rng);
+
+  /// Deploys `n` sensors uniformly at random (the paper's initial
+  /// deployment of "up to 200 nodes").
+  void deploy_random(std::size_t n, common::Rng& rng);
+
+  /// Deploys `n` random sensors with sensing radii drawn uniformly from
+  /// [rs_min, rs_max] — a heterogeneous initial network (Section 2).
+  void deploy_random_heterogeneous(std::size_t n, double rs_min,
+                                   double rs_max, common::Rng& rng);
+
+  /// Deploys one sensor at `pos` with the network-wide rs. Returns its id.
+  std::uint32_t deploy(geom::Point2 pos);
+
+  /// Deploys one sensor with an explicit sensing radius.
+  std::uint32_t deploy(geom::Point2 pos, double rs);
+
+  /// Kills sensor `id` and removes its coverage contribution (using the
+  /// radius it was deployed with).
+  void fail(std::uint32_t id);
+
+  DecorParams params;
+  coverage::CoverageMap map;
+  coverage::SensorSet sensors;
+};
+
+/// Generates the approximation point set for `params` (Halton by default).
+std::vector<geom::Point2> make_points(const DecorParams& params,
+                                      common::Rng& rng);
+
+}  // namespace decor::core

@@ -1,0 +1,34 @@
+#include "decor/random_placement.hpp"
+
+#include "lds/random_points.hpp"
+
+namespace decor::core {
+
+DeploymentResult random_placement(Field& field, common::Rng& rng,
+                                  EngineLimits limits) {
+  const std::uint32_t k = field.params.k;
+  auto& map = field.map;
+
+  DeploymentResult result;
+  result.initial_nodes = field.sensors.alive_count();
+  result.rounds = 1;
+
+  // Track the number of uncovered points incrementally: a full
+  // fully_covered() scan per dart would make the long tail quadratic.
+  std::size_t uncovered = map.uncovered_points(k).size();
+  while (uncovered > 0 && result.placed_nodes < limits.max_new_nodes) {
+    const geom::Point2 pos = lds::random_point(field.params.field, rng);
+    // Count how many previously-uncovered points this dart fixes.
+    map.index().for_each_in_disc(pos, field.params.rs, [&](std::size_t id) {
+      if (map.kp(id) + 1 == k) --uncovered;
+    });
+    field.deploy(pos);
+    ++result.placed_nodes;
+    result.placements.push_back(pos);
+    if (limits.on_place) limits.on_place(result.placed_nodes, map);
+  }
+  result.reached_full_coverage = (uncovered == 0);
+  return result;
+}
+
+}  // namespace decor::core

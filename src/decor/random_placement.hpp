@@ -1,0 +1,21 @@
+// Random placement baseline (Section 4).
+//
+// Sensors are dropped at uniformly random positions until every point is
+// k-covered (or the budget runs out). The paper uses it as the
+// no-intelligence lower bound; it needs roughly 4x the nodes of any other
+// method and produces the most redundancy.
+#pragma once
+
+#include "common/rng.hpp"
+#include "decor/deployment.hpp"
+#include "decor/point_field.hpp"
+
+namespace decor::core {
+
+/// Default budget guard: random placement's tail is long (the last
+/// uncovered point waits for a lucky dart), so harnesses pass an explicit
+/// cap through EngineLimits when they need a bound.
+DeploymentResult random_placement(Field& field, common::Rng& rng,
+                                  EngineLimits limits = {});
+
+}  // namespace decor::core

@@ -1,0 +1,70 @@
+#include "decor/restoration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decor::core {
+
+DeploymentResult deploy_full(Scheme scheme, Field& field, common::Rng& rng,
+                             EngineLimits limits) {
+  return run_engine(scheme, field, rng, std::move(limits));
+}
+
+std::vector<std::uint32_t> fail_random_fraction(Field& field, double fraction,
+                                                common::Rng& rng) {
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  auto alive = field.sensors.alive_ids();
+  const auto count = static_cast<std::size_t>(
+      std::llround(f * static_cast<double>(alive.size())));
+  const auto picks = rng.sample_indices(alive.size(), count);
+  std::vector<std::uint32_t> killed;
+  killed.reserve(count);
+  for (std::size_t idx : picks) {
+    field.fail(alive[idx]);
+    killed.push_back(alive[idx]);
+  }
+  return killed;
+}
+
+std::vector<std::uint32_t> fail_area(Field& field, const geom::Disc& area) {
+  std::vector<std::uint32_t> killed;
+  for (const auto& s : field.sensors.all()) {
+    if (s.alive && area.contains(s.pos)) killed.push_back(s.id);
+  }
+  for (std::uint32_t id : killed) field.fail(id);
+  return killed;
+}
+
+double max_tolerable_failure_fraction(const Field& field, double min_coverage,
+                                      common::Rng& rng) {
+  Field scratch = field;  // counts + sensor records copy; the point index
+                          // is shared and immutable
+  auto alive = scratch.sensors.alive_ids();
+  if (alive.empty()) return 0.0;
+  rng.shuffle(alive);
+  const auto total = static_cast<double>(alive.size());
+  // 1-coverage only decreases as nodes die, so the first crossing is the
+  // answer.
+  std::size_t killed = 0;
+  for (std::uint32_t id : alive) {
+    scratch.fail(id);
+    ++killed;
+    if (scratch.map.fraction_covered(1) < min_coverage) {
+      return static_cast<double>(killed - 1) / total;
+    }
+  }
+  return 1.0;
+}
+
+RestorationOutcome restore_after_area_failure(Scheme scheme, Field& field,
+                                              const geom::Disc& area,
+                                              common::Rng& rng,
+                                              EngineLimits limits) {
+  RestorationOutcome out;
+  out.failed = fail_area(field, area);
+  out.post_failure = coverage::compute_metrics(field.map, field.params.k + 1);
+  out.restoration = run_engine(scheme, field, rng, std::move(limits));
+  return out;
+}
+
+}  // namespace decor::core

@@ -1,0 +1,53 @@
+// Restoration pipelines: deploy -> fail -> measure -> restore.
+//
+// These helpers implement the experiment skeletons of Section 4.2: random
+// node failures after full deployment (Figures 11, 12) and disc-shaped
+// area failures (Figures 6, 13, 14), where the same engine that deployed
+// the network is re-run on the damaged state to restore k-coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "coverage/metrics.hpp"
+#include "decor/deployment.hpp"
+#include "decor/engines.hpp"
+#include "decor/point_field.hpp"
+#include "geometry/disc.hpp"
+
+namespace decor::core {
+
+/// Deploys `field` to full k-coverage with `scheme` (initial random nodes
+/// should already be on the field). Returns the engine result.
+DeploymentResult deploy_full(Scheme scheme, Field& field, common::Rng& rng,
+                             EngineLimits limits = {});
+
+/// Kills a uniformly random `fraction` of the alive sensors; returns the
+/// killed ids.
+std::vector<std::uint32_t> fail_random_fraction(Field& field, double fraction,
+                                                common::Rng& rng);
+
+/// Kills every alive sensor inside `area`; returns the killed ids.
+std::vector<std::uint32_t> fail_area(Field& field, const geom::Disc& area);
+
+/// Kills random sensors one at a time (on a scratch copy) until the
+/// 1-coverage fraction drops below `min_coverage`; returns the largest
+/// tolerated failure fraction. The input field is not modified.
+double max_tolerable_failure_fraction(const Field& field, double min_coverage,
+                                      common::Rng& rng);
+
+/// End-to-end outcome of a failure + restoration experiment.
+struct RestorationOutcome {
+  std::vector<std::uint32_t> failed;
+  coverage::CoverageMetrics post_failure;
+  DeploymentResult restoration;
+};
+
+/// Applies an area failure then restores k-coverage with `scheme`.
+RestorationOutcome restore_after_area_failure(Scheme scheme, Field& field,
+                                              const geom::Disc& area,
+                                              common::Rng& rng,
+                                              EngineLimits limits = {});
+
+}  // namespace decor::core

@@ -1,0 +1,448 @@
+#include "decor/sim_runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/require.hpp"
+#include "decor/point_field.hpp"
+#include "net/leader_election.hpp"
+#include "net/messages.hpp"
+
+namespace decor::core {
+
+namespace {
+/// Exact-position keys: spawn positions are approximation-point
+/// coordinates copied bit-for-bit, so double equality is reliable here.
+struct PosKey {
+  double x, y;
+  bool operator==(const PosKey&) const = default;
+};
+struct PosKeyHash {
+  std::size_t operator()(const PosKey& k) const noexcept {
+    std::hash<double> h;
+    return h(k.x) * 1000003u ^ h(k.y);
+  }
+};
+}  // namespace
+
+struct GridSimHarness::Shared {
+  DecorParams params;
+  geom::GridPartition partition;
+  double rc_protocol = 0.0;
+  double placement_interval = 0.5;
+  double seed_check_interval = 5.0;
+  double silence_threshold = 5.0;
+  net::HeartbeatParams heartbeat;
+  net::ElectionParams election;
+  GridSimHarness* harness = nullptr;
+  const geom::PointGridIndex* points = nullptr;
+
+  // Per-cell point ids and the inverse maps (cell/slot of each point) —
+  // static field knowledge every node shares (the point set is generated
+  // deterministically, Section 3.2).
+  std::vector<std::vector<std::uint32_t>> cell_points;
+  std::vector<std::uint32_t> point_cell;
+  std::vector<std::uint32_t> point_slot;
+
+  Shared(const DecorParams& p, double rc, const SimRunConfig& cfg)
+      : params(p),
+        partition(p.field, p.cell_side),
+        rc_protocol(rc),
+        placement_interval(cfg.placement_interval),
+        seed_check_interval(cfg.seed_check_interval),
+        silence_threshold(cfg.heartbeat.period * cfg.heartbeat.timeout_periods +
+                          1.0),
+        heartbeat(cfg.heartbeat),
+        election(cfg.election) {}
+
+  void index_points(const geom::PointGridIndex& index) {
+    points = &index;
+    cell_points.assign(partition.num_cells(), {});
+    point_cell.resize(index.size());
+    point_slot.resize(index.size());
+    for (std::size_t id = 0; id < index.size(); ++id) {
+      const auto c =
+          static_cast<std::uint32_t>(partition.cell_of(index.point(id)));
+      point_cell[id] = c;
+      point_slot[id] =
+          static_cast<std::uint32_t>(cell_points[c].size());
+      cell_points[c].push_back(static_cast<std::uint32_t>(id));
+    }
+  }
+};
+
+namespace {
+
+class DecorGridSimNode final : public net::SensorNode {
+ public:
+  using Shared = GridSimHarness::Shared;
+
+  explicit DecorGridSimNode(std::shared_ptr<Shared> shared)
+      : net::SensorNode(make_node_params(*shared)), shared_(std::move(shared)) {}
+
+  void on_start() override {
+    cell_ = static_cast<std::uint32_t>(shared_->partition.cell_of(pos()));
+    net::SensorNode::on_start();
+    election_ = std::make_unique<net::LeaderElection>(*this, cell_,
+                                                      shared_->election);
+    election_->start(
+        [this](const net::ElectPayload& p) {
+          broadcast(sim::Message::make(id(), net::kElect, p,
+                                       net::wire_size(net::kElect)),
+                    params_.rc);
+        },
+        [this](const net::LeaderPayload& p) {
+          broadcast(sim::Message::make(id(), net::kLeader, p,
+                                       net::wire_size(net::kLeader)),
+                    params_.rc);
+        },
+        [this](std::uint32_t, bool is_self) {
+          if (is_self) became_leader();
+        });
+  }
+
+ protected:
+  std::uint32_t heartbeat_cell() const override { return cell_; }
+
+  void handle_message(const sim::Message& msg) override {
+    switch (msg.kind) {
+      case net::kHeartbeat:
+        note_cell(msg.as<net::HeartbeatPayload>().cell);
+        break;
+      case net::kElect: {
+        const auto& p = msg.as<net::ElectPayload>();
+        note_cell(p.cell);
+        election_->on_elect(msg.src, p);
+        break;
+      }
+      case net::kLeader: {
+        const auto& p = msg.as<net::LeaderPayload>();
+        note_cell(p.cell);
+        election_->on_leader_msg(msg.src, p);
+        break;
+      }
+      case net::kCoverageQuery: {
+        const auto& q = msg.as<net::CoverageQueryPayload>();
+        if (q.cell == cell_) break;  // own cell: nothing to replay
+        // Replay our placements whose discs reach the querier's cell so
+        // its new leader does not re-cover them.
+        const auto target = shared_->partition.rect_of(q.cell);
+        for (const auto& [key, count] : my_placements_) {
+          const geom::Point2 p{key.x, key.y};
+          if (!target.intersects_disc(p, shared_->params.rs)) continue;
+          for (std::uint32_t c = 0; c < count; ++c) {
+            unicast(msg.src,
+                    sim::Message::make(id(), net::kPlacement,
+                                       net::PlacementPayload{p, cell_},
+                                       net::wire_size(net::kPlacement)),
+                    params_.rc);
+          }
+        }
+        break;
+      }
+      case net::kPlacement: {
+        const auto& p = msg.as<net::PlacementPayload>();
+        note_cell(p.origin_cell);
+        if (p.origin_cell == cell_) break;  // in-cell nodes arrive via HELLO
+        // Remember cross-boundary deployments that can cover our points.
+        if (shared_->partition.rect_of(cell_).intersects_disc(
+                p.pos, shared_->params.rs)) {
+          ++notices_[PosKey{p.pos.x, p.pos.y}];
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void on_neighbor_failed(std::uint32_t /*id*/,
+                          geom::Point2 last_pos) override {
+    // A dead in-cell sensor may have opened a hole; the leader re-checks.
+    if (election_ && election_->is_leader() &&
+        shared_->partition.cell_of(last_pos) == cell_) {
+      ensure_loop();
+    }
+  }
+
+ private:
+  static net::SensorNodeParams make_node_params(const Shared& shared) {
+    net::SensorNodeParams p;
+    p.rc = shared.rc_protocol;
+    p.heartbeat = shared.heartbeat;
+    return p;
+  }
+
+  void note_cell(std::uint32_t cell) {
+    cell_last_heard_[cell] = world().sim().now();
+    // Hearing from a cell re-arms seeding: if the cell later dies again
+    // (a second disaster), it can be re-seeded.
+    seeded_cells_.erase(cell);
+  }
+
+  void became_leader() {
+    // A fresh leader may have missed earlier cross-boundary placements
+    // (it could have been deployed after they were announced): query the
+    // neighborhood once; established leaders replay what they placed
+    // into our area (Section 3.3's boundary-information exchange).
+    if (!queried_neighbors_) {
+      queried_neighbors_ = true;
+      broadcast(sim::Message::make(id(), net::kCoverageQuery,
+                                   net::CoverageQueryPayload{cell_},
+                                   net::wire_size(net::kCoverageQuery)),
+                params_.rc);
+    }
+    ensure_loop();
+    if (!seed_loop_active_) {
+      seed_loop_active_ = true;
+      // Random phase staggers the checks across leaders so a silent cell
+      // is usually seeded once: the first seeder's heartbeats reach the
+      // other candidates before their own checks fire.
+      const double phase =
+          world().rng().uniform(0.0, shared_->seed_check_interval);
+      set_timer(shared_->seed_check_interval + phase,
+                [this] { seed_check(); });
+    }
+  }
+
+  void ensure_loop() {
+    if (loop_active_) return;
+    loop_active_ = true;
+    set_timer(shared_->placement_interval, [this] { placement_tick(); });
+  }
+
+  /// The leader's belief of its cell's coverage, rebuilt from what it can
+  /// hear: itself, in-cell neighbors, its own not-yet-heard deployments
+  /// and the cross-boundary placement notices. Multiplicity matters —
+  /// k-coverage routinely stacks several sensors on the same point — so
+  /// contributors are counted per entity, never deduped by position.
+  std::vector<std::uint32_t> local_counts() const {
+    const auto& cell_pts = shared_->cell_points[cell_];
+    std::vector<std::uint32_t> counts(cell_pts.size(), 0);
+
+    std::vector<std::pair<geom::Point2, std::uint32_t>> contributors;
+    contributors.emplace_back(pos(), 1);
+
+    // In-cell neighbors, each a distinct device (table is keyed by id).
+    std::unordered_map<PosKey, std::uint32_t, PosKeyHash> heard_at;
+    for (const auto& [nid, entry] : table_.snapshot()) {
+      (void)nid;
+      if (shared_->partition.cell_of(entry.pos) != cell_) continue;
+      contributors.emplace_back(entry.pos, 1);
+      ++heard_at[PosKey{entry.pos.x, entry.pos.y}];
+    }
+    // Deployments of ours the table has not confirmed yet (their HELLO is
+    // still in flight): count the surplus over what we already hear.
+    for (const auto& [key, placed] : my_placements_) {
+      const auto it = heard_at.find(key);
+      const std::uint32_t heard = it == heard_at.end() ? 0 : it->second;
+      if (placed > heard) {
+        contributors.emplace_back(geom::Point2{key.x, key.y},
+                                  placed - heard);
+      }
+    }
+    // Cross-boundary notices: one per placement message, multiplicity
+    // preserved (out-of-cell nodes never appear in the in-cell set).
+    for (const auto& [key, n] : notices_) {
+      contributors.emplace_back(geom::Point2{key.x, key.y}, n);
+    }
+
+    for (const auto& [c, mult] : contributors) {
+      shared_->points->for_each_in_disc(
+          c, shared_->params.rs, [&](std::size_t pid) {
+            if (shared_->point_cell[pid] == cell_) {
+              counts[shared_->point_slot[pid]] += mult;
+            }
+          });
+    }
+    return counts;
+  }
+
+  void placement_tick() {
+    if (!election_ || !election_->is_leader()) {
+      loop_active_ = false;
+      return;
+    }
+    const auto counts = local_counts();
+    const auto& cell_pts = shared_->cell_points[cell_];
+    const std::uint32_t k = shared_->params.k;
+
+    // Max-benefit uncovered point of this cell (Algorithm 1).
+    std::uint64_t best_benefit = 0;
+    geom::Point2 best_pos{};
+    bool found = false;
+    for (std::size_t slot = 0; slot < cell_pts.size(); ++slot) {
+      if (counts[slot] >= k) continue;
+      const geom::Point2 candidate =
+          shared_->points->point(cell_pts[slot]);
+      std::uint64_t b = 0;
+      shared_->points->for_each_in_disc(
+          candidate, shared_->params.rs, [&](std::size_t pid) {
+            if (shared_->point_cell[pid] != cell_) return;
+            const std::uint32_t c = counts[shared_->point_slot[pid]];
+            if (c < k) b += k - c;
+          });
+      if (!found || b > best_benefit) {
+        best_benefit = b;
+        best_pos = candidate;
+        found = true;
+      }
+    }
+    if (!found) {
+      loop_active_ = false;  // cell satisfied; failures re-arm the loop
+      return;
+    }
+    ++my_placements_[PosKey{best_pos.x, best_pos.y}];
+    shared_->harness->spawn_node(best_pos);
+    broadcast(sim::Message::make(
+                  id(), net::kPlacement,
+                  net::PlacementPayload{best_pos, cell_},
+                  net::wire_size(net::kPlacement)),
+              params_.rc);
+    set_timer(shared_->placement_interval, [this] { placement_tick(); });
+  }
+
+  void seed_check() {
+    if (!election_ || !election_->is_leader()) {
+      seed_loop_active_ = false;
+      return;
+    }
+    const sim::Time now = world().sim().now();
+    for (std::size_t nb : shared_->partition.neighbors_of(cell_)) {
+      const auto c = static_cast<std::uint32_t>(nb);
+      if (shared_->cell_points[c].empty()) continue;
+      if (seeded_cells_.count(c) != 0) continue;
+      const auto it = cell_last_heard_.find(c);
+      const sim::Time last = it == cell_last_heard_.end() ? 0.0 : it->second;
+      if (now - last <= shared_->silence_threshold) continue;
+      // The adjacent cell is silent: deploy a starter node near its
+      // center; its heartbeats will stop other leaders from re-seeding.
+      const geom::Point2 center = shared_->partition.rect_of(c).center();
+      double best_d = 0.0;
+      geom::Point2 pos{};
+      bool found = false;
+      for (std::uint32_t pid : shared_->cell_points[c]) {
+        const auto p = shared_->points->point(pid);
+        const double d2 = geom::distance_sq(p, center);
+        if (!found || d2 < best_d) {
+          best_d = d2;
+          pos = p;
+          found = true;
+        }
+      }
+      if (!found) continue;
+      seeded_cells_.insert(c);
+      shared_->harness->spawn_node(pos);
+      broadcast(sim::Message::make(
+                    id(), net::kPlacement, net::PlacementPayload{pos, c},
+                    net::wire_size(net::kPlacement)),
+                params_.rc);
+    }
+    set_timer(shared_->seed_check_interval, [this] { seed_check(); });
+  }
+
+  std::shared_ptr<Shared> shared_;
+  std::uint32_t cell_ = 0;
+  std::unique_ptr<net::LeaderElection> election_;
+  std::unordered_map<PosKey, std::uint32_t, PosKeyHash> notices_;
+  std::unordered_map<PosKey, std::uint32_t, PosKeyHash> my_placements_;
+  std::unordered_map<std::uint32_t, sim::Time> cell_last_heard_;
+  std::unordered_set<std::uint32_t> seeded_cells_;
+  bool loop_active_ = false;
+  bool seed_loop_active_ = false;
+  bool queried_neighbors_ = false;
+};
+
+}  // namespace
+
+GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
+  const auto& p = cfg_.params;
+  // Protocol range: must span a cell (intra-cell connectivity assumption)
+  // and reach leaders of adjacent cells (up to two cell diagonals away).
+  const double rc_protocol =
+      std::max(p.rc, 2.0 * p.cell_side * std::numbers::sqrt2);
+  world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
+                                        rc_protocol);
+  common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
+  map_ = std::make_unique<coverage::CoverageMap>(
+      p.field, make_points(p, point_rng), p.rs);
+  shared_ = std::make_shared<Shared>(p, rc_protocol, cfg_);
+  shared_->harness = this;
+  shared_->index_points(map_->index());
+}
+
+GridSimHarness::~GridSimHarness() = default;
+
+const geom::GridPartition& GridSimHarness::partition() const noexcept {
+  return shared_->partition;
+}
+
+std::uint32_t GridSimHarness::spawn_node(geom::Point2 pos) {
+  const auto id =
+      world_->spawn(pos, std::make_unique<DecorGridSimNode>(shared_));
+  map_->add_disc(pos);
+  if (initial_deployed_) placements_.push_back(pos);
+  return id;
+}
+
+void GridSimHarness::kill_node(std::uint32_t id) {
+  if (!world_->alive(id)) return;
+  const auto pos = world_->position(id);
+  world_->kill(id);
+  map_->remove_disc(pos);
+}
+
+SimRunResult GridSimHarness::run() {
+  if (!initial_deployed_) {
+    for (const auto& pos : cfg_.initial_positions) spawn_node(pos);
+    initial_nodes_ = cfg_.initial_positions.size();
+    initial_deployed_ = true;
+  }
+
+  SimRunResult result;
+  result.initial_nodes = initial_nodes_;
+
+  // Poll ground truth; stop as soon as the field is fully covered. The
+  // closure owns its state through shared_ptrs so a poll left pending
+  // after a timed-out run stays safe to execute on a later resume.
+  struct PollState {
+    double finish_time;
+    bool covered = false;
+  };
+  auto state = std::make_shared<PollState>(PollState{cfg_.run_time, false});
+  auto poll = std::make_shared<std::function<void()>>();
+  // The closure holds itself only weakly: no ownership cycle, and a poll
+  // left pending after a timed-out run degrades to a no-op on resume.
+  std::weak_ptr<std::function<void()>> weak_poll = poll;
+  *poll = [this, state, weak_poll] {
+    if (map_->fully_covered(cfg_.params.k)) {
+      state->covered = true;
+      state->finish_time = world_->sim().now();
+      world_->sim().stop();
+      return;
+    }
+    if (auto self = weak_poll.lock()) world_->sim().schedule(0.5, *self);
+  };
+  world_->sim().schedule(0.5, *poll);
+  world_->sim().run_until(cfg_.run_time);
+
+  result.reached_full_coverage =
+      state->covered || map_->fully_covered(cfg_.params.k);
+  result.finish_time = state->finish_time;
+  result.placed_nodes = placements_.size();
+  result.placements = placements_;
+  result.radio_tx = world_->radio().total_tx();
+  result.radio_rx = world_->radio().total_rx();
+  result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
+  return result;
+}
+
+SimRunResult run_grid_decor_sim(const SimRunConfig& cfg) {
+  GridSimHarness harness(cfg);
+  return harness.run();
+}
+
+}  // namespace decor::core

@@ -1,0 +1,96 @@
+// Protocol-driven grid DECOR on the discrete-event simulator.
+//
+// The offline engine (grid_engine.*) emulates distributed execution with
+// synchronous rounds; this runner executes the real thing: every sensor is
+// a sim::NodeProcess exchanging HELLO / heartbeat / election / placement
+// messages over the unit-disc radio, leaders are elected with randomized
+// rotation, and replacement sensors are spawned into the running world.
+// It exists to validate the protocol end-to-end (tests) and to ground the
+// message accounting of the offline engine against real radio traffic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/metrics.hpp"
+#include "decor/params.hpp"
+#include "geometry/grid_partition.hpp"
+#include "net/leader_election.hpp"
+#include "net/sensor_node.hpp"
+#include "sim/world.hpp"
+
+namespace decor::core {
+
+struct SimRunConfig {
+  DecorParams params;
+  std::vector<geom::Point2> initial_positions;
+  std::uint64_t seed = 1;
+
+  /// Wall limit in simulated seconds; the run also stops as soon as the
+  /// field is fully k-covered.
+  double run_time = 300.0;
+
+  /// Pacing of a leader's placement loop (one new sensor per interval).
+  double placement_interval = 0.5;
+
+  /// How often leaders probe adjacent cells for silence before seeding.
+  double seed_check_interval = 5.0;
+
+  net::HeartbeatParams heartbeat{1.0, 3.5};
+  net::ElectionParams election{60.0, 0.05, 0.01};
+  sim::RadioParams radio{};
+};
+
+struct SimRunResult {
+  std::size_t initial_nodes = 0;
+  std::size_t placed_nodes = 0;
+  bool reached_full_coverage = false;
+  double finish_time = 0.0;
+  std::uint64_t radio_tx = 0;
+  std::uint64_t radio_rx = 0;
+  coverage::CoverageMetrics metrics;
+  std::vector<geom::Point2> placements;
+};
+
+class GridSimHarness {
+ public:
+  /// Shared static field knowledge handed to every simulated node
+  /// (defined in the .cpp; opaque to API users).
+  struct Shared;
+
+  explicit GridSimHarness(SimRunConfig cfg);
+  ~GridSimHarness();
+
+  GridSimHarness(const GridSimHarness&) = delete;
+  GridSimHarness& operator=(const GridSimHarness&) = delete;
+
+  sim::World& world() noexcept { return *world_; }
+  coverage::CoverageMap& map() noexcept { return *map_; }
+  const geom::GridPartition& partition() const noexcept;
+
+  /// Spawns a DECOR node at `pos` (used for initial deployment and by
+  /// leaders for replacements); keeps the ground-truth map in sync.
+  std::uint32_t spawn_node(geom::Point2 pos);
+
+  /// Kills a node and removes its coverage (failure injection).
+  void kill_node(std::uint32_t id);
+
+  /// Runs the simulation until full k-coverage or cfg.run_time.
+  SimRunResult run();
+
+ private:
+  SimRunConfig cfg_;
+  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<coverage::CoverageMap> map_;
+  std::shared_ptr<Shared> shared_;
+  std::vector<geom::Point2> placements_;
+  std::size_t initial_nodes_ = 0;
+  bool initial_deployed_ = false;
+};
+
+/// One-call convenience wrapper.
+SimRunResult run_grid_decor_sim(const SimRunConfig& cfg);
+
+}  // namespace decor::core

@@ -1,0 +1,78 @@
+#include "decor/sleep_scheduling.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace decor::core {
+
+EpochPlan plan_epoch(const Field& field, const std::vector<double>& energy,
+                     const SleepScheduleParams& params) {
+  DECOR_REQUIRE_MSG(params.cover_k >= 1, "cover_k must be >= 1");
+  EpochPlan plan;
+  const auto& index = field.map.index();
+
+  // Remaining deficit per point: how many more awake coverers it needs.
+  std::vector<std::uint32_t> deficit(index.size(), params.cover_k);
+  std::size_t total_deficit = params.cover_k * index.size();
+
+  // Points no alive sensor can reach make the epoch infeasible; detect
+  // that up front from the ground-truth counts.
+  for (std::size_t pid = 0; pid < index.size(); ++pid) {
+    if (field.map.kp(pid) < params.cover_k) return plan;  // infeasible
+  }
+
+  // Greedy cover, energy-rich sensors first so the duty rotates.
+  auto ids = field.sensors.alive_ids();
+  std::sort(ids.begin(), ids.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ea = a < energy.size() ? energy[a] : 0.0;
+    const double eb = b < energy.size() ? energy[b] : 0.0;
+    if (ea != eb) return ea > eb;
+    return a < b;
+  });
+  for (std::uint32_t id : ids) {
+    if (total_deficit == 0) break;
+    const auto& s = field.sensors.sensor(id);
+    const double rs = s.rs > 0.0 ? s.rs : field.params.rs;
+    bool useful = false;
+    index.for_each_in_disc(s.pos, rs, [&](std::size_t pid) {
+      if (deficit[pid] > 0) useful = true;
+    });
+    if (!useful) continue;
+    plan.awake.push_back(id);
+    index.for_each_in_disc(s.pos, rs, [&](std::size_t pid) {
+      if (deficit[pid] > 0) {
+        --deficit[pid];
+        --total_deficit;
+      }
+    });
+  }
+  plan.feasible = (total_deficit == 0);
+  if (!plan.feasible) plan.awake.clear();
+  return plan;
+}
+
+LifetimeResult simulate_lifetime(Field& field, double battery_capacity,
+                                 std::size_t max_epochs,
+                                 const SleepScheduleParams& params) {
+  DECOR_REQUIRE_MSG(battery_capacity > 0.0, "battery must be positive");
+  LifetimeResult result;
+  std::vector<double> energy(field.sensors.size(), battery_capacity);
+  double awake_sum = 0.0;
+  while (result.epochs < max_epochs) {
+    const auto plan = plan_epoch(field, energy, params);
+    if (!plan.feasible) break;
+    awake_sum += static_cast<double>(plan.awake.size());
+    for (std::uint32_t id : plan.awake) {
+      if ((energy[id] -= params.awake_cost) <= 0.0) field.fail(id);
+    }
+    ++result.epochs;
+  }
+  result.hit_epoch_limit = (result.epochs == max_epochs);
+  result.mean_awake =
+      result.epochs == 0 ? 0.0
+                         : awake_sum / static_cast<double>(result.epochs);
+  return result;
+}
+
+}  // namespace decor::core

@@ -1,0 +1,35 @@
+// Voronoi-based DECOR (Section 3, Voronoi scheme).
+//
+// Every node owns its local Voronoi cell: the approximation points within
+// communication radius rc that lie closer to it than to any other node
+// (Definition 1; ties break to the lower id). Because rs <= rc a node
+// hears every sensor that can cover its points, so — as the paper argues —
+// its coverage estimate for owned points is exact. Each round, every node
+// with an uncovered owned point places a new sensor at its max-benefit
+// owned point (benefit evaluated over its own points only); placements are
+// simultaneous, so two adjacent owners can race on boundary coverage,
+// which is the scheme's source of redundant nodes. New nodes immediately
+// own territory of their own, growing the deployed frontier into
+// previously unowned area.
+//
+// Points farther than rc from every node are owned by nobody; when only
+// such points remain uncovered the engine falls back to the paper's
+// deployment assumption (a human/robot carries a starter node to the
+// frontier) and seeds the nearest such point.
+//
+// Message accounting (Figure 10): upon each placement the placing node
+// informs its current rc-neighborhood (one message per neighbor), matching
+// the paper's "the number of messages needed to be sent by a node upon
+// placement is analogous to the communication radius rc".
+#pragma once
+
+#include "common/rng.hpp"
+#include "decor/deployment.hpp"
+#include "decor/point_field.hpp"
+
+namespace decor::core {
+
+DeploymentResult voronoi_decor(Field& field, common::Rng& rng,
+                               EngineLimits limits = {});
+
+}  // namespace decor::core

@@ -1,0 +1,320 @@
+#include "decor/voronoi_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "common/require.hpp"
+#include "decor/point_field.hpp"
+#include "net/messages.hpp"
+
+namespace decor::core {
+
+namespace {
+struct PosKey {
+  double x, y;
+  bool operator==(const PosKey&) const = default;
+};
+struct PosKeyHash {
+  std::size_t operator()(const PosKey& k) const noexcept {
+    std::hash<double> h;
+    return h(k.x) * 1000003u ^ h(k.y);
+  }
+};
+}  // namespace
+
+struct VoronoiSimHarness::Shared {
+  DecorParams params;
+  double check_interval = 0.5;
+  VoronoiSimHarness* harness = nullptr;
+  const geom::PointGridIndex* points = nullptr;
+  net::HeartbeatParams heartbeat;
+};
+
+namespace {
+
+class DecorVoronoiSimNode final : public net::SensorNode {
+ public:
+  using Shared = VoronoiSimHarness::Shared;
+
+  explicit DecorVoronoiSimNode(std::shared_ptr<Shared> shared)
+      : net::SensorNode(make_node_params(*shared)),
+        shared_(std::move(shared)) {}
+
+  void on_start() override {
+    net::SensorNode::on_start();
+    // Phase jitter de-synchronizes the per-node check loops.
+    const double phase =
+        world().rng().uniform(0.0, shared_->check_interval);
+    set_timer(shared_->check_interval + phase, [this] { tick(); });
+  }
+
+ protected:
+  void handle_message(const sim::Message& msg) override {
+    if (msg.kind == net::kPlacement) {
+      const auto& p = msg.as<net::PlacementPayload>();
+      // Remember out-of-range-for-HELLO deployments whose discs can
+      // still cover our points; in-range nodes arrive via HELLO.
+      if (geom::distance(p.pos, pos()) <= params_.rc + shared_->params.rs) {
+        ++notices_[PosKey{p.pos.x, p.pos.y}];
+      }
+    }
+  }
+
+  void on_neighbor_failed(std::uint32_t, geom::Point2) override {
+    // Ownership and coverage both changed; the next tick recomputes.
+    idle_streak_ = 0;
+  }
+
+ private:
+  static net::SensorNodeParams make_node_params(const Shared& shared) {
+    net::SensorNodeParams p;
+    p.rc = shared.params.rc;
+    p.heartbeat = shared.heartbeat;
+    return p;
+  }
+
+  /// Points of my local Voronoi cell: within rc, closer to me than to
+  /// any neighbor I can hear (ties break to the lower node id).
+  std::vector<std::size_t> owned_points() const {
+    std::vector<std::size_t> out;
+    const auto neighbors = table_.snapshot();
+    shared_->points->for_each_in_disc(
+        pos(), params_.rc, [&](std::size_t pid) {
+          const geom::Point2 p = shared_->points->point(pid);
+          const double d_self = geom::distance_sq(p, pos());
+          for (const auto& [nid, entry] : neighbors) {
+            const double d_nb = geom::distance_sq(p, entry.pos);
+            if (d_nb < d_self || (d_nb == d_self && nid < id())) return;
+          }
+          out.push_back(pid);
+        });
+    return out;
+  }
+
+  /// Believed coverage of the given points from everything this node can
+  /// hear (multiplicity preserved; see sim_runner.cpp for why).
+  std::unordered_map<std::size_t, std::uint32_t> believed_coverage(
+      const std::vector<std::size_t>& pids) const {
+    std::unordered_map<std::size_t, std::uint32_t> counts;
+    counts.reserve(pids.size());
+    for (auto pid : pids) counts.emplace(pid, 0);
+
+    std::vector<std::pair<geom::Point2, std::uint32_t>> contributors;
+    contributors.emplace_back(pos(), 1);
+    std::unordered_map<PosKey, std::uint32_t, PosKeyHash> heard_at;
+    for (const auto& [nid, entry] : table_.snapshot()) {
+      (void)nid;
+      contributors.emplace_back(entry.pos, 1);
+      ++heard_at[PosKey{entry.pos.x, entry.pos.y}];
+    }
+    for (const auto& [key, placed] : my_placements_) {
+      const auto it = heard_at.find(key);
+      const std::uint32_t heard = it == heard_at.end() ? 0 : it->second;
+      if (placed > heard) {
+        contributors.emplace_back(geom::Point2{key.x, key.y},
+                                  placed - heard);
+      }
+    }
+    for (const auto& [key, n] : notices_) {
+      // Skip notices already represented by a heard neighbor there.
+      const auto it = heard_at.find(key);
+      const std::uint32_t heard = it == heard_at.end() ? 0 : it->second;
+      if (n > heard) {
+        contributors.emplace_back(geom::Point2{key.x, key.y}, n - heard);
+      }
+    }
+
+    for (const auto& [c, mult] : contributors) {
+      shared_->points->for_each_in_disc(
+          c, shared_->params.rs, [&](std::size_t pid) {
+            auto it = counts.find(pid);
+            if (it != counts.end()) it->second += mult;
+          });
+    }
+    return counts;
+  }
+
+  void tick() {
+    const std::uint32_t k = shared_->params.k;
+    const auto mine = owned_points();
+    const auto counts = believed_coverage(mine);
+
+    // Max-benefit uncovered owned point (Equation 1 over my cell).
+    std::uint64_t best_benefit = 0;
+    geom::Point2 best_pos{};
+    bool found = false;
+    for (std::size_t pid : mine) {
+      if (counts.at(pid) >= k) continue;
+      const geom::Point2 candidate = shared_->points->point(pid);
+      std::uint64_t b = 0;
+      shared_->points->for_each_in_disc(
+          candidate, shared_->params.rs, [&](std::size_t q) {
+            const auto it = counts.find(q);
+            if (it != counts.end() && it->second < k) b += k - it->second;
+          });
+      if (!found || b > best_benefit) {
+        best_benefit = b;
+        best_pos = candidate;
+        found = true;
+      }
+    }
+
+    if (found) {
+      idle_streak_ = 0;
+      ++my_placements_[PosKey{best_pos.x, best_pos.y}];
+      shared_->harness->spawn_node(best_pos);
+      broadcast(sim::Message::make(
+                    id(), net::kPlacement,
+                    net::PlacementPayload{best_pos, 0},
+                    net::wire_size(net::kPlacement)),
+                params_.rc);
+    } else {
+      ++idle_streak_;
+    }
+    // Idle nodes back off exponentially (up to 8x) so a converged
+    // network costs little; failures reset the streak.
+    const double backoff =
+        static_cast<double>(1u << std::min(idle_streak_, 3u));
+    set_timer(shared_->check_interval * backoff, [this] { tick(); });
+  }
+
+  std::shared_ptr<Shared> shared_;
+  std::unordered_map<PosKey, std::uint32_t, PosKeyHash> notices_;
+  std::unordered_map<PosKey, std::uint32_t, PosKeyHash> my_placements_;
+  std::uint32_t idle_streak_ = 0;
+};
+
+}  // namespace
+
+VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
+    : cfg_(std::move(cfg)) {
+  const auto& p = cfg_.params;
+  world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
+                                        p.rc);
+  common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
+  map_ = std::make_unique<coverage::CoverageMap>(
+      p.field, make_points(p, point_rng), p.rs);
+  shared_ = std::make_shared<Shared>();
+  shared_->params = p;
+  shared_->check_interval = cfg_.check_interval;
+  shared_->harness = this;
+  shared_->points = &map_->index();
+  shared_->heartbeat = cfg_.heartbeat;
+}
+
+VoronoiSimHarness::~VoronoiSimHarness() = default;
+
+std::uint32_t VoronoiSimHarness::spawn_node(geom::Point2 pos) {
+  const auto id =
+      world_->spawn(pos, std::make_unique<DecorVoronoiSimNode>(shared_));
+  map_->add_disc(pos);
+  if (initial_deployed_) placements_.push_back(pos);
+  return id;
+}
+
+void VoronoiSimHarness::kill_node(std::uint32_t id) {
+  if (!world_->alive(id)) return;
+  const auto pos = world_->position(id);
+  world_->kill(id);
+  map_->remove_disc(pos);
+}
+
+void VoronoiSimHarness::watchdog_seed() {
+  // Only unowned uncovered points stall the protocol; drop a starter at
+  // the uncovered point nearest to the deployed network (or the first
+  // uncovered point when the field is empty).
+  const auto& index = map_->index();
+  geom::Point2 best_pos{};
+  double best_d = std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t pid = 0; pid < index.size(); ++pid) {
+    if (map_->kp(pid) >= cfg_.params.k) continue;
+    const geom::Point2 p = index.point(pid);
+    double d = 0.0;
+    if (world_->alive_count() > 0) {
+      d = std::numeric_limits<double>::infinity();
+      for (double r = cfg_.params.rc;; r *= 2.0) {
+        world_->index().for_each_in_disc(
+            p, r, [&](std::uint32_t, geom::Point2 spos) {
+              d = std::min(d, geom::distance_sq(p, spos));
+            });
+        if (d < std::numeric_limits<double>::infinity()) break;
+        if (r > 4.0 * (cfg_.params.field.width() +
+                       cfg_.params.field.height())) {
+          break;
+        }
+      }
+    }
+    if (!found || d < best_d) {
+      best_d = d;
+      best_pos = p;
+      found = true;
+    }
+  }
+  if (found) {
+    spawn_node(best_pos);
+    ++seeded_;
+  }
+}
+
+VoronoiSimResult VoronoiSimHarness::run() {
+  if (!initial_deployed_) {
+    for (const auto& pos : cfg_.initial_positions) spawn_node(pos);
+    initial_nodes_ = cfg_.initial_positions.size();
+    initial_deployed_ = true;
+  }
+
+  VoronoiSimResult result;
+  result.initial_nodes = initial_nodes_;
+
+  struct PollState {
+    double finish_time;
+    bool covered = false;
+    std::size_t last_covered = 0;
+    double last_progress = 0.0;
+  };
+  auto state = std::make_shared<PollState>(
+      PollState{cfg_.run_time, false, 0, world_->sim().now()});
+  auto poll = std::make_shared<std::function<void()>>();
+  // Weak self-capture: no ownership cycle (see sim_runner.cpp).
+  std::weak_ptr<std::function<void()>> weak_poll = poll;
+  *poll = [this, state, weak_poll] {
+    if (map_->fully_covered(cfg_.params.k)) {
+      state->covered = true;
+      state->finish_time = world_->sim().now();
+      world_->sim().stop();
+      return;
+    }
+    const std::size_t covered = map_->num_covered(cfg_.params.k);
+    if (covered > state->last_covered) {
+      state->last_covered = covered;
+      state->last_progress = world_->sim().now();
+    } else if (world_->sim().now() - state->last_progress >=
+               cfg_.stall_timeout) {
+      watchdog_seed();
+      state->last_progress = world_->sim().now();
+    }
+    if (auto self = weak_poll.lock()) world_->sim().schedule(0.5, *self);
+  };
+  world_->sim().schedule(0.5, *poll);
+  world_->sim().run_until(cfg_.run_time);
+
+  result.reached_full_coverage =
+      state->covered || map_->fully_covered(cfg_.params.k);
+  result.finish_time = state->finish_time;
+  result.placed_nodes = placements_.size();
+  result.seeded_nodes = seeded_;
+  result.placements = placements_;
+  result.radio_tx = world_->radio().total_tx();
+  result.radio_rx = world_->radio().total_rx();
+  result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
+  return result;
+}
+
+VoronoiSimResult run_voronoi_decor_sim(const VoronoiSimConfig& cfg) {
+  VoronoiSimHarness harness(cfg);
+  return harness.run();
+}
+
+}  // namespace decor::core

@@ -1,0 +1,94 @@
+// Protocol-driven Voronoi DECOR on the discrete-event simulator.
+//
+// The Voronoi scheme needs no leaders: every node owns its local Voronoi
+// cell (the approximation points within rc that lie closer to it than to
+// any neighbor it can hear) and independently places replacements for its
+// own uncovered points. This runner executes that per-node loop over the
+// real radio: neighbor knowledge comes from HELLO/heartbeats, placements
+// are announced with kPlacement messages, and newly spawned nodes claim
+// territory simply by being heard. A harness-level watchdog models the
+// paper's deployment assumption (a human/robot carries starter nodes)
+// when only unowned points — beyond rc of the whole network — remain
+// uncovered.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coverage/coverage_map.hpp"
+#include "coverage/metrics.hpp"
+#include "decor/params.hpp"
+#include "net/sensor_node.hpp"
+#include "sim/world.hpp"
+
+namespace decor::core {
+
+struct VoronoiSimConfig {
+  DecorParams params;
+  std::vector<geom::Point2> initial_positions;
+  std::uint64_t seed = 1;
+
+  /// Wall limit in simulated seconds.
+  double run_time = 300.0;
+
+  /// Pacing of each node's coverage-check loop.
+  double check_interval = 0.5;
+
+  /// Simulated seconds without ground-truth progress before the watchdog
+  /// seeds the frontier (unowned uncovered points).
+  double stall_timeout = 10.0;
+
+  net::HeartbeatParams heartbeat{1.0, 3.5};
+  sim::RadioParams radio{};
+};
+
+struct VoronoiSimResult {
+  std::size_t initial_nodes = 0;
+  std::size_t placed_nodes = 0;
+  /// Nodes the watchdog (robot) had to seed, out of placed_nodes.
+  std::size_t seeded_nodes = 0;
+  bool reached_full_coverage = false;
+  double finish_time = 0.0;
+  std::uint64_t radio_tx = 0;
+  std::uint64_t radio_rx = 0;
+  coverage::CoverageMetrics metrics;
+  std::vector<geom::Point2> placements;
+};
+
+class VoronoiSimHarness {
+ public:
+  struct Shared;
+
+  explicit VoronoiSimHarness(VoronoiSimConfig cfg);
+  ~VoronoiSimHarness();
+
+  VoronoiSimHarness(const VoronoiSimHarness&) = delete;
+  VoronoiSimHarness& operator=(const VoronoiSimHarness&) = delete;
+
+  sim::World& world() noexcept { return *world_; }
+  coverage::CoverageMap& map() noexcept { return *map_; }
+
+  std::uint32_t spawn_node(geom::Point2 pos);
+  void kill_node(std::uint32_t id);
+
+  /// Runs until full k-coverage or cfg.run_time; callable repeatedly
+  /// (failure injection between calls resumes the protocol).
+  VoronoiSimResult run();
+
+ private:
+  void watchdog_seed();
+
+  VoronoiSimConfig cfg_;
+  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<coverage::CoverageMap> map_;
+  std::shared_ptr<Shared> shared_;
+  std::vector<geom::Point2> placements_;
+  std::size_t seeded_ = 0;
+  std::size_t initial_nodes_ = 0;
+  bool initial_deployed_ = false;
+};
+
+VoronoiSimResult run_voronoi_decor_sim(const VoronoiSimConfig& cfg);
+
+}  // namespace decor::core

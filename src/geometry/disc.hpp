@@ -1,0 +1,35 @@
+// Discs: sensing and communication ranges, and disaster areas.
+#pragma once
+
+#include <numbers>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::geom {
+
+/// Closed disc of radius `radius` centred at `center`.
+struct Disc {
+  Point2 center;
+  double radius = 0.0;
+
+  constexpr bool contains(Point2 p) const noexcept {
+    return within(p, center, radius);
+  }
+
+  double area() const noexcept {
+    return std::numbers::pi * radius * radius;
+  }
+
+  constexpr bool intersects(const Rect& r) const noexcept {
+    return r.intersects_disc(center, radius);
+  }
+
+  /// True when the two discs overlap (closed intersection).
+  constexpr bool intersects(const Disc& other) const noexcept {
+    const double rsum = radius + other.radius;
+    return distance_sq(center, other.center) <= rsum * rsum;
+  }
+};
+
+}  // namespace decor::geom

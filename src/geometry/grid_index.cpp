@@ -1,0 +1,97 @@
+#include "geometry/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace decor::geom {
+
+PointGridIndex::PointGridIndex(const Rect& bounds, std::vector<Point2> points,
+                               double cell_size)
+    : bounds_(bounds),
+      cell_size_(std::max(cell_size, 1e-6)),
+      points_(std::move(points)) {
+  DECOR_REQUIRE_MSG(bounds_.width() > 0 && bounds_.height() > 0,
+                    "index bounds must be non-degenerate");
+  nx_ = static_cast<std::size_t>(std::ceil(bounds_.width() / cell_size_));
+  ny_ = static_cast<std::size_t>(std::ceil(bounds_.height() / cell_size_));
+  nx_ = std::max<std::size_t>(nx_, 1);
+  ny_ = std::max<std::size_t>(ny_, 1);
+
+  // Counting sort of point IDs into cells (CSR).
+  const std::size_t ncells = nx_ * ny_;
+  std::vector<std::uint32_t> counts(ncells, 0);
+  for (const auto& p : points_) {
+    DECOR_REQUIRE_MSG(bounds_.contains(p), "point outside index bounds");
+    ++counts[cell_of(p)];
+  }
+  cell_start_.assign(ncells + 1, 0);
+  for (std::size_t c = 0; c < ncells; ++c)
+    cell_start_[c + 1] = cell_start_[c] + counts[c];
+  cell_points_.resize(points_.size());
+  std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                    cell_start_.end() - 1);
+  for (std::size_t id = 0; id < points_.size(); ++id) {
+    const std::size_t c = cell_of(points_[id]);
+    cell_points_[cursor[c]++] = static_cast<std::uint32_t>(id);
+  }
+}
+
+std::size_t PointGridIndex::cell_of(Point2 p) const noexcept {
+  auto ix = static_cast<std::size_t>(
+      std::min(std::max((p.x - bounds_.x0) / cell_size_, 0.0),
+               static_cast<double>(nx_ - 1)));
+  auto iy = static_cast<std::size_t>(
+      std::min(std::max((p.y - bounds_.y0) / cell_size_, 0.0),
+               static_cast<double>(ny_ - 1)));
+  ix = std::min(ix, nx_ - 1);
+  iy = std::min(iy, ny_ - 1);
+  return iy * nx_ + ix;
+}
+
+void PointGridIndex::for_each_in_disc(
+    Point2 center, double radius,
+    const std::function<void(std::size_t)>& fn) const {
+  const double r2 = radius * radius;
+  const auto clamp_idx = [](double v, std::size_t n) {
+    if (v < 0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t ix0 =
+      clamp_idx((center.x - radius - bounds_.x0) / cell_size_, nx_);
+  const std::size_t ix1 =
+      clamp_idx((center.x + radius - bounds_.x0) / cell_size_, nx_);
+  const std::size_t iy0 =
+      clamp_idx((center.y - radius - bounds_.y0) / cell_size_, ny_);
+  const std::size_t iy1 =
+      clamp_idx((center.y + radius - bounds_.y0) / cell_size_, ny_);
+  for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+    for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+      const std::size_t c = iy * nx_ + ix;
+      for (std::uint32_t i = cell_start_[c]; i < cell_start_[c + 1]; ++i) {
+        const std::size_t id = cell_points_[i];
+        if (distance_sq(points_[id], center) <= r2) fn(id);
+      }
+    }
+  }
+}
+
+std::vector<std::size_t> PointGridIndex::query_disc(Point2 center,
+                                                    double radius) const {
+  std::vector<std::size_t> out;
+  for_each_in_disc(center, radius,
+                   [&out](std::size_t id) { out.push_back(id); });
+  return out;
+}
+
+std::vector<std::size_t> PointGridIndex::query_rect(const Rect& r) const {
+  std::vector<std::size_t> out;
+  for (std::size_t id = 0; id < points_.size(); ++id) {
+    if (r.contains(points_[id])) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace decor::geom

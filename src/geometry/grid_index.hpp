@@ -1,0 +1,53 @@
+// Uniform-grid spatial index over a static set of points.
+//
+// The approximation point set (2000 Halton points) is fixed for the life of
+// an experiment; the index buckets point IDs into grid cells so that
+// "all points within rs of a candidate position" — the inner loop of the
+// benefit function — is O(points in a 2rs x 2rs window).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::geom {
+
+class PointGridIndex {
+ public:
+  /// Builds an index over `points` inside `bounds`. `cell_size` should be
+  /// on the order of the query radius; it is clamped to a sane minimum.
+  PointGridIndex(const Rect& bounds, std::vector<Point2> points,
+                 double cell_size);
+
+  std::size_t size() const noexcept { return points_.size(); }
+  const std::vector<Point2>& points() const noexcept { return points_; }
+  const Point2& point(std::size_t id) const { return points_[id]; }
+  const Rect& bounds() const noexcept { return bounds_; }
+
+  /// Invokes `fn(id)` for every point within distance `radius` of `center`.
+  void for_each_in_disc(Point2 center, double radius,
+                        const std::function<void(std::size_t)>& fn) const;
+
+  /// IDs of all points within distance `radius` of `center`.
+  std::vector<std::size_t> query_disc(Point2 center, double radius) const;
+
+  /// IDs of all points inside the rectangle `r`.
+  std::vector<std::size_t> query_rect(const Rect& r) const;
+
+ private:
+  std::size_t cell_of(Point2 p) const noexcept;
+
+  Rect bounds_;
+  double cell_size_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+  std::vector<Point2> points_;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_points_.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_points_;
+};
+
+}  // namespace decor::geom

@@ -1,0 +1,92 @@
+// Fixed-grid partition of the field (the paper's grid-based scheme).
+//
+// The field is split into square cells of a configured side; every cell
+// gets an integer id and the partition answers point->cell, cell->rect and
+// cell adjacency (8-neighborhood) queries. Cells on the right/top border
+// may be smaller when the side does not divide the field exactly.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::geom {
+
+class GridPartition {
+ public:
+  GridPartition(const Rect& field, double cell_side)
+      : field_(field), side_(cell_side) {
+    DECOR_REQUIRE_MSG(cell_side > 0.0, "cell side must be positive");
+    nx_ = static_cast<std::size_t>(std::ceil(field.width() / side_));
+    ny_ = static_cast<std::size_t>(std::ceil(field.height() / side_));
+    nx_ = std::max<std::size_t>(nx_, 1);
+    ny_ = std::max<std::size_t>(ny_, 1);
+  }
+
+  std::size_t num_cells() const noexcept { return nx_ * ny_; }
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  double side() const noexcept { return side_; }
+  const Rect& field() const noexcept { return field_; }
+
+  /// Cell containing `p` (points on shared edges go to the higher cell,
+  /// except on the outer border which clamps inward).
+  std::size_t cell_of(Point2 p) const noexcept {
+    const auto ix = clamp_idx((p.x - field_.x0) / side_, nx_);
+    const auto iy = clamp_idx((p.y - field_.y0) / side_, ny_);
+    return iy * nx_ + ix;
+  }
+
+  /// Rectangle of a cell, clipped to the field.
+  Rect rect_of(std::size_t cell) const {
+    DECOR_REQUIRE_MSG(cell < num_cells(), "cell id out of range");
+    const std::size_t ix = cell % nx_;
+    const std::size_t iy = cell / nx_;
+    return Rect{field_.x0 + static_cast<double>(ix) * side_,
+                field_.y0 + static_cast<double>(iy) * side_,
+                std::min(field_.x0 + static_cast<double>(ix + 1) * side_,
+                         field_.x1),
+                std::min(field_.y0 + static_cast<double>(iy + 1) * side_,
+                         field_.y1)};
+  }
+
+  /// The up-to-8 adjacent cells (including diagonals).
+  std::vector<std::size_t> neighbors_of(std::size_t cell) const {
+    DECOR_REQUIRE_MSG(cell < num_cells(), "cell id out of range");
+    const auto ix = static_cast<std::int64_t>(cell % nx_);
+    const auto iy = static_cast<std::int64_t>(cell / nx_);
+    std::vector<std::size_t> out;
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0) continue;
+        const std::int64_t jx = ix + dx;
+        const std::int64_t jy = iy + dy;
+        if (jx < 0 || jy < 0 || jx >= static_cast<std::int64_t>(nx_) ||
+            jy >= static_cast<std::int64_t>(ny_))
+          continue;
+        out.push_back(static_cast<std::size_t>(jy) * nx_ +
+                      static_cast<std::size_t>(jx));
+      }
+    }
+    return out;
+  }
+
+ private:
+  static std::size_t clamp_idx(double f, std::size_t n) noexcept {
+    if (f < 0.0) return 0;
+    const auto i = static_cast<std::size_t>(f);
+    return i >= n ? n - 1 : i;
+  }
+
+  Rect field_;
+  double side_;
+  std::size_t nx_ = 0;
+  std::size_t ny_ = 0;
+};
+
+}  // namespace decor::geom

@@ -1,0 +1,40 @@
+#include "geometry/lattice.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace decor::geom {
+
+std::vector<Point2> square_cover(const Rect& area, double r) {
+  DECOR_REQUIRE_MSG(r > 0.0, "cover radius must be positive");
+  // A disc of radius r circumscribes a square of side r*sqrt(2); tiling
+  // with that pitch guarantees every point lies in some disc.
+  const double pitch = r * std::numbers::sqrt2;
+  std::vector<Point2> out;
+  for (double y = area.y0 + pitch / 2; y - pitch / 2 < area.y1; y += pitch) {
+    for (double x = area.x0 + pitch / 2; x - pitch / 2 < area.x1;
+         x += pitch) {
+      out.push_back(area.clamp(Point2{x, y}));
+    }
+  }
+  return out;
+}
+
+std::vector<Point2> hex_cover(const Rect& area, double r) {
+  DECOR_REQUIRE_MSG(r > 0.0, "cover radius must be positive");
+  const double dx = r * std::sqrt(3.0);
+  const double dy = 1.5 * r;
+  std::vector<Point2> out;
+  bool odd = false;
+  for (double y = area.y0; y - dy < area.y1 + r; y += dy, odd = !odd) {
+    const double x_start = area.x0 + (odd ? dx / 2 : 0.0);
+    for (double x = x_start; x - dx < area.x1 + r; x += dx) {
+      out.push_back(area.clamp(Point2{x, y}));
+    }
+  }
+  return out;
+}
+
+}  // namespace decor::geom

@@ -1,0 +1,23 @@
+// Regular lattice placements.
+//
+// The paper falls back to "a regular positioning of sensors" when a grid
+// cell contains no node at all; these helpers generate square and hexagonal
+// lattices whose discs of radius r cover a rectangle completely.
+#pragma once
+
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::geom {
+
+/// Square lattice with pitch r*sqrt(2): each disc of radius r covers its
+/// pitch x pitch tile, so the returned centers fully cover `area`.
+std::vector<Point2> square_cover(const Rect& area, double r);
+
+/// Hexagonal lattice cover (pitch r*sqrt(3)); ~15% fewer nodes than square
+/// for the same rectangle at equal radius.
+std::vector<Point2> hex_cover(const Rect& area, double r);
+
+}  // namespace decor::geom

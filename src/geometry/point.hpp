@@ -1,0 +1,51 @@
+// Plane geometry primitives: points, vectors and distance predicates.
+//
+// Coverage checks are the innermost operation of every algorithm in this
+// library, so distance comparisons are expressed on squared distances to
+// avoid sqrt in hot loops.
+#pragma once
+
+#include <cmath>
+
+namespace decor::geom {
+
+/// A point (or displacement) in the plane.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Point2 operator+(Point2 a, Point2 b) noexcept {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point2 operator-(Point2 a, Point2 b) noexcept {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point2 operator*(Point2 a, double s) noexcept {
+    return {a.x * s, a.y * s};
+  }
+  friend constexpr Point2 operator*(double s, Point2 a) noexcept {
+    return a * s;
+  }
+  friend constexpr bool operator==(Point2 a, Point2 b) noexcept {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance.
+constexpr double distance_sq(Point2 a, Point2 b) noexcept {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double distance(Point2 a, Point2 b) noexcept {
+  return std::sqrt(distance_sq(a, b));
+}
+
+/// True when `p` lies within (or on) the disc of radius `r` centred at `c`.
+constexpr bool within(Point2 p, Point2 c, double r) noexcept {
+  return distance_sq(p, c) <= r * r;
+}
+
+}  // namespace decor::geom

@@ -1,0 +1,48 @@
+// Axis-aligned rectangles: the monitored field and its grid cells.
+#pragma once
+
+#include <algorithm>
+
+#include "geometry/point.hpp"
+
+namespace decor::geom {
+
+/// Closed axis-aligned rectangle [x0,x1] x [y0,y1].
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  constexpr double width() const noexcept { return x1 - x0; }
+  constexpr double height() const noexcept { return y1 - y0; }
+  constexpr double area() const noexcept { return width() * height(); }
+  constexpr Point2 center() const noexcept {
+    return {(x0 + x1) * 0.5, (y0 + y1) * 0.5};
+  }
+
+  constexpr bool contains(Point2 p) const noexcept {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+
+  /// Nearest point of the rectangle to `p` (p itself when inside).
+  constexpr Point2 clamp(Point2 p) const noexcept {
+    return {std::clamp(p.x, x0, x1), std::clamp(p.y, y0, y1)};
+  }
+
+  /// True when the disc (c, r) intersects this rectangle.
+  constexpr bool intersects_disc(Point2 c, double r) const noexcept {
+    return distance_sq(clamp(c), c) <= r * r;
+  }
+
+  friend constexpr bool operator==(const Rect& a, const Rect& b) noexcept {
+    return a.x0 == b.x0 && a.y0 == b.y0 && a.x1 == b.x1 && a.y1 == b.y1;
+  }
+};
+
+/// Convenience constructor from origin and size.
+constexpr Rect make_rect(double x0, double y0, double w, double h) noexcept {
+  return Rect{x0, y0, x0 + w, y0 + h};
+}
+
+}  // namespace decor::geom

@@ -1,0 +1,58 @@
+// Dynamic uniform-grid index over sensor positions.
+//
+// Deployment algorithms insert sensors one at a time and failure injection
+// removes them; the index supports both while answering "which sensors lie
+// within distance d of p" (coverage counting, neighbor discovery) in time
+// proportional to local density.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::geom {
+
+class DynamicSensorIndex {
+ public:
+  /// `cell_size` should be on the order of the typical query radius.
+  DynamicSensorIndex(const Rect& bounds, double cell_size);
+
+  /// Inserts a sensor with caller-chosen unique id. Positions outside the
+  /// bounds are clamped into the boundary cells (sensors may legitimately
+  /// sit on the field border).
+  void insert(std::uint32_t id, Point2 pos);
+
+  /// Removes a previously inserted sensor; no-op if absent.
+  void remove(std::uint32_t id);
+
+  bool contains(std::uint32_t id) const;
+  std::size_t size() const noexcept { return positions_.size(); }
+
+  /// Position of a sensor; requires that the id is present.
+  Point2 position(std::uint32_t id) const;
+
+  /// Invokes fn(id, pos) for every sensor within `radius` of `center`.
+  void for_each_in_disc(
+      Point2 center, double radius,
+      const std::function<void(std::uint32_t, Point2)>& fn) const;
+
+  /// IDs of sensors within `radius` of `center`.
+  std::vector<std::uint32_t> query_disc(Point2 center, double radius) const;
+
+  /// Number of sensors within `radius` of `center`.
+  std::size_t count_in_disc(Point2 center, double radius) const;
+
+ private:
+  std::int64_t cell_key(Point2 p) const noexcept;
+
+  Rect bounds_;
+  double cell_size_;
+  std::unordered_map<std::int64_t, std::vector<std::uint32_t>> cells_;
+  std::unordered_map<std::uint32_t, Point2> positions_;
+};
+
+}  // namespace decor::geom

@@ -1,0 +1,30 @@
+#include "geometry/voronoi.hpp"
+
+namespace decor::geom {
+
+bool owns_point(const VoronoiSite& self,
+                const std::vector<VoronoiSite>& neighbors, Point2 p,
+                double rc) noexcept {
+  const double d_self = distance_sq(p, self.pos);
+  if (d_self > rc * rc) return false;
+  for (const auto& nb : neighbors) {
+    const double d_nb = distance_sq(p, nb.pos);
+    if (d_nb < d_self) return false;
+    if (d_nb == d_self && nb.id < self.id) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> owned_points(
+    const VoronoiSite& self, const std::vector<VoronoiSite>& neighbors,
+    const std::vector<Point2>& points,
+    const std::vector<std::size_t>& candidates, double rc) {
+  std::vector<std::size_t> out;
+  out.reserve(candidates.size());
+  for (std::size_t id : candidates) {
+    if (owns_point(self, neighbors, points[id], rc)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace decor::geom

@@ -1,0 +1,36 @@
+// Local Voronoi cells (Definition 1 of the paper).
+//
+// A node's local Voronoi cell V_i is the set of points p such that
+// d(p, s_i) < d(p, s_j) for every neighbor s_j with a direct link to s_i
+// (i.e. within communication radius rc). DECOR's Voronoi scheme bounds the
+// cell to the node's communication range: points farther than rc from the
+// node are owned by nobody until the deployed frontier grows toward them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace decor::geom {
+
+/// One competitor in a local Voronoi ownership test.
+struct VoronoiSite {
+  std::uint32_t id = 0;
+  Point2 pos;
+};
+
+/// True when `self` owns point `p` against `neighbors`, under communication
+/// radius `rc`. Ties on distance are broken toward the lower id so that
+/// every point has exactly one owner among mutually-linked nodes.
+bool owns_point(const VoronoiSite& self,
+                const std::vector<VoronoiSite>& neighbors, Point2 p,
+                double rc) noexcept;
+
+/// Filters `candidates` down to the points owned by `self`.
+std::vector<std::size_t> owned_points(
+    const VoronoiSite& self, const std::vector<VoronoiSite>& neighbors,
+    const std::vector<Point2>& points,
+    const std::vector<std::size_t>& candidates, double rc);
+
+}  // namespace decor::geom

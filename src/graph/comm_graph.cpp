@@ -1,0 +1,79 @@
+#include "graph/comm_graph.hpp"
+
+#include <algorithm>
+
+#include "geometry/sensor_index.hpp"
+
+namespace decor::graph {
+
+std::size_t CommGraph::num_edges() const noexcept {
+  std::size_t twice = 0;
+  for (const auto& nbrs : adj) twice += nbrs.size();
+  return twice / 2;
+}
+
+bool CommGraph::has_edge(std::uint32_t a, std::uint32_t b) const {
+  if (a >= adj.size()) return false;
+  return std::find(adj[a].begin(), adj[a].end(), b) != adj[a].end();
+}
+
+namespace {
+
+CommGraph from_indexed_positions(const std::vector<geom::Point2>& pos,
+                                 const std::vector<std::uint32_t>& ids,
+                                 const geom::Rect& bounds, double rc) {
+  CommGraph g;
+  g.node_ids = ids;
+  g.adj.assign(pos.size(), {});
+  if (pos.empty()) return g;
+
+  geom::DynamicSensorIndex index(bounds, std::max(rc, 1e-6));
+  for (std::uint32_t i = 0; i < pos.size(); ++i) index.insert(i, pos[i]);
+  for (std::uint32_t i = 0; i < pos.size(); ++i) {
+    index.for_each_in_disc(pos[i], rc, [&](std::uint32_t j, geom::Point2) {
+      if (j != i) g.adj[i].push_back(j);
+    });
+    std::sort(g.adj[i].begin(), g.adj[i].end());
+  }
+  return g;
+}
+
+geom::Rect bounding_box(const std::vector<geom::Point2>& pos) {
+  geom::Rect box{0, 0, 1, 1};
+  if (pos.empty()) return box;
+  box = {pos[0].x, pos[0].y, pos[0].x, pos[0].y};
+  for (const auto& p : pos) {
+    box.x0 = std::min(box.x0, p.x);
+    box.y0 = std::min(box.y0, p.y);
+    box.x1 = std::max(box.x1, p.x);
+    box.y1 = std::max(box.y1, p.y);
+  }
+  // Degenerate boxes (single point / collinear) need positive extent.
+  box.x1 = std::max(box.x1, box.x0 + 1.0);
+  box.y1 = std::max(box.y1, box.y0 + 1.0);
+  return box;
+}
+
+}  // namespace
+
+CommGraph build_comm_graph(const coverage::SensorSet& sensors, double rc) {
+  std::vector<geom::Point2> pos;
+  std::vector<std::uint32_t> ids;
+  pos.reserve(sensors.alive_count());
+  ids.reserve(sensors.alive_count());
+  for (const auto& s : sensors.all()) {
+    if (!s.alive) continue;
+    pos.push_back(s.pos);
+    ids.push_back(s.id);
+  }
+  return from_indexed_positions(pos, ids, sensors.bounds(), rc);
+}
+
+CommGraph build_comm_graph(const std::vector<geom::Point2>& positions,
+                           double rc) {
+  std::vector<std::uint32_t> ids(positions.size());
+  for (std::uint32_t i = 0; i < ids.size(); ++i) ids[i] = i;
+  return from_indexed_positions(positions, ids, bounding_box(positions), rc);
+}
+
+}  // namespace decor::graph

@@ -1,0 +1,36 @@
+// The communication graph of a deployed network.
+//
+// Two alive sensors are linked when their distance is at most the
+// communication radius rc (the paper's unit-disc model). The graph layer
+// exists to verify the paper's Section 2 corollary: when rc >= 2*rs,
+// k-coverage of the field implies k-connectivity of the network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coverage/sensor.hpp"
+
+namespace decor::graph {
+
+/// Undirected graph over the alive sensors, reindexed densely so
+/// algorithms can use plain vectors. `node_ids[i]` maps dense index i
+/// back to the SensorSet id.
+struct CommGraph {
+  std::vector<std::uint32_t> node_ids;
+  std::vector<std::vector<std::uint32_t>> adj;  // dense indices
+
+  std::size_t size() const noexcept { return adj.size(); }
+  std::size_t num_edges() const noexcept;
+  bool has_edge(std::uint32_t a, std::uint32_t b) const;
+};
+
+/// Builds the rc-disc graph over the alive sensors of `sensors`.
+CommGraph build_comm_graph(const coverage::SensorSet& sensors, double rc);
+
+/// Builds a graph from an explicit position list (used by tests and by
+/// callers without a SensorSet).
+CommGraph build_comm_graph(const std::vector<geom::Point2>& positions,
+                           double rc);
+
+}  // namespace decor::graph

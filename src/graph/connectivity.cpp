@@ -1,0 +1,48 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+
+namespace decor::graph {
+
+std::vector<std::uint32_t> component_labels(const CommGraph& g) {
+  constexpr std::uint32_t kUnset = ~std::uint32_t{0};
+  std::vector<std::uint32_t> label(g.size(), kUnset);
+  std::uint32_t next = 0;
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t start = 0; start < g.size(); ++start) {
+    if (label[start] != kUnset) continue;
+    label[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const auto v = stack.back();
+      stack.pop_back();
+      for (auto w : g.adj[v]) {
+        if (label[w] == kUnset) {
+          label[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+std::size_t num_components(const CommGraph& g) {
+  const auto labels = component_labels(g);
+  if (labels.empty()) return 0;
+  return static_cast<std::size_t>(
+             *std::max_element(labels.begin(), labels.end())) +
+         1;
+}
+
+bool is_connected(const CommGraph& g) { return num_components(g) <= 1; }
+
+std::size_t min_degree(const CommGraph& g) {
+  if (g.size() == 0) return 0;
+  std::size_t best = g.adj[0].size();
+  for (const auto& nbrs : g.adj) best = std::min(best, nbrs.size());
+  return best;
+}
+
+}  // namespace decor::graph

@@ -1,0 +1,24 @@
+// Basic connectivity queries on the communication graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/comm_graph.hpp"
+
+namespace decor::graph {
+
+/// Component label (0-based, in discovery order) for every node.
+std::vector<std::uint32_t> component_labels(const CommGraph& g);
+
+std::size_t num_components(const CommGraph& g);
+
+/// True for non-empty graphs whose nodes are mutually reachable. The
+/// empty graph is vacuously connected.
+bool is_connected(const CommGraph& g);
+
+/// Smallest node degree (0 for the empty graph). An upper bound on the
+/// vertex connectivity.
+std::size_t min_degree(const CommGraph& g);
+
+}  // namespace decor::graph

@@ -1,0 +1,41 @@
+// Exact k-vertex-connectivity testing.
+//
+// The paper's Section 2 corollary: if rc >= 2*rs and the field is fully
+// k-covered, the network is k-connected — it survives any k-1 node
+// failures without partitioning. This module decides k-connectivity
+// exactly via vertex-capacitated max-flow (Menger's theorem): each vertex
+// is split into in/out halves with unit capacity, and local connectivity
+// kappa(s, t) between non-adjacent s, t equals the max flow. Globally,
+//
+//   kappa(G) = min over v in {v0} union N(v0), u non-adjacent to v,
+//              of kappa(v, u)
+//
+// for any fixed v0: a minimum cut either leaves v0 outside (some
+// non-neighbor across it yields the minimum) or contains v0, in which
+// case a neighbor of v0 inside one side does. Flow searches early-exit at
+// k augmenting paths, so an is-k-connected test costs O(k * E) per pair.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/comm_graph.hpp"
+
+namespace decor::graph {
+
+/// Max number of internally vertex-disjoint s-t paths, capped at `cap`
+/// (0 = uncapped). For adjacent s,t the direct edge counts as one path.
+std::size_t local_connectivity(const CommGraph& g, std::uint32_t s,
+                               std::uint32_t t, std::size_t cap = 0);
+
+/// True when the graph is k-vertex-connected: it has more than k nodes
+/// and stays connected after removal of any k-1 nodes. (Every graph is
+/// 0-connected; a single node is 0-connected but not 1-connected under
+/// this standard definition — except K1 which we treat as connected,
+/// i.e. 1-connected iff connected and size >= 1.)
+bool is_k_connected(const CommGraph& g, std::size_t k);
+
+/// Exact vertex connectivity kappa(G) (0 for disconnected or trivial
+/// graphs; n-1 for the complete graph).
+std::size_t vertex_connectivity(const CommGraph& g);
+
+}  // namespace decor::graph

@@ -1,0 +1,112 @@
+#include "lds/discrepancy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace decor::lds {
+
+namespace {
+
+struct UnitPoint {
+  double x, y;
+};
+
+std::vector<UnitPoint> normalize(const std::vector<geom::Point2>& points,
+                                 const geom::Rect& bounds) {
+  DECOR_REQUIRE_MSG(bounds.width() > 0 && bounds.height() > 0,
+                    "discrepancy bounds must be non-degenerate");
+  std::vector<UnitPoint> out;
+  out.reserve(points.size());
+  for (const auto& p : points) {
+    DECOR_REQUIRE_MSG(bounds.contains(p), "point outside discrepancy bounds");
+    out.push_back({(p.x - bounds.x0) / bounds.width(),
+                   (p.y - bounds.y0) / bounds.height()});
+  }
+  return out;
+}
+
+}  // namespace
+
+double star_discrepancy(const std::vector<geom::Point2>& points,
+                        const geom::Rect& bounds) {
+  DECOR_REQUIRE_MSG(!points.empty(), "discrepancy of empty set");
+  auto pts = normalize(points, bounds);
+  const std::size_t n = pts.size();
+  const double inv_n = 1.0 / static_cast<double>(n);
+
+  std::sort(pts.begin(), pts.end(),
+            [](const UnitPoint& a, const UnitPoint& b) { return a.x < b.x; });
+
+  // Candidate v thresholds: every y coordinate plus 1.0.
+  std::vector<double> vs;
+  vs.reserve(n + 1);
+  for (const auto& p : pts) vs.push_back(p.y);
+  vs.push_back(1.0);
+  std::sort(vs.begin(), vs.end());
+  vs.erase(std::unique(vs.begin(), vs.end()), vs.end());
+
+  double best = 0.0;
+  // ys_prefix holds, sorted, the y coordinates of the points currently in
+  // the x-prefix; rebuilt incrementally as u sweeps right.
+  std::vector<double> ys_prefix;
+  ys_prefix.reserve(n);
+
+  std::size_t i = 0;
+  auto evaluate = [&](double u, const std::vector<double>& open_ys,
+                      const std::vector<double>& closed_ys) {
+    for (double v : vs) {
+      const auto open_cnt = static_cast<double>(
+          std::lower_bound(open_ys.begin(), open_ys.end(), v) -
+          open_ys.begin());
+      const auto closed_cnt = static_cast<double>(
+          std::upper_bound(closed_ys.begin(), closed_ys.end(), v) -
+          closed_ys.begin());
+      const double area = u * v;
+      best = std::max(best, area - open_cnt * inv_n);
+      best = std::max(best, closed_cnt * inv_n - area);
+    }
+  };
+
+  while (i < n) {
+    const double u = pts[i].x;
+    // open set: strictly left of u = current prefix (before adding ties).
+    const std::vector<double> open_ys = ys_prefix;
+    // closed set: include every point with x == u.
+    std::size_t j = i;
+    while (j < n && pts[j].x == u) {
+      ys_prefix.insert(
+          std::upper_bound(ys_prefix.begin(), ys_prefix.end(), pts[j].y),
+          pts[j].y);
+      ++j;
+    }
+    evaluate(u, open_ys, ys_prefix);
+    i = j;
+  }
+  // u = 1: all points are inside on both open and closed counts.
+  evaluate(1.0, ys_prefix, ys_prefix);
+  return best;
+}
+
+double star_discrepancy_sampled(const std::vector<geom::Point2>& points,
+                                const geom::Rect& bounds, std::size_t samples,
+                                common::Rng& rng) {
+  DECOR_REQUIRE_MSG(!points.empty(), "discrepancy of empty set");
+  const auto pts = normalize(points, bounds);
+  const double inv_n = 1.0 / static_cast<double>(pts.size());
+  double best = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double u = rng.uniform();
+    const double v = rng.uniform();
+    std::size_t cnt = 0;
+    for (const auto& p : pts) {
+      if (p.x <= u && p.y <= v) ++cnt;
+    }
+    best = std::max(best,
+                    std::abs(static_cast<double>(cnt) * inv_n - u * v));
+  }
+  return best;
+}
+
+}  // namespace decor::lds

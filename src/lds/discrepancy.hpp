@@ -1,0 +1,33 @@
+// Star-discrepancy estimation.
+//
+// The star discrepancy D*(P) of a point set P in the unit square is
+//   sup over anchored boxes B=[0,u)x[0,v) of | |P ∩ B|/|P| − area(B) |.
+// Exact computation is exponential in the dimension; in 2-D the supremum is
+// attained with box corners on the coordinate grid induced by the points,
+// which gives an exact O(N^2 log N)-ish algorithm, plus a cheaper sampled
+// estimator for large sets. Used by tests and bench/fig04 to verify the
+// paper's premise that Halton/Hammersley beat random sampling.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::lds {
+
+/// Exact star discrepancy of `points` relative to `bounds` (points are
+/// normalized into the unit square first). O(N^2) time, O(N) space —
+/// intended for N up to a few thousand.
+double star_discrepancy(const std::vector<geom::Point2>& points,
+                        const geom::Rect& bounds);
+
+/// Monte-Carlo lower bound on the star discrepancy: evaluates the local
+/// discrepancy at `samples` random anchored boxes. Cheap and sufficient to
+/// rank generators.
+double star_discrepancy_sampled(const std::vector<geom::Point2>& points,
+                                const geom::Rect& bounds, std::size_t samples,
+                                common::Rng& rng);
+
+}  // namespace decor::lds

@@ -1,0 +1,47 @@
+#include "lds/halton.hpp"
+
+#include "common/require.hpp"
+#include "lds/radical_inverse.hpp"
+
+namespace decor::lds {
+
+HaltonGenerator::HaltonGenerator(geom::Rect bounds, std::uint32_t base_x,
+                                 std::uint32_t base_y,
+                                 std::uint64_t scramble_seed,
+                                 std::uint64_t start_index)
+    : bounds_(bounds),
+      base_x_(base_x),
+      base_y_(base_y),
+      scramble_seed_(scramble_seed),
+      index_(start_index) {
+  DECOR_REQUIRE_MSG(base_x >= 2 && base_y >= 2, "Halton bases must be >= 2");
+  DECOR_REQUIRE_MSG(base_x != base_y,
+                    "Halton bases must be distinct (coprime) per dimension");
+  DECOR_REQUIRE_MSG(bounds.width() > 0 && bounds.height() > 0,
+                    "Halton bounds must be non-degenerate");
+}
+
+geom::Point2 HaltonGenerator::at(std::uint64_t i) const {
+  const double u = scrambled_radical_inverse(i, base_x_, scramble_seed_);
+  const double v = scrambled_radical_inverse(
+      i, base_y_, scramble_seed_ == 0 ? 0 : scramble_seed_ + 1);
+  return {bounds_.x0 + u * bounds_.width(), bounds_.y0 + v * bounds_.height()};
+}
+
+geom::Point2 HaltonGenerator::next() { return at(index_++); }
+
+std::vector<geom::Point2> HaltonGenerator::take(std::size_t n) {
+  std::vector<geom::Point2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+std::vector<geom::Point2> halton_points(const geom::Rect& bounds,
+                                        std::size_t n,
+                                        std::uint64_t scramble_seed) {
+  HaltonGenerator gen(bounds, 2, 3, scramble_seed, 1);
+  return gen.take(n);
+}
+
+}  // namespace decor::lds

@@ -1,0 +1,52 @@
+// The Halton sequence in two dimensions.
+//
+// DECOR approximates the monitored area with N Halton points: the sequence
+// has star discrepancy O(log^d N / N), far below the O(sqrt(log log N / N))
+// of random sampling, so coverage of the point set tracks coverage of the
+// continuous area tightly (Section 3.2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::lds {
+
+/// Incremental generator of 2-D Halton points scaled into a rectangle.
+/// Bases default to (2, 3); a nonzero scramble seed applies deterministic
+/// digit scrambling (useful to decorrelate multiple fields).
+class HaltonGenerator {
+ public:
+  explicit HaltonGenerator(geom::Rect bounds, std::uint32_t base_x = 2,
+                           std::uint32_t base_y = 3,
+                           std::uint64_t scramble_seed = 0,
+                           std::uint64_t start_index = 1);
+
+  /// Next point of the sequence.
+  geom::Point2 next();
+
+  /// The i-th point (absolute index; does not disturb the cursor).
+  geom::Point2 at(std::uint64_t i) const;
+
+  /// Generates `n` consecutive points.
+  std::vector<geom::Point2> take(std::size_t n);
+
+  const geom::Rect& bounds() const noexcept { return bounds_; }
+
+ private:
+  geom::Rect bounds_;
+  std::uint32_t base_x_;
+  std::uint32_t base_y_;
+  std::uint64_t scramble_seed_;
+  std::uint64_t index_;
+};
+
+/// Convenience: the first `n` Halton points in `bounds` (index starts at 1,
+/// skipping the degenerate origin point of index 0).
+std::vector<geom::Point2> halton_points(const geom::Rect& bounds,
+                                        std::size_t n,
+                                        std::uint64_t scramble_seed = 0);
+
+}  // namespace decor::lds

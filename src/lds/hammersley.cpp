@@ -1,0 +1,28 @@
+#include "lds/hammersley.hpp"
+
+#include "common/require.hpp"
+#include "lds/radical_inverse.hpp"
+
+namespace decor::lds {
+
+std::vector<geom::Point2> hammersley_points(const geom::Rect& bounds,
+                                            std::size_t n,
+                                            std::uint32_t base,
+                                            std::uint64_t scramble_seed) {
+  DECOR_REQUIRE_MSG(n > 0, "Hammersley set must be non-empty");
+  DECOR_REQUIRE_MSG(bounds.width() > 0 && bounds.height() > 0,
+                    "Hammersley bounds must be non-degenerate");
+  std::vector<geom::Point2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Offset by 1/2 in the first coordinate so no point sits on the left
+    // edge (keeps the set symmetric inside the rectangle).
+    const double u = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+    const double v = scrambled_radical_inverse(i, base, scramble_seed);
+    out.push_back({bounds.x0 + u * bounds.width(),
+                   bounds.y0 + v * bounds.height()});
+  }
+  return out;
+}
+
+}  // namespace decor::lds

@@ -1,0 +1,28 @@
+// Radical inverse (van der Corput) functions — the building block of the
+// Halton sequence and Hammersley set.
+//
+// The radical inverse Phi_b(n) mirrors the base-b digits of n around the
+// radix point: n = sum d_i b^i  ->  Phi_b(n) = sum d_i b^{-i-1}. The
+// resulting one-dimensional sequence is low-discrepancy, and pairing
+// different prime bases (or pairing with n/N) yields the 2-D sets DECOR
+// uses to approximate the monitored area.
+#pragma once
+
+#include <cstdint>
+
+namespace decor::lds {
+
+/// Phi_b(n) in [0, 1). Requires base >= 2.
+double radical_inverse(std::uint64_t n, std::uint32_t base) noexcept;
+
+/// Scrambled radical inverse: digit d of index i is permuted to
+/// (d + seed_hash(i)) mod base before mirroring. Deterministic in `seed`;
+/// seed == 0 reduces to the plain radical inverse.
+double scrambled_radical_inverse(std::uint64_t n, std::uint32_t base,
+                                 std::uint64_t seed) noexcept;
+
+/// The i-th prime (0 -> 2, 1 -> 3, ...) for i < 64; used to pick Halton
+/// bases per dimension.
+std::uint32_t nth_prime(std::size_t i);
+
+}  // namespace decor::lds

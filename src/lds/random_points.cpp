@@ -1,0 +1,40 @@
+#include "lds/random_points.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace decor::lds {
+
+geom::Point2 random_point(const geom::Rect& bounds, common::Rng& rng) {
+  return {rng.uniform(bounds.x0, bounds.x1), rng.uniform(bounds.y0, bounds.y1)};
+}
+
+std::vector<geom::Point2> random_points(const geom::Rect& bounds,
+                                        std::size_t n, common::Rng& rng) {
+  std::vector<geom::Point2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(random_point(bounds, rng));
+  return out;
+}
+
+std::vector<geom::Point2> jittered_points(const geom::Rect& bounds,
+                                          std::size_t n, common::Rng& rng) {
+  DECOR_REQUIRE_MSG(n > 0, "jittered set must be non-empty");
+  const auto nx = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  const std::size_t ny = (n + nx - 1) / nx;
+  const double cw = bounds.width() / static_cast<double>(nx);
+  const double ch = bounds.height() / static_cast<double>(ny);
+  std::vector<geom::Point2> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t ix = i % nx;
+    const std::size_t iy = i / nx;
+    out.push_back({bounds.x0 + (static_cast<double>(ix) + rng.uniform()) * cw,
+                   bounds.y0 + (static_cast<double>(iy) + rng.uniform()) * ch});
+  }
+  return out;
+}
+
+}  // namespace decor::lds

@@ -1,0 +1,27 @@
+// Uniform random point sets — the baseline DECOR's discrepancy argument is
+// made against, and the generator for random initial sensor deployments.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::lds {
+
+/// `n` i.i.d. uniform points in `bounds`.
+std::vector<geom::Point2> random_points(const geom::Rect& bounds,
+                                        std::size_t n, common::Rng& rng);
+
+/// A single uniform point in `bounds`.
+geom::Point2 random_point(const geom::Rect& bounds, common::Rng& rng);
+
+/// Stratified jittered grid: one uniform point per cell of an
+/// approximately-square nx x ny subdivision with nx*ny >= n (first n cells
+/// in row-major order). Lower discrepancy than i.i.d., higher than Halton;
+/// included as a middle-ground generator for ablation studies.
+std::vector<geom::Point2> jittered_points(const geom::Rect& bounds,
+                                          std::size_t n, common::Rng& rng);
+
+}  // namespace decor::lds

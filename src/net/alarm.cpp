@@ -1,0 +1,42 @@
+#include "net/alarm.hpp"
+
+#include "common/require.hpp"
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+AlarmNode::AlarmNode(AlarmParams params)
+    : SensorNode(params.node), params_(std::move(params)) {
+  DECOR_REQUIRE_MSG(params_.env != nullptr, "alarm node needs an environment");
+  DECOR_REQUIRE_MSG(params_.sample_period > 0.0,
+                    "sample period must be positive");
+}
+
+void AlarmNode::on_start() {
+  SensorNode::on_start();
+  flooder_ = std::make_unique<Flooder>(*this, params_.node.rc, kAlarmFlood);
+  flooder_->set_deliver([this](const FloodPayload& p) {
+    const AlarmReport report{world().sim().now(), p.origin, p.pos, p.value,
+                             p.hops};
+    delivered_.push_back(report);
+    if (subscriber_) subscriber_(report);
+  });
+  // Random phase so the network's ADC reads are not synchronized.
+  const double phase = world().rng().uniform(0.0, params_.sample_period);
+  set_timer(phase, [this] { sample(); });
+}
+
+void AlarmNode::sample() {
+  last_reading_ = params_.env->value(pos(), world().sim().now());
+  if (!alarmed_ && last_reading_ >= params_.threshold) {
+    alarmed_ = true;
+    flooder_->originate(last_reading_, pos());
+  }
+  set_timer(params_.sample_period, [this] { sample(); });
+}
+
+void AlarmNode::handle_message(const sim::Message& msg) {
+  if (msg.kind == kAlarmFlood) flooder_->on_message(msg);
+}
+
+}  // namespace decor::net

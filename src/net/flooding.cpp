@@ -1,0 +1,45 @@
+#include "net/flooding.hpp"
+
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+Flooder::Flooder(sim::NodeProcess& host, double range, int msg_kind)
+    : host_(host), range_(range), msg_kind_(msg_kind) {}
+
+bool Flooder::seen_before(std::uint32_t origin, std::uint32_t seq) {
+  return !seen_[origin].insert(seq).second;
+}
+
+std::uint32_t Flooder::originate(double value, geom::Point2 pos) {
+  const std::uint32_t seq = next_seq_++;
+  FloodPayload payload{host_.id(), seq, 0, value, pos};
+  seen_before(host_.id(), seq);  // never re-forward our own flood
+  if (deliver_) deliver_(payload);
+  host_.world().radio().broadcast(
+      host_,
+      sim::Message::make(host_.id(), msg_kind_, payload,
+                         wire_size(kReport)),
+      range_);
+  ++forwarded_;
+  return seq;
+}
+
+void Flooder::on_message(const sim::Message& msg) {
+  if (msg.kind != msg_kind_) return;
+  auto payload = msg.as<FloodPayload>();
+  if (seen_before(payload.origin, payload.seq)) {
+    ++dropped_;
+    return;
+  }
+  if (deliver_) deliver_(payload);
+  ++payload.hops;
+  host_.world().radio().broadcast(
+      host_,
+      sim::Message::make(host_.id(), msg_kind_, payload,
+                         wire_size(kReport)),
+      range_);
+  ++forwarded_;
+}
+
+}  // namespace decor::net

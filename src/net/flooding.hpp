@@ -1,0 +1,64 @@
+// Duplicate-suppressing flooding and base-station reporting.
+//
+// The paper's grid scheme has leaders "propagate [their] decision to the
+// base station"; with rc far below the field diagonal that takes multiple
+// hops. Flooder implements the standard epidemic primitive: every message
+// carries (origin, sequence number); a node forwards each (origin, seq)
+// at most once, so a flood costs O(nodes) transmissions and reaches every
+// node of the connected component within diameter hops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/messages.hpp"
+#include "sim/node.hpp"
+
+namespace decor::net {
+
+/// Flood envelope carried as the payload of kReport-class messages.
+struct FloodPayload {
+  std::uint32_t origin = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t hops = 0;
+  /// Application payload (kept simple: a scalar plus a position, enough
+  /// for placement/alarm reports).
+  double value = 0.0;
+  geom::Point2 pos;
+};
+
+class Flooder {
+ public:
+  /// `deliver` fires exactly once per distinct flood that reaches the
+  /// host (including the host's own originations).
+  using DeliverFn = std::function<void(const FloodPayload&)>;
+
+  Flooder(sim::NodeProcess& host, double range, int msg_kind);
+
+  void set_deliver(DeliverFn deliver) { deliver_ = std::move(deliver); }
+
+  /// Originates a new flood from the host node; returns its sequence.
+  std::uint32_t originate(double value, geom::Point2 pos);
+
+  /// Hosts forward every received message of the flooder's kind here.
+  void on_message(const sim::Message& msg);
+
+  std::uint64_t forwarded() const noexcept { return forwarded_; }
+  std::uint64_t duplicates_dropped() const noexcept { return dropped_; }
+
+ private:
+  bool seen_before(std::uint32_t origin, std::uint32_t seq);
+
+  sim::NodeProcess& host_;
+  double range_;
+  int msg_kind_;
+  DeliverFn deliver_;
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>> seen_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace decor::net

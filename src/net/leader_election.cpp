@@ -1,0 +1,96 @@
+#include "net/leader_election.hpp"
+
+#include "common/require.hpp"
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+LeaderElection::LeaderElection(sim::NodeProcess& host, std::uint32_t cell,
+                               ElectionParams params)
+    : host_(host), cell_(cell), params_(params) {
+  DECOR_REQUIRE_MSG(params_.term_duration > params_.settle_delay,
+                    "term must outlast the settle window");
+}
+
+std::uint32_t LeaderElection::host_id() const noexcept { return host_.id(); }
+
+void LeaderElection::start(SendElect send_elect, SendLeader send_leader,
+                           LeaderCallback on_leader) {
+  send_elect_ = std::move(send_elect);
+  send_leader_ = std::move(send_leader);
+  on_leader_ = std::move(on_leader);
+  start_term();
+}
+
+void LeaderElection::start_term() {
+  ++term_;
+  my_priority_ = host_.world().rng()();
+  best_priority_ = my_priority_;
+  best_id_ = host_id();
+  has_best_ = true;
+
+  const double jitter =
+      host_.world().rng().uniform(0.0, params_.bid_jitter);
+  auto& sim = host_.world().sim();
+  sim.schedule(jitter, [this] {
+    if (!host_.alive()) return;
+    send_elect_(ElectPayload{cell_, my_priority_, term_});
+  });
+  sim.schedule(params_.settle_delay, [this] {
+    if (host_.alive()) decide();
+  });
+  sim.schedule(params_.term_duration, [this] {
+    if (host_.alive()) start_term();
+  });
+}
+
+void LeaderElection::decide() {
+  // A node that joined mid-term has an empty view of the bids; if an
+  // established leader already announced itself this term, follow it
+  // rather than usurping on no evidence.
+  if (leader_ && leader_term_ == term_ && *leader_ != host_id()) return;
+  if (has_best_ && best_id_ == host_id()) {
+    set_leader(host_id());
+    leader_term_ = term_;
+    send_leader_(LeaderPayload{cell_, term_});
+  }
+}
+
+void LeaderElection::on_elect(std::uint32_t from, const ElectPayload& p) {
+  if (p.cell != cell_) return;
+  // A bid arriving after we decided (a freshly deployed node introducing
+  // itself) gets an authoritative re-announcement so it adopts us instead
+  // of self-electing.
+  if (is_leader() && leader_term_ == term_) {
+    send_leader_(LeaderPayload{cell_, term_});
+    return;
+  }
+  if (p.term != term_) return;
+  if (!has_best_ || p.priority > best_priority_ ||
+      (p.priority == best_priority_ && from < best_id_)) {
+    best_priority_ = p.priority;
+    best_id_ = from;
+    has_best_ = true;
+  }
+}
+
+void LeaderElection::on_leader_msg(std::uint32_t from,
+                                   const LeaderPayload& p) {
+  if (p.cell != cell_) return;
+  // Accept announcements from newer terms than the one our belief came
+  // from (heals stale beliefs after lost frames), and break same-term
+  // duplicates toward the lower id.
+  if (!leader_ || p.term > leader_term_ ||
+      (p.term == leader_term_ && (from < *leader_ || from == *leader_))) {
+    set_leader(from);
+    leader_term_ = p.term;
+  }
+}
+
+void LeaderElection::set_leader(std::uint32_t id) {
+  const bool changed = !leader_ || *leader_ != id;
+  leader_ = id;
+  if (changed && on_leader_) on_leader_(id, id == host_id());
+}
+
+}  // namespace decor::net

@@ -1,0 +1,84 @@
+// Randomized leader election with periodic rotation (grid scheme).
+//
+// The paper delegates election to known in-network algorithms [6,11,12]
+// whose essential properties are: one leader per non-empty cell, chosen
+// randomly, and rotated periodically so the leader's extra energy drain is
+// spread over the cell. This component implements exactly that: each term,
+// every member broadcasts a random-priority bid; the highest bid (lowest
+// id on ties) wins and announces itself. Cells are assumed internally
+// connected (the paper's stated assumption), so every member hears every
+// bid.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "net/messages.hpp"
+#include "sim/node.hpp"
+
+namespace decor::net {
+
+struct ElectionParams {
+  /// Term length; a fresh election (rotation) starts every term.
+  double term_duration = 60.0;
+  /// Delay between bidding and deciding, covering radio latency.
+  double settle_delay = 0.05;
+  /// Random tx offset applied to each bid to avoid synchronized bursts.
+  double bid_jitter = 0.01;
+};
+
+class LeaderElection {
+ public:
+  /// `send_elect` / `send_leader` transmit the given payloads (the host
+  /// owns addressing and ranges). `on_leader` fires whenever the believed
+  /// leader of the host's cell changes.
+  using SendElect = std::function<void(const ElectPayload&)>;
+  using SendLeader = std::function<void(const LeaderPayload&)>;
+  using LeaderCallback =
+      std::function<void(std::uint32_t leader_id, bool is_self)>;
+
+  LeaderElection(sim::NodeProcess& host, std::uint32_t cell,
+                 ElectionParams params);
+
+  void start(SendElect send_elect, SendLeader send_leader,
+             LeaderCallback on_leader);
+
+  /// Host forwards every received ELECT for any cell; bids for other
+  /// cells are ignored.
+  void on_elect(std::uint32_t from, const ElectPayload& p);
+
+  /// Host forwards every received LEADER announcement.
+  void on_leader_msg(std::uint32_t from, const LeaderPayload& p);
+
+  bool is_leader() const noexcept { return leader_ && *leader_ == host_id(); }
+  std::optional<std::uint32_t> leader() const noexcept { return leader_; }
+  std::uint32_t term() const noexcept { return term_; }
+  std::uint32_t cell() const noexcept { return cell_; }
+
+ private:
+  std::uint32_t host_id() const noexcept;
+  void start_term();
+  void decide();
+  void set_leader(std::uint32_t id);
+
+  sim::NodeProcess& host_;
+  std::uint32_t cell_;
+  ElectionParams params_;
+  SendElect send_elect_;
+  SendLeader send_leader_;
+  LeaderCallback on_leader_;
+
+  std::uint32_t term_ = 0;
+  std::uint64_t my_priority_ = 0;
+  // Best bid seen this term: (priority, -id) ordering via explicit compare.
+  std::uint64_t best_priority_ = 0;
+  std::uint32_t best_id_ = 0;
+  bool has_best_ = false;
+  std::optional<std::uint32_t> leader_;
+  // Term in which leader_ was learned; a node that joins mid-term adopts
+  // the announced leader instead of self-electing on its own (empty) view.
+  std::uint32_t leader_term_ = 0;
+};
+
+}  // namespace decor::net

@@ -1,0 +1,85 @@
+// Wire messages of the DECOR protocol suite.
+//
+// Kinds are globally unique small integers so traces remain readable; the
+// payload structs are tiny PODs carried through sim::Message::make.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/point.hpp"
+
+namespace decor::net {
+
+enum MsgKind : int {
+  kHello = 1,          // neighbor discovery: "I exist at pos"
+  kHeartbeat = 2,      // periodic liveness + position refresh
+  kElect = 3,          // leader election bid for a cell
+  kLeader = 4,         // election winner announcement
+  kPlacement = 5,      // "a new sensor was deployed at pos"
+  kCoverageQuery = 6,  // leader asks members for known sensors
+  kCoverageReply = 7,  // member replies with its position
+  kReport = 8,         // data/report toward the base station
+};
+
+struct HelloPayload {
+  geom::Point2 pos;
+};
+
+struct HeartbeatPayload {
+  geom::Point2 pos;
+  /// Cell the sender currently believes it belongs to (grid scheme).
+  std::uint32_t cell = 0;
+};
+
+struct ElectPayload {
+  std::uint32_t cell = 0;
+  /// Election priority for this term; highest wins, id breaks ties.
+  std::uint64_t priority = 0;
+  std::uint32_t term = 0;
+};
+
+struct LeaderPayload {
+  std::uint32_t cell = 0;
+  std::uint32_t term = 0;
+};
+
+struct PlacementPayload {
+  geom::Point2 pos;
+  /// Cell of the placing leader (grid scheme) or 0 (Voronoi scheme).
+  std::uint32_t origin_cell = 0;
+};
+
+struct CoverageQueryPayload {
+  std::uint32_t cell = 0;
+};
+
+struct CoverageReplyPayload {
+  geom::Point2 pos;
+};
+
+struct ReportPayload {
+  double value = 0.0;
+};
+
+/// Nominal wire sizes (bytes) used by the energy model; roughly two floats
+/// of position plus headers, matching mote-class packet sizes.
+inline std::size_t wire_size(MsgKind kind) {
+  switch (kind) {
+    case kHello:
+    case kHeartbeat:
+    case kCoverageReply:
+      return 24;
+    case kElect:
+    case kLeader:
+      return 20;
+    case kPlacement:
+      return 28;
+    case kCoverageQuery:
+      return 16;
+    case kReport:
+      return 32;
+  }
+  return 32;
+}
+
+}  // namespace decor::net

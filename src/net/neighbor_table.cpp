@@ -1,0 +1,44 @@
+#include "net/neighbor_table.hpp"
+
+#include <algorithm>
+
+namespace decor::net {
+
+void NeighborTable::observe(std::uint32_t id, geom::Point2 pos,
+                            sim::Time now) {
+  auto& e = entries_[id];
+  e.pos = pos;
+  e.last_seen = now;
+}
+
+void NeighborTable::forget(std::uint32_t id) { entries_.erase(id); }
+
+bool NeighborTable::knows(std::uint32_t id) const {
+  return entries_.find(id) != entries_.end();
+}
+
+std::optional<NeighborEntry> NeighborTable::get(std::uint32_t id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint32_t> NeighborTable::stale(sim::Time deadline) const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, e] : entries_) {
+    if (e.last_seen < deadline) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, NeighborEntry>> NeighborTable::snapshot()
+    const {
+  std::vector<std::pair<std::uint32_t, NeighborEntry>> out(entries_.begin(),
+                                                           entries_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace decor::net

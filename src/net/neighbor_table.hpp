@@ -1,0 +1,46 @@
+// Neighbor tables: what one node knows about the nodes around it.
+//
+// Populated from HELLO and heartbeat messages; entries age out when
+// heartbeats stop, which is exactly how DECOR detects node failures
+// ("once a node stops receiving such messages from one of its neighbors,
+// this indicates that the neighbor has failed", Section 3.2).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "sim/event_queue.hpp"
+
+namespace decor::net {
+
+struct NeighborEntry {
+  geom::Point2 pos;
+  sim::Time last_seen = 0.0;
+};
+
+class NeighborTable {
+ public:
+  /// Inserts or refreshes a neighbor.
+  void observe(std::uint32_t id, geom::Point2 pos, sim::Time now);
+
+  /// Removes a neighbor (explicit failure notification).
+  void forget(std::uint32_t id);
+
+  bool knows(std::uint32_t id) const;
+  std::optional<NeighborEntry> get(std::uint32_t id) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// IDs whose last_seen is older than `deadline`; does not remove them.
+  std::vector<std::uint32_t> stale(sim::Time deadline) const;
+
+  /// All currently known (id, entry) pairs, id-ascending.
+  std::vector<std::pair<std::uint32_t, NeighborEntry>> snapshot() const;
+
+ private:
+  std::unordered_map<std::uint32_t, NeighborEntry> entries_;
+};
+
+}  // namespace decor::net

@@ -1,0 +1,59 @@
+#include "net/peas.hpp"
+
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+void PeasNode::on_start() {
+  state_ = State::kSleeping;
+  schedule_wakeup();
+}
+
+void PeasNode::schedule_wakeup() {
+  const double delay = world().rng().exponential(params_.mean_sleep);
+  set_timer(delay, [this] {
+    if (state_ == State::kSleeping) probe();
+  });
+}
+
+void PeasNode::probe() {
+  state_ = State::kProbing;
+  heard_reply_ = false;
+  ++probes_;
+  broadcast(sim::Message::make(id(), kProbe, HelloPayload{pos()},
+                               wire_size(kHello)),
+            params_.probing_range);
+  set_timer(params_.reply_wait, [this] {
+    if (state_ != State::kProbing) return;
+    if (heard_reply_) {
+      // Someone nearby is already on duty: back to sleep.
+      state_ = State::kSleeping;
+      schedule_wakeup();
+    } else {
+      // No worker in probing range: take over, forever.
+      state_ = State::kWorking;
+    }
+  });
+}
+
+void PeasNode::on_message(const sim::Message& msg) {
+  switch (msg.kind) {
+    case kProbe:
+      // A sleeping node's radio is off: only working nodes answer. The
+      // reply is unicast back to the prober (classic PEAS).
+      if (state_ == State::kWorking) {
+        unicast(msg.src,
+                sim::Message::make(id(), kProbeReply, HelloPayload{pos()},
+                                   wire_size(kHello)),
+                params_.probing_range);
+      }
+      break;
+    case kProbeReply:
+      if (state_ == State::kProbing) heard_reply_ = true;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace decor::net

@@ -1,0 +1,64 @@
+// PEAS (Ye et al., ICDCS 2003) — the probing-based energy-conservation
+// protocol the paper discusses as related work [22].
+//
+// All nodes start asleep. A sleeping node wakes after an exponential
+// delay, PROBEs its neighborhood within the probing range, and goes back
+// to sleep if any working node REPLYs; otherwise it becomes a working
+// node until it dies. The working set self-organizes into an
+// approximately probing-range-separated cover — with no placement
+// algorithm and only k=1 semantics, which is exactly the contrast the
+// paper draws against DECOR. Implemented here so the comparison can be
+// run rather than cited (bench/baseline_peas).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/messages.hpp"
+#include "sim/node.hpp"
+
+namespace decor::net {
+
+/// PEAS message kinds (continuing the MsgKind numbering).
+inline constexpr int kProbe = 20;
+inline constexpr int kProbeReply = 21;
+
+struct PeasParams {
+  /// Probing range: a working node within this distance keeps a prober
+  /// asleep. PEAS picks it from the desired working-node density;
+  /// rp ~ rs keeps 1-coverage approximately intact.
+  double probing_range = 4.0;
+  /// Mean of the exponential sleep duration.
+  double mean_sleep = 5.0;
+  /// How long a prober waits for replies before declaring itself working.
+  double reply_wait = 0.1;
+  /// Communication radius used for probe/reply traffic.
+  double rc = 8.0;
+};
+
+class PeasNode : public sim::NodeProcess {
+ public:
+  enum class State { kSleeping, kProbing, kWorking };
+
+  explicit PeasNode(PeasParams params) : params_(params) {}
+
+  void on_start() override;
+  void on_message(const sim::Message& msg) override;
+
+  State state() const noexcept { return state_; }
+  bool working() const noexcept { return state_ == State::kWorking; }
+
+  /// Number of probes this node sent (protocol overhead metric).
+  std::uint64_t probes_sent() const noexcept { return probes_; }
+
+ private:
+  void schedule_wakeup();
+  void probe();
+
+  PeasParams params_;
+  State state_ = State::kSleeping;
+  std::uint64_t probes_ = 0;
+  bool heard_reply_ = false;
+};
+
+}  // namespace decor::net

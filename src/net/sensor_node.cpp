@@ -1,0 +1,71 @@
+#include "net/sensor_node.hpp"
+
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+void SensorNode::on_start() {
+  // Announce ourselves and ask established neighbors to introduce
+  // themselves back — a freshly deployed replacement node must learn the
+  // neighborhood it landed in.
+  send_hello(/*solicit_reply=*/true);
+  if (params_.enable_heartbeat) {
+    detector_ = std::make_unique<HeartbeatDetector>(*this, params_.heartbeat,
+                                                    table_);
+    detector_->start([this] { send_heartbeat(); },
+                     [this](std::uint32_t id, geom::Point2 pos) {
+                       on_neighbor_failed(id, pos);
+                     });
+  }
+}
+
+void SensorNode::send_hello(bool solicit_reply) {
+  broadcast(sim::Message::make(id(), kHello,
+                               HelloExtPayload{pos(), solicit_reply},
+                               wire_size(kHello)),
+            params_.rc);
+}
+
+void SensorNode::send_heartbeat() {
+  broadcast(sim::Message::make(id(), kHeartbeat,
+                               HeartbeatPayload{pos(), heartbeat_cell()},
+                               wire_size(kHeartbeat)),
+            params_.rc);
+}
+
+void SensorNode::observe(std::uint32_t from, geom::Point2 p) {
+  const bool fresh = !table_.knows(from);
+  table_.observe(from, p, world().sim().now());
+  if (detector_) detector_->observe(from, p);
+  if (fresh) on_neighbor_discovered(from, p);
+}
+
+void SensorNode::on_message(const sim::Message& msg) {
+  switch (msg.kind) {
+    case kHello: {
+      const auto& p = msg.as<HelloExtPayload>();
+      observe(msg.src, p.pos);
+      if (p.solicit_reply) {
+        // Introduce ourselves to the newcomer only (unicast keeps the
+        // O(neighbors^2) hello storm away).
+        unicast(msg.src,
+                sim::Message::make(id(), kHello,
+                                   HelloExtPayload{pos(), false},
+                                   wire_size(kHello)),
+                params_.rc);
+      }
+      break;
+    }
+    case kHeartbeat: {
+      const auto& p = msg.as<HeartbeatPayload>();
+      observe(msg.src, p.pos);
+      handle_message(msg);  // subclasses may track cells from heartbeats
+      break;
+    }
+    default:
+      handle_message(msg);
+      break;
+  }
+}
+
+}  // namespace decor::net

@@ -1,0 +1,75 @@
+// SensorNode: the protocol base every simulated sensor runs.
+//
+// Integrates neighbor discovery (HELLO with solicited replies), the
+// heartbeat failure detector and a neighbor table. DECOR's sim-driven
+// deployment logic (src/decor/sim_runner.*) subclasses this and reacts to
+// the hooks; examples reuse it directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/heartbeat.hpp"
+#include "net/messages.hpp"
+#include "net/neighbor_table.hpp"
+#include "sim/node.hpp"
+
+namespace decor::net {
+
+struct SensorNodeParams {
+  /// Communication radius rc; all protocol traffic uses this range.
+  double rc = 8.0;
+  HeartbeatParams heartbeat;
+  /// Heartbeats can be disabled for pure-deployment runs to keep the
+  /// event count down.
+  bool enable_heartbeat = true;
+};
+
+class SensorNode : public sim::NodeProcess {
+ public:
+  explicit SensorNode(SensorNodeParams params) : params_(params) {}
+
+  void on_start() override;
+  void on_message(const sim::Message& msg) override;
+
+  const NeighborTable& neighbors() const noexcept { return table_; }
+  const SensorNodeParams& params() const noexcept { return params_; }
+
+ protected:
+  /// Non-core message kinds are forwarded here.
+  virtual void handle_message(const sim::Message& msg) { (void)msg; }
+
+  /// First contact with a neighbor (any message carrying its position).
+  virtual void on_neighbor_discovered(std::uint32_t id, geom::Point2 pos) {
+    (void)id;
+    (void)pos;
+  }
+
+  /// The failure detector timed a neighbor out.
+  virtual void on_neighbor_failed(std::uint32_t id, geom::Point2 last_pos) {
+    (void)id;
+    (void)last_pos;
+  }
+
+  /// Cell id carried in this node's heartbeats (grid scheme); default 0.
+  virtual std::uint32_t heartbeat_cell() const { return 0; }
+
+  void send_hello(bool solicit_reply);
+  void send_heartbeat();
+
+  SensorNodeParams params_;
+  NeighborTable table_;
+  std::unique_ptr<HeartbeatDetector> detector_;
+
+ private:
+  void observe(std::uint32_t id, geom::Point2 pos);
+};
+
+/// Hello payload with the solicited-reply flag (kept out of messages.hpp
+/// because only SensorNode uses the flag).
+struct HelloExtPayload {
+  geom::Point2 pos;
+  bool solicit_reply = false;
+};
+
+}  // namespace decor::net

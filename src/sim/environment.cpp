@@ -1,0 +1,42 @@
+#include "sim/environment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace decor::sim {
+
+SpreadingFireField::SpreadingFireField(geom::Point2 ignition, Time t0,
+                                       double speed, double ambient,
+                                       double peak, double edge)
+    : ignition_(ignition),
+      t0_(t0),
+      speed_(speed),
+      ambient_(ambient),
+      peak_(peak),
+      edge_(edge) {
+  DECOR_REQUIRE_MSG(speed > 0.0, "fire front speed must be positive");
+  DECOR_REQUIRE_MSG(peak > ambient, "peak must exceed ambient");
+  DECOR_REQUIRE_MSG(edge > 0.0, "edge width must be positive");
+}
+
+double SpreadingFireField::front_radius(Time t) const {
+  return speed_ * std::max(t - t0_, 0.0);
+}
+
+bool SpreadingFireField::burning(geom::Point2 p, Time t) const {
+  const double r = front_radius(t);
+  return r > 0.0 && geom::distance_sq(p, ignition_) <= r * r;
+}
+
+double SpreadingFireField::value(geom::Point2 p, Time t) const {
+  const double r = front_radius(t);
+  if (r <= 0.0) return ambient_;
+  const double d = geom::distance(p, ignition_);
+  if (d <= r) return peak_;
+  // Pre-heating skirt: exponential decay with distance ahead of the front.
+  return ambient_ + (peak_ - ambient_) * std::exp(-(d - r) / edge_);
+}
+
+}  // namespace decor::sim

@@ -1,0 +1,66 @@
+// Physical environment models: what the sensors sense.
+//
+// The paper's headline application is wild-fire early warning
+// ("temperature-sensing nodes ... early warnings from sensors can help
+// preventing such infernos"). A ScalarField gives every point of the
+// field a sensed value at a simulated time; SpreadingFireField models a
+// circular fire front advancing from an ignition point, which both
+// raises readings ahead of the alarm threshold and destroys nodes it
+// engulfs (see examples/wildfire.cpp).
+#pragma once
+
+#include <memory>
+
+#include "geometry/point.hpp"
+#include "sim/event_queue.hpp"
+
+namespace decor::sim {
+
+class ScalarField {
+ public:
+  virtual ~ScalarField() = default;
+
+  /// Sensed value at position `p` and simulated time `t`.
+  virtual double value(geom::Point2 p, Time t) const = 0;
+};
+
+/// Spatially and temporally constant background (e.g. ambient 20 C).
+class ConstantField final : public ScalarField {
+ public:
+  explicit ConstantField(double v) : v_(v) {}
+  double value(geom::Point2, Time) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+/// A circular fire front: ignition at `ignition`/`t0`, radius growing at
+/// `speed`; temperature is `peak` inside the front, `ambient` far away,
+/// with an exponential skirt of scale `edge` ahead of the front (the
+/// pre-heating zone that makes early warning possible).
+class SpreadingFireField final : public ScalarField {
+ public:
+  SpreadingFireField(geom::Point2 ignition, Time t0, double speed,
+                     double ambient = 20.0, double peak = 400.0,
+                     double edge = 3.0);
+
+  double value(geom::Point2 p, Time t) const override;
+
+  /// Radius of the burned disc at time t (0 before ignition).
+  double front_radius(Time t) const;
+
+  /// True when `p` is inside the burned area at time `t`.
+  bool burning(geom::Point2 p, Time t) const;
+
+  geom::Point2 ignition() const noexcept { return ignition_; }
+
+ private:
+  geom::Point2 ignition_;
+  Time t0_;
+  double speed_;
+  double ambient_;
+  double peak_;
+  double edge_;
+};
+
+}  // namespace decor::sim

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include "common/require.hpp"
+
+namespace decor::sim {
+
+EventHandle EventQueue::schedule(Time at, std::function<void()> fn) {
+  auto flag = std::make_shared<bool>(false);
+  heap_.push(Entry{at, seq_++, std::move(fn), flag});
+  return EventHandle(std::move(flag));
+}
+
+void EventQueue::skip_cancelled() {
+  while (!heap_.empty() && *heap_.top().cancelled) heap_.pop();
+}
+
+bool EventQueue::empty() const noexcept {
+  const_cast<EventQueue*>(this)->skip_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  const_cast<EventQueue*>(this)->skip_cancelled();
+  DECOR_REQUIRE_MSG(!heap_.empty(), "next_time on empty event queue");
+  return heap_.top().at;
+}
+
+Time EventQueue::pop_and_run() {
+  skip_cancelled();
+  DECOR_REQUIRE_MSG(!heap_.empty(), "pop on empty event queue");
+  // Move the entry out before running: the callback may schedule further
+  // events and mutate the heap.
+  Entry entry = heap_.top();
+  heap_.pop();
+  entry.fn();
+  return entry.at;
+}
+
+}  // namespace decor::sim

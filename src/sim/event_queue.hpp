@@ -1,0 +1,74 @@
+// The discrete-event core: a time-ordered queue of callbacks.
+//
+// Determinism matters more than raw speed here — every experiment must be
+// reproducible from its seed — so ties in time are broken by insertion
+// sequence number, never by heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+namespace decor::sim {
+
+/// Simulated time in seconds.
+using Time = double;
+
+/// Cancellation token for a scheduled event. Cancelled events stay in the
+/// queue but are skipped on pop (lazy deletion).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  void cancel() noexcept {
+    if (cancelled_) *cancelled_ = true;
+  }
+  bool valid() const noexcept { return cancelled_ != nullptr; }
+  bool cancelled() const noexcept { return cancelled_ && *cancelled_; }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::shared_ptr<bool> flag)
+      : cancelled_(std::move(flag)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at` (must not precede the time of
+  /// the last popped event).
+  EventHandle schedule(Time at, std::function<void()> fn);
+
+  bool empty() const noexcept;
+
+  /// Time of the earliest pending (non-cancelled) event.
+  Time next_time() const;
+
+  /// Pops and runs the earliest event; returns its time.
+  Time pop_and_run();
+
+  std::size_t pending() const noexcept { return heap_.size(); }
+  std::uint64_t scheduled_total() const noexcept { return seq_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled();
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace decor::sim

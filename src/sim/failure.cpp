@@ -1,0 +1,55 @@
+#include "sim/failure.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decor::sim {
+
+std::vector<std::uint32_t> inject_random_failures(World& world,
+                                                  double fraction,
+                                                  common::Rng& rng) {
+  const double f = std::clamp(fraction, 0.0, 1.0);
+  const auto count = static_cast<std::size_t>(std::llround(
+      f * static_cast<double>(world.alive_count())));
+  return inject_random_failures_count(world, count, rng);
+}
+
+std::vector<std::uint32_t> inject_random_failures_count(World& world,
+                                                        std::size_t count,
+                                                        common::Rng& rng) {
+  auto alive = world.alive_ids();
+  count = std::min(count, alive.size());
+  const auto picks = rng.sample_indices(alive.size(), count);
+  std::vector<std::uint32_t> killed;
+  killed.reserve(count);
+  for (std::size_t idx : picks) {
+    world.kill(alive[idx]);
+    killed.push_back(alive[idx]);
+  }
+  return killed;
+}
+
+std::vector<std::uint32_t> inject_area_failure(World& world,
+                                               const geom::Disc& area) {
+  // Query first, kill second: killing mutates the index being queried.
+  const auto victims = world.nodes_in_disc(area.center, area.radius);
+  for (std::uint32_t id : victims) world.kill(id);
+  return victims;
+}
+
+void schedule_area_failure(World& world, const geom::Disc& area, Time at) {
+  world.sim().schedule_at(
+      at, [&world, area] { inject_area_failure(world, area); });
+}
+
+void schedule_exponential_failures(World& world, double mean_lifetime,
+                                   common::Rng& rng) {
+  for (std::uint32_t id : world.alive_ids()) {
+    const Time at = world.sim().now() + rng.exponential(mean_lifetime);
+    world.sim().schedule_at(at, [&world, id] {
+      if (world.alive(id)) world.kill(id);
+    });
+  }
+}
+
+}  // namespace decor::sim

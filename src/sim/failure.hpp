@@ -1,0 +1,41 @@
+// Failure injection (Section 2.1 of the paper).
+//
+// Two failure classes are modelled: independent random node failures
+// (hardware defects, battery, animals) and correlated area failures where
+// a disaster destroys every node inside a disc (earthquake, fire). Both
+// can fire immediately or be scheduled at a simulation time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/disc.hpp"
+#include "sim/world.hpp"
+
+namespace decor::sim {
+
+/// Kills a uniformly random `fraction` of the currently alive nodes.
+/// Returns the killed ids. Fraction is clamped to [0, 1].
+std::vector<std::uint32_t> inject_random_failures(World& world,
+                                                  double fraction,
+                                                  common::Rng& rng);
+
+/// Kills exactly `count` uniformly random alive nodes (or all, if fewer).
+std::vector<std::uint32_t> inject_random_failures_count(World& world,
+                                                        std::size_t count,
+                                                        common::Rng& rng);
+
+/// Kills every alive node inside `area`. Returns the killed ids.
+std::vector<std::uint32_t> inject_area_failure(World& world,
+                                               const geom::Disc& area);
+
+/// Schedules an area failure at simulation time `at`.
+void schedule_area_failure(World& world, const geom::Disc& area, Time at);
+
+/// Schedules independent node failures: each alive node fails at a time
+/// drawn from an exponential distribution with the given mean lifetime.
+void schedule_exponential_failures(World& world, double mean_lifetime,
+                                   common::Rng& rng);
+
+}  // namespace decor::sim

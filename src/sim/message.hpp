@@ -1,0 +1,40 @@
+// Radio messages.
+//
+// The simulator core is protocol-agnostic: a message carries its sender,
+// an integer kind (namespaced by the protocol layer), a wire size used by
+// the energy model, and an arbitrary payload. Payloads are shared_ptr so a
+// broadcast to many receivers does not copy the body.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <memory>
+
+namespace decor::sim {
+
+struct Message {
+  std::uint32_t src = 0;
+  int kind = 0;
+  std::size_t size_bytes = 32;
+  std::shared_ptr<const std::any> payload;
+
+  /// Convenience constructor wrapping a payload value.
+  template <typename T>
+  static Message make(std::uint32_t src, int kind, T&& value,
+                      std::size_t size_bytes = 32) {
+    Message m;
+    m.src = src;
+    m.kind = kind;
+    m.size_bytes = size_bytes;
+    m.payload = std::make_shared<const std::any>(std::forward<T>(value));
+    return m;
+  }
+
+  /// Typed payload access; requires the payload to hold exactly T.
+  template <typename T>
+  const T& as() const {
+    return std::any_cast<const T&>(*payload);
+  }
+};
+
+}  // namespace decor::sim

@@ -1,0 +1,50 @@
+#include "sim/propagation.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace decor::sim {
+
+bool UnitDiscModel::received(geom::Point2 src, geom::Point2 dst,
+                             double range, common::Rng& rng) const {
+  (void)rng;
+  return geom::distance_sq(src, dst) <= range * range;
+}
+
+LogNormalShadowingModel::LogNormalShadowingModel(double path_loss_exponent,
+                                                 double sigma_db)
+    : eta_(path_loss_exponent), sigma_db_(sigma_db) {
+  DECOR_REQUIRE_MSG(path_loss_exponent > 0.0,
+                    "path loss exponent must be positive");
+  DECOR_REQUIRE_MSG(sigma_db >= 0.0, "shadowing sigma cannot be negative");
+}
+
+double LogNormalShadowingModel::reception_probability(double d,
+                                                      double range) const {
+  DECOR_REQUIRE_MSG(range > 0.0, "range must be positive");
+  if (d <= 0.0) return 1.0;
+  // Margin (dB) relative to the budget, which is exhausted at d == range.
+  const double margin_db = 10.0 * eta_ * std::log10(range / d);
+  if (sigma_db_ == 0.0) return margin_db >= 0.0 ? 1.0 : 0.0;
+  // Pr[X_sigma <= margin] for X ~ N(0, sigma^2).
+  return 0.5 * std::erfc(-margin_db / (sigma_db_ * std::numbers::sqrt2));
+}
+
+bool LogNormalShadowingModel::received(geom::Point2 src, geom::Point2 dst,
+                                       double range,
+                                       common::Rng& rng) const {
+  const double d = geom::distance(src, dst);
+  if (d > max_range(range)) return false;
+  return rng.bernoulli(reception_probability(d, range));
+}
+
+double LogNormalShadowingModel::max_range(double nominal_range) const {
+  if (sigma_db_ == 0.0) return nominal_range;
+  // Cut candidates off where reception probability falls below ~0.1%
+  // (3.1 sigma of margin): d = range * 10^(3.1*sigma / (10*eta)).
+  return nominal_range * std::pow(10.0, 3.1 * sigma_db_ / (10.0 * eta_));
+}
+
+}  // namespace decor::sim

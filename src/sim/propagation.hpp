@@ -1,0 +1,67 @@
+// Pluggable radio propagation models.
+//
+// The paper assumes the unit-disc model (every node within rc hears every
+// transmission); real deployments see probabilistic reception. The radio
+// consults a PropagationModel per delivery, so experiments can swap the
+// ideal disc for log-normal shadowing — the standard WSN-simulator model —
+// and measure how much protocol behaviour depends on the idealization
+// (bench/ablation_radio_realism).
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "geometry/point.hpp"
+
+namespace decor::sim {
+
+class PropagationModel {
+ public:
+  virtual ~PropagationModel() = default;
+
+  /// Decides whether one frame sent from `src` reaches `dst`, given the
+  /// nominal communication range of the transmission. May draw from
+  /// `rng` (per-frame fading).
+  virtual bool received(geom::Point2 src, geom::Point2 dst, double range,
+                        common::Rng& rng) const = 0;
+
+  /// Upper bound on the distance at which reception is possible; the
+  /// radio uses it to bound its neighborhood query.
+  virtual double max_range(double nominal_range) const = 0;
+};
+
+/// The paper's model: reception iff distance <= range, deterministic.
+class UnitDiscModel final : public PropagationModel {
+ public:
+  bool received(geom::Point2 src, geom::Point2 dst, double range,
+                common::Rng& rng) const override;
+  double max_range(double nominal_range) const override {
+    return nominal_range;
+  }
+};
+
+/// Log-normal shadowing: path loss grows as 10*eta*log10(d) dB plus a
+/// zero-mean Gaussian with `sigma_db` standard deviation, drawn per
+/// frame. The link budget is calibrated so that reception probability is
+/// exactly 1/2 at the nominal range; closer links are near-certain,
+/// farther ones decay with the Gaussian tail. sigma_db == 0 degenerates
+/// to the unit disc.
+class LogNormalShadowingModel final : public PropagationModel {
+ public:
+  explicit LogNormalShadowingModel(double path_loss_exponent = 3.0,
+                                   double sigma_db = 4.0);
+
+  bool received(geom::Point2 src, geom::Point2 dst, double range,
+                common::Rng& rng) const override;
+  double max_range(double nominal_range) const override;
+
+  /// Reception probability at distance `d` for nominal range `range`
+  /// (exposed for tests and analysis).
+  double reception_probability(double d, double range) const;
+
+ private:
+  double eta_;
+  double sigma_db_;
+};
+
+}  // namespace decor::sim

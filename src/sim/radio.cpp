@@ -1,0 +1,142 @@
+#include "sim/radio.hpp"
+
+#include <algorithm>
+
+#include "geometry/point.hpp"
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+
+namespace decor::sim {
+
+Radio::Radio(World& world, RadioParams params)
+    : world_(world), params_(std::move(params)) {}
+
+void Radio::note_node(std::uint32_t id) {
+  if (id >= tx_.size()) {
+    tx_.resize(id + 1, 0);
+    rx_.resize(id + 1, 0);
+  }
+}
+
+std::uint64_t Radio::tx_count(std::uint32_t id) const {
+  return id < tx_.size() ? tx_[id] : 0;
+}
+
+std::uint64_t Radio::rx_count(std::uint32_t id) const {
+  return id < rx_.size() ? rx_[id] : 0;
+}
+
+void Radio::charge_tx(NodeProcess& src, const Message& msg) {
+  note_node(src.id());
+  ++tx_[src.id()];
+  ++total_tx_;
+  world_.charge(src.id(),
+                src.budget_.tx_base_j +
+                    src.budget_.tx_per_byte_j *
+                        static_cast<double>(msg.size_bytes));
+  world_.trace().record(world_.sim().now(), TraceKind::kTx, src.id(),
+                        "kind=" + std::to_string(msg.kind));
+}
+
+bool Radio::frame_reaches(const NodeProcess& src, std::uint32_t dst,
+                          double range) {
+  // Random loss and propagation fading both gate the frame.
+  if (params_.loss_prob > 0.0 && world_.rng().bernoulli(params_.loss_prob)) {
+    return false;
+  }
+  if (params_.propagation) {
+    return params_.propagation->received(src.pos(), world_.position(dst),
+                                         range, world_.rng());
+  }
+  return geom::distance_sq(src.pos(), world_.position(dst)) <=
+         range * range;
+}
+
+void Radio::deliver_later(std::uint32_t dst, const Message& msg) {
+  const double latency =
+      params_.latency_base +
+      (params_.jitter > 0.0 ? world_.rng().uniform(0.0, params_.jitter)
+                            : 0.0);
+  const double start = world_.sim().now() + latency;
+  const double airtime =
+      params_.bitrate_bps > 0.0
+          ? static_cast<double>(msg.size_bytes) * 8.0 / params_.bitrate_bps
+          : 0.0;
+  const double end = start + airtime;
+
+  auto corrupted = std::make_shared<bool>(false);
+  if (params_.bitrate_bps > 0.0) {
+    // Receiver-side collision check: overlapping frames destroy each
+    // other. Prune arrivals that finished in the past first.
+    auto& pending = inbound_[dst];
+    const double now = world_.sim().now();
+    std::erase_if(pending,
+                  [now](const Pending& p) { return p.end < now; });
+    for (auto& p : pending) {
+      if (start < p.end && p.start < end) {
+        if (!*p.corrupted) ++collisions_;
+        *p.corrupted = true;
+        if (!*corrupted) ++collisions_;
+        *corrupted = true;
+      }
+    }
+    pending.push_back(Pending{start, end, corrupted});
+  }
+
+  world_.sim().schedule_at(end, [this, dst, msg, corrupted] {
+    if (*corrupted) return;  // destroyed by a colliding frame
+    NodeProcess& node = world_.node(dst);
+    if (!node.alive()) return;  // died in flight
+    note_node(dst);
+    ++rx_[dst];
+    ++total_rx_;
+    world_.charge(dst, node.budget_.rx_base_j +
+                           node.budget_.rx_per_byte_j *
+                               static_cast<double>(msg.size_bytes));
+    if (!node.alive()) return;  // the rx itself drained the battery
+    world_.trace().record(world_.sim().now(), TraceKind::kRx, dst,
+                          "kind=" + std::to_string(msg.kind) +
+                              " from=" + std::to_string(msg.src));
+    node.on_message(msg);
+  });
+}
+
+void Radio::broadcast(NodeProcess& src, const Message& msg, double range) {
+  if (!src.alive()) return;
+  charge_tx(src, msg);
+  const double query_range =
+      params_.propagation ? params_.propagation->max_range(range) : range;
+  for (std::uint32_t dst : world_.nodes_in_disc(src.pos(), query_range)) {
+    if (dst == src.id()) continue;
+    if (!frame_reaches(src, dst, range)) {
+      ++total_dropped_;
+      world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
+                            "kind=" + std::to_string(msg.kind));
+      continue;
+    }
+    deliver_later(dst, msg);
+  }
+}
+
+bool Radio::unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
+                    double range) {
+  if (!src.alive()) return false;
+  charge_tx(src, msg);
+  if (dst >= world_.num_nodes() || !world_.alive(dst)) return false;
+  const double query_range =
+      params_.propagation ? params_.propagation->max_range(range) : range;
+  if (geom::distance_sq(src.pos(), world_.position(dst)) >
+      query_range * query_range) {
+    return false;
+  }
+  if (!frame_reaches(src, dst, range)) {
+    ++total_dropped_;
+    world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
+                          "kind=" + std::to_string(msg.kind));
+    return true;  // sent, lost in the air
+  }
+  deliver_later(dst, msg);
+  return true;
+}
+
+}  // namespace decor::sim

@@ -1,0 +1,86 @@
+// Unit-disc radio medium.
+//
+// The paper's communication model: a node reaches exactly the nodes within
+// its communication radius rc. The radio adds a small propagation/MAC
+// latency, optional uniform jitter and optional i.i.d. loss, and keeps the
+// per-node tx/rx counters behind the message-overhead results (Figure 10).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/propagation.hpp"
+
+namespace decor::sim {
+
+class World;
+class NodeProcess;
+
+struct RadioParams {
+  /// Fixed per-hop latency (transmission + MAC), seconds.
+  double latency_base = 1e-3;
+  /// Additional uniform latency in [0, jitter) to de-synchronize nodes.
+  double jitter = 1e-4;
+  /// Per-delivery independent loss probability.
+  double loss_prob = 0.0;
+  /// Link bit rate; > 0 enables receiver-side collision modelling: a
+  /// frame occupies the receiver for size_bytes*8/bitrate seconds and
+  /// two overlapping frames at one receiver destroy each other. 0 keeps
+  /// the idealized instantaneous reception.
+  double bitrate_bps = 0.0;
+  /// Propagation model; null means the paper's ideal unit disc.
+  std::shared_ptr<const PropagationModel> propagation;
+};
+
+class Radio {
+ public:
+  Radio(World& world, RadioParams params);
+
+  /// Delivers `msg` to every alive node (except the sender) within
+  /// `range` of the sender, after per-receiver latency.
+  void broadcast(NodeProcess& src, const Message& msg, double range);
+
+  /// Delivers to `dst` only; returns false if dst is dead or out of range
+  /// (tx energy is charged regardless).
+  bool unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
+               double range);
+
+  std::uint64_t total_tx() const noexcept { return total_tx_; }
+  std::uint64_t total_rx() const noexcept { return total_rx_; }
+  /// Frames lost to random loss or propagation fading.
+  std::uint64_t total_dropped() const noexcept { return total_dropped_; }
+  /// Frames destroyed by receiver-side collisions (bitrate_bps > 0).
+  std::uint64_t total_collisions() const noexcept { return collisions_; }
+
+  std::uint64_t tx_count(std::uint32_t id) const;
+  std::uint64_t rx_count(std::uint32_t id) const;
+
+ private:
+  /// A frame scheduled for reception, for collision bookkeeping.
+  struct Pending {
+    double start;
+    double end;
+    std::shared_ptr<bool> corrupted;
+  };
+
+  bool frame_reaches(const NodeProcess& src, std::uint32_t dst,
+                     double range);
+  void deliver_later(std::uint32_t dst, const Message& msg);
+  void charge_tx(NodeProcess& src, const Message& msg);
+  void note_node(std::uint32_t id);
+
+  World& world_;
+  RadioParams params_;
+  std::uint64_t total_tx_ = 0;
+  std::uint64_t total_rx_ = 0;
+  std::uint64_t total_dropped_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::vector<std::uint64_t> tx_;
+  std::vector<std::uint64_t> rx_;
+  std::unordered_map<std::uint32_t, std::vector<Pending>> inbound_;
+};
+
+}  // namespace decor::sim

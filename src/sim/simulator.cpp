@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+#include "common/require.hpp"
+
+namespace decor::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Simulator::schedule(Time delay, std::function<void()> fn) {
+  DECOR_REQUIRE_MSG(delay >= 0.0, "cannot schedule into the past");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
+  DECOR_REQUIRE_MSG(at >= now_, "cannot schedule into the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    // Advance the clock before running the event so the callback observes
+    // its own timestamp (and schedules relative to it).
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed_;
+  }
+}
+
+void Simulator::run_until(Time until) {
+  DECOR_REQUIRE_MSG(until >= now_, "run_until into the past");
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed_;
+  }
+  if (!stopped_) now_ = until;
+}
+
+}  // namespace decor::sim

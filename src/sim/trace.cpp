@@ -1,0 +1,27 @@
+#include "sim/trace.hpp"
+
+namespace decor::sim {
+
+void Trace::record(Time at, TraceKind kind, std::uint32_t node,
+                   std::string detail) {
+  if (!enabled_) return;
+  records_.push_back(TraceRecord{at, kind, node, std::move(detail)});
+}
+
+std::vector<TraceRecord> Trace::filter(TraceKind kind) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.kind == kind) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> Trace::grep(const std::string& needle) const {
+  std::vector<TraceRecord> out;
+  for (const auto& r : records_) {
+    if (r.detail.find(needle) != std::string::npos) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace decor::sim

@@ -1,0 +1,56 @@
+// Structured event tracing for the simulator.
+//
+// Tests and examples assert on traces (who detected which failure, when a
+// leader rotated) rather than scraping logs; benches leave tracing off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace decor::sim {
+
+enum class TraceKind : int {
+  kSpawn,
+  kKill,
+  kTx,
+  kRx,
+  kDrop,
+  kTimer,
+  kProtocol,  // free-form protocol milestone
+};
+
+struct TraceRecord {
+  Time at = 0.0;
+  TraceKind kind = TraceKind::kProtocol;
+  std::uint32_t node = 0;
+  std::string detail;
+};
+
+/// In-memory trace with optional recording (disabled by default; recording
+/// every rx in a large run would dominate memory).
+class Trace {
+ public:
+  void enable(bool on) noexcept { enabled_ = on; }
+  bool enabled() const noexcept { return enabled_; }
+
+  void record(Time at, TraceKind kind, std::uint32_t node,
+              std::string detail);
+
+  const std::vector<TraceRecord>& records() const noexcept { return records_; }
+  void clear() noexcept { records_.clear(); }
+
+  /// Records matching a kind.
+  std::vector<TraceRecord> filter(TraceKind kind) const;
+
+  /// Records whose detail contains `needle`.
+  std::vector<TraceRecord> grep(const std::string& needle) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace decor::sim

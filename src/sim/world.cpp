@@ -1,0 +1,95 @@
+#include "sim/world.hpp"
+
+#include "common/require.hpp"
+
+namespace decor::sim {
+
+World::World(const geom::Rect& bounds, RadioParams radio_params,
+             std::uint64_t seed, double index_cell)
+    : bounds_(bounds),
+      sim_(seed),
+      radio_(*this, radio_params),
+      index_(bounds, index_cell) {}
+
+std::uint32_t World::spawn(geom::Point2 pos,
+                           std::unique_ptr<NodeProcess> proc) {
+  DECOR_REQUIRE_MSG(proc != nullptr, "spawn requires a process");
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  proc->world_ = this;
+  proc->id_ = id;
+  proc->pos_ = pos;
+  proc->alive_ = true;
+  NodeProcess* raw = proc.get();
+  nodes_.push_back(std::move(proc));
+  index_.insert(id, pos);
+  ++alive_count_;
+  trace_.record(sim_.now(), TraceKind::kSpawn, id, "");
+  sim_.schedule(0.0, [raw] {
+    if (raw->alive()) raw->on_start();
+  });
+  return id;
+}
+
+void World::kill(std::uint32_t id) {
+  DECOR_REQUIRE_MSG(id < nodes_.size(), "unknown node id");
+  NodeProcess& n = *nodes_[id];
+  if (!n.alive_) return;
+  n.alive_ = false;
+  index_.remove(id);
+  --alive_count_;
+  trace_.record(sim_.now(), TraceKind::kKill, id, "");
+  n.on_stop();
+}
+
+bool World::alive(std::uint32_t id) const {
+  DECOR_REQUIRE_MSG(id < nodes_.size(), "unknown node id");
+  return nodes_[id]->alive_;
+}
+
+geom::Point2 World::position(std::uint32_t id) const {
+  DECOR_REQUIRE_MSG(id < nodes_.size(), "unknown node id");
+  return nodes_[id]->pos_;
+}
+
+NodeProcess& World::node(std::uint32_t id) {
+  DECOR_REQUIRE_MSG(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+const NodeProcess& World::node(std::uint32_t id) const {
+  DECOR_REQUIRE_MSG(id < nodes_.size(), "unknown node id");
+  return *nodes_[id];
+}
+
+std::vector<std::uint32_t> World::nodes_in_disc(geom::Point2 center,
+                                                double range) const {
+  return index_.query_disc(center, range);
+}
+
+std::vector<std::uint32_t> World::neighbors(std::uint32_t id,
+                                            double range) const {
+  auto out = index_.query_disc(position(id), range);
+  std::erase(out, id);
+  return out;
+}
+
+std::vector<std::uint32_t> World::alive_ids() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(alive_count_);
+  for (const auto& n : nodes_) {
+    if (n->alive_) out.push_back(n->id_);
+  }
+  return out;
+}
+
+void World::charge(std::uint32_t id, double joules) {
+  NodeProcess& n = node(id);
+  if (!n.alive_) return;
+  n.energy_used_j_ += joules;
+  if (n.energy_used_j_ >= n.budget_.capacity_j) {
+    trace_.record(sim_.now(), TraceKind::kProtocol, id, "battery-depleted");
+    kill(id);
+  }
+}
+
+}  // namespace decor::sim

@@ -1,0 +1,87 @@
+// The simulated world: nodes, radio medium, clock and failure surface.
+//
+// World owns every NodeProcess, a spatial index of alive node positions
+// (the radio's reachability oracle), the simulator clock and the trace.
+// New nodes can be spawned while the simulation runs — that is exactly how
+// DECOR deploys replacement sensors.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/sensor_index.hpp"
+#include "sim/node.hpp"
+#include "sim/radio.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace decor::sim {
+
+class World {
+ public:
+  World(const geom::Rect& bounds, RadioParams radio_params = {},
+        std::uint64_t seed = 1, double index_cell = 8.0);
+
+  // The radio and every node hold back-references to this world.
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  Simulator& sim() noexcept { return sim_; }
+  Radio& radio() noexcept { return radio_; }
+  Trace& trace() noexcept { return trace_; }
+  common::Rng& rng() noexcept { return sim_.rng(); }
+  const geom::Rect& bounds() const noexcept { return bounds_; }
+
+  /// Spawns a node at `pos` running `proc`; on_start fires at current sim
+  /// time (via an immediate event). Returns the node id.
+  std::uint32_t spawn(geom::Point2 pos, std::unique_ptr<NodeProcess> proc);
+
+  /// Kills a node: removes it from the radio's reach, fires on_stop once.
+  void kill(std::uint32_t id);
+
+  std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  std::size_t alive_count() const noexcept { return alive_count_; }
+
+  bool alive(std::uint32_t id) const;
+  geom::Point2 position(std::uint32_t id) const;
+
+  /// The process object (alive or dead); never null for a valid id.
+  NodeProcess& node(std::uint32_t id);
+  const NodeProcess& node(std::uint32_t id) const;
+
+  template <typename T>
+  T& node_as(std::uint32_t id) {
+    return dynamic_cast<T&>(node(id));
+  }
+
+  /// Alive nodes within `range` of `center`.
+  std::vector<std::uint32_t> nodes_in_disc(geom::Point2 center,
+                                           double range) const;
+
+  /// Alive neighbors of `id` within `range`, excluding `id` itself.
+  std::vector<std::uint32_t> neighbors(std::uint32_t id, double range) const;
+
+  /// Spatial index over alive nodes.
+  const geom::DynamicSensorIndex& index() const noexcept { return index_; }
+
+  /// IDs of all alive nodes, ascending.
+  std::vector<std::uint32_t> alive_ids() const;
+
+  /// Charges rx/tx energy and kills the node on depletion.
+  void charge(std::uint32_t id, double joules);
+
+ private:
+  geom::Rect bounds_;
+  Simulator sim_;
+  Radio radio_;
+  Trace trace_;
+  geom::DynamicSensorIndex index_;
+  std::vector<std::unique_ptr<NodeProcess>> nodes_;
+  std::size_t alive_count_ = 0;
+};
+
+}  // namespace decor::sim

@@ -1,0 +1,173 @@
+// Tests for the environment model and the sensing/alarm pipeline.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/require.hpp"
+#include "lds/random_points.hpp"
+#include "net/alarm.hpp"
+#include "sim/environment.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace decor;
+using net::AlarmNode;
+using net::AlarmParams;
+using sim::ConstantField;
+using sim::SpreadingFireField;
+
+TEST(Environment, ConstantField) {
+  const ConstantField f(21.5);
+  EXPECT_DOUBLE_EQ(f.value({0, 0}, 0.0), 21.5);
+  EXPECT_DOUBLE_EQ(f.value({99, 3}, 1e6), 21.5);
+}
+
+TEST(Environment, FireStartsAtIgnitionTime) {
+  const SpreadingFireField fire({50, 50}, 10.0, 2.0);
+  EXPECT_DOUBLE_EQ(fire.value({50, 50}, 9.9), 20.0);  // ambient before t0
+  EXPECT_DOUBLE_EQ(fire.front_radius(9.0), 0.0);
+  EXPECT_DOUBLE_EQ(fire.front_radius(15.0), 10.0);
+  EXPECT_TRUE(fire.burning({55, 50}, 15.0));
+  EXPECT_FALSE(fire.burning({61, 50}, 15.0));
+}
+
+TEST(Environment, TemperatureProfileMonotoneInDistance) {
+  const SpreadingFireField fire({50, 50}, 0.0, 1.0);
+  const double t = 10.0;  // front radius 10
+  EXPECT_DOUBLE_EQ(fire.value({50, 50}, t), 400.0);   // inside: peak
+  EXPECT_DOUBLE_EQ(fire.value({58, 50}, t), 400.0);   // still inside
+  double prev = 401.0;
+  for (double d = 10.0; d <= 40.0; d += 2.0) {
+    const double v = fire.value({50.0 + d, 50.0}, t);
+    EXPECT_LT(v, prev);
+    EXPECT_GE(v, 20.0);
+    prev = v;
+  }
+}
+
+TEST(Environment, PreheatingSkirtExceedsThresholdAheadOfFront) {
+  const SpreadingFireField fire({50, 50}, 0.0, 1.0, 20.0, 400.0, 3.0);
+  // Just ahead of the front the skirt is hot: early warning is possible
+  // before the point actually burns.
+  const double just_ahead = fire.value({50.0 + 12.0, 50.0}, 10.0);
+  EXPECT_GT(just_ahead, 60.0);
+  EXPECT_LT(just_ahead, 400.0);
+}
+
+TEST(Environment, InvalidParamsRejected) {
+  EXPECT_THROW(SpreadingFireField({0, 0}, 0.0, 0.0), common::RequireError);
+  EXPECT_THROW(SpreadingFireField({0, 0}, 0.0, 1.0, 50.0, 40.0),
+               common::RequireError);
+}
+
+// --- alarm pipeline ----------------------------------------------------------
+
+struct AlarmNet {
+  std::unique_ptr<sim::World> world;
+  std::vector<std::uint32_t> ids;
+  std::uint32_t base = 0;
+  std::vector<net::AlarmReport> base_log;
+
+  AlarmNet(std::shared_ptr<const sim::ScalarField> env, std::size_t n,
+           std::uint64_t seed) {
+    world = std::make_unique<sim::World>(
+        geom::make_rect(0, 0, 40, 40), sim::RadioParams{1e-3, 1e-4, 0.0},
+        seed);
+    AlarmParams params;
+    params.node.rc = 10.0;
+    params.env = std::move(env);
+    params.threshold = 60.0;
+    common::Rng rng(seed);
+    for (const auto& pos :
+         lds::random_points(geom::make_rect(0, 0, 40, 40), n, rng)) {
+      ids.push_back(world->spawn(pos, std::make_unique<AlarmNode>(params)));
+    }
+    // Base station in the corner, listening.
+    base = world->spawn({1, 1}, std::make_unique<AlarmNode>(params));
+    world->node_as<AlarmNode>(base).subscribe(
+        [this](const net::AlarmReport& r) { base_log.push_back(r); });
+  }
+};
+
+TEST(Alarm, NoFireNoAlarms) {
+  AlarmNet net(std::make_shared<ConstantField>(20.0), 40, 1);
+  net.world->sim().run_until(30.0);
+  EXPECT_TRUE(net.base_log.empty());
+  for (auto id : net.ids) {
+    EXPECT_FALSE(net.world->node_as<AlarmNode>(id).alarmed());
+  }
+}
+
+TEST(Alarm, FireReachesBaseStationQuickly) {
+  auto fire = std::make_shared<SpreadingFireField>(
+      geom::Point2{30, 30}, 10.0, 1.0);
+  AlarmNet net(fire, 60, 2);
+  net.world->sim().run_until(60.0);
+  ASSERT_FALSE(net.base_log.empty());
+  // First alarm reaches the far-corner base within a few sample periods
+  // of ignition (flooding latency is milliseconds).
+  EXPECT_LT(net.base_log.front().time, 20.0);
+  EXPECT_GE(net.base_log.front().time, 10.0);
+  EXPECT_GE(net.base_log.front().reading, 60.0);
+  // Alarm origin is near the ignition point (the pre-heating skirt).
+  EXPECT_LT(geom::distance(net.base_log.front().origin_pos, {30, 30}),
+            15.0);
+}
+
+TEST(Alarm, EachNodeAlarmsAtMostOnce) {
+  auto fire = std::make_shared<SpreadingFireField>(
+      geom::Point2{20, 20}, 5.0, 2.0);
+  AlarmNet net(fire, 50, 3);
+  net.world->sim().run_until(60.0);  // the fire engulfs everything
+  // Every alarm in the base log has a distinct origin.
+  std::set<std::uint32_t> origins;
+  for (const auto& r : net.base_log) {
+    EXPECT_TRUE(origins.insert(r.origin).second)
+        << "origin " << r.origin << " alarmed twice";
+  }
+  EXPECT_GT(origins.size(), 20u);
+}
+
+TEST(Alarm, HopsIncreaseWithDistance) {
+  auto fire = std::make_shared<SpreadingFireField>(
+      geom::Point2{38, 38}, 5.0, 1.0);
+  AlarmNet net(fire, 80, 4);
+  net.world->sim().run_until(30.0);
+  ASSERT_FALSE(net.base_log.empty());
+  // Fire is in the far corner; the base at (1,1) is ~50 units away with
+  // rc=10: at least 4 hops.
+  EXPECT_GE(net.base_log.front().hops, 4u);
+}
+
+TEST(Alarm, BurnedNodesCanStillHaveWarnedFirst) {
+  // The early-warning property: a node's alarm leaves before the front
+  // arrives, because the pre-heating skirt crosses the threshold first.
+  auto fire = std::make_shared<SpreadingFireField>(
+      geom::Point2{20, 20}, 5.0, 1.0);
+  AlarmNet net(fire, 60, 5);
+  // Kill nodes as the fire engulfs them (weak self-capture: no cycle).
+  auto burn_tick = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_tick = burn_tick;
+  *burn_tick = [&net, fire, weak_tick] {
+    for (auto id : net.world->alive_ids()) {
+      if (fire->burning(net.world->position(id),
+                        net.world->sim().now())) {
+        net.world->kill(id);
+      }
+    }
+    if (auto self = weak_tick.lock()) {
+      net.world->sim().schedule(0.5, *self);
+    }
+  };
+  net.world->sim().schedule(0.5, *burn_tick);
+  net.world->sim().run_until(20.0);  // front radius 15 by now
+  ASSERT_FALSE(net.base_log.empty());
+  std::size_t burned_but_warned = 0;
+  for (const auto& r : net.base_log) {
+    if (!net.world->alive(r.origin)) ++burned_but_warned;
+  }
+  EXPECT_GT(burned_but_warned, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/log.hpp"
+#include "common/options.hpp"
+#include "common/require.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using decor::common::Options;
+using decor::common::Table;
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Options, KeyValueParsing) {
+  const auto o = parse({"--k=5", "--label=grid-small"});
+  EXPECT_EQ(o.get_int("k", 0), 5);
+  EXPECT_EQ(o.get("label", ""), "grid-small");
+}
+
+TEST(Options, DefaultsWhenAbsent) {
+  const auto o = parse({});
+  EXPECT_EQ(o.get_int("k", 3), 3);
+  EXPECT_DOUBLE_EQ(o.get_double("rs", 4.0), 4.0);
+  EXPECT_EQ(o.get("name", "x"), "x");
+  EXPECT_FALSE(o.has("k"));
+}
+
+TEST(Options, BareFlagIsTrue) {
+  const auto o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_TRUE(o.has("verbose"));
+}
+
+TEST(Options, BoolSpellings) {
+  const auto o = parse({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(o.get_bool("a", false));
+  EXPECT_TRUE(o.get_bool("b", false));
+  EXPECT_TRUE(o.get_bool("c", false));
+  EXPECT_FALSE(o.get_bool("d", true));
+}
+
+TEST(Options, Positional) {
+  const auto o = parse({"file.csv", "--k=1", "other"});
+  ASSERT_EQ(o.positional().size(), 2u);
+  EXPECT_EQ(o.positional()[0], "file.csv");
+  EXPECT_EQ(o.positional()[1], "other");
+}
+
+TEST(Options, DoubleParsing) {
+  const auto o = parse({"--rs=4.5"});
+  EXPECT_DOUBLE_EQ(o.get_double("rs", 0.0), 4.5);
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const auto text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapingFreeRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row_numeric({1.5, 2.25}, 2);
+  const auto csv = t.to_csv();
+  EXPECT_EQ(csv, "x,y\n1.50,2.25\n");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), decor::common::RequireError);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), decor::common::RequireError);
+}
+
+TEST(Require, ThrowsWithContext) {
+  try {
+    DECOR_REQUIRE_MSG(1 == 2, "numbers drifted");
+    FAIL() << "should have thrown";
+  } catch (const decor::common::RequireError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("numbers drifted"), std::string::npos);
+  }
+}
+
+TEST(Require, PassesSilently) {
+  DECOR_REQUIRE(2 + 2 == 4);
+  DECOR_REQUIRE_MSG(true, "never shown");
+}
+
+TEST(Log, LevelRoundTrip) {
+  const auto prev = decor::common::log_level();
+  decor::common::set_log_level(decor::common::LogLevel::kDebug);
+  EXPECT_EQ(decor::common::log_level(), decor::common::LogLevel::kDebug);
+  decor::common::set_log_level(prev);
+}
+
+TEST(Log, MacroCompilesAndFilters) {
+  const auto prev = decor::common::log_level();
+  decor::common::set_log_level(decor::common::LogLevel::kError);
+  // Should be filtered (no crash, no output assertion needed).
+  DECOR_LOG_DEBUG("invisible " << 42);
+  decor::common::set_log_level(prev);
+}
+
+}  // namespace

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "coverage/coverage_map.hpp"
+#include "coverage/metrics.hpp"
+#include "coverage/sensor.hpp"
+#include "lds/halton.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+using geom::make_rect;
+using geom::Point2;
+using geom::Rect;
+
+coverage::CoverageMap small_map(double rs = 4.0, std::size_t n = 200) {
+  const Rect field = make_rect(0, 0, 50, 50);
+  return coverage::CoverageMap(field, lds::halton_points(field, n), rs);
+}
+
+TEST(CoverageMap, StartsUncovered) {
+  auto map = small_map();
+  EXPECT_EQ(map.num_covered(1), 0u);
+  EXPECT_DOUBLE_EQ(map.fraction_covered(1), 0.0);
+  EXPECT_TRUE(map.fully_covered(0));
+  EXPECT_FALSE(map.fully_covered(1));
+  EXPECT_EQ(map.uncovered_points(1).size(), map.num_points());
+}
+
+TEST(CoverageMap, AddDiscRaisesCounts) {
+  auto map = small_map();
+  map.add_disc({25, 25});
+  const auto in_disc = map.index().query_disc({25, 25}, map.rs());
+  EXPECT_EQ(map.num_covered(1), in_disc.size());
+  for (std::size_t id : in_disc) EXPECT_EQ(map.kp(id), 1u);
+}
+
+TEST(CoverageMap, RemoveUndoesAdd) {
+  auto map = small_map();
+  map.add_disc({25, 25});
+  map.add_disc({30, 25});
+  map.remove_disc({25, 25});
+  const auto in_disc = map.index().query_disc({30, 25}, map.rs());
+  EXPECT_EQ(map.num_covered(1), in_disc.size());
+  map.remove_disc({30, 25});
+  EXPECT_EQ(map.num_covered(1), 0u);
+}
+
+TEST(CoverageMap, RemoveWithoutAddThrows) {
+  auto map = small_map();
+  EXPECT_THROW(map.remove_disc({25, 25}), common::RequireError);
+}
+
+class CoverageIncrementalParam
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoverageIncrementalParam, IncrementalMatchesFromScratch) {
+  // Property: any interleaving of adds and removes leaves counts equal to
+  // a from-scratch recomputation over the surviving discs.
+  common::Rng rng(GetParam());
+  const Rect field = make_rect(0, 0, 40, 40);
+  const auto points = lds::halton_points(field, 300);
+  coverage::CoverageMap incremental(field, points, 3.0);
+
+  std::vector<Point2> live;
+  for (int step = 0; step < 300; ++step) {
+    if (live.empty() || rng.uniform() < 0.65) {
+      const Point2 p = lds::random_point(field, rng);
+      incremental.add_disc(p);
+      live.push_back(p);
+    } else {
+      const auto victim = rng.below(live.size());
+      incremental.remove_disc(live[victim]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+  }
+  coverage::CoverageMap fresh(field, points, 3.0);
+  for (const auto& p : live) fresh.add_disc(p);
+  EXPECT_EQ(incremental.counts(), fresh.counts());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverageIncrementalParam,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(CoverageMap, BenefitMatchesEquationOne) {
+  auto map = small_map(4.0, 300);
+  map.add_disc({25, 25});
+  map.add_disc({25, 25});
+  const std::uint32_t k = 3;
+  // Brute-force Equation 1 at several candidate positions.
+  common::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const Point2 pos{rng.uniform(0.0, 50.0), rng.uniform(0.0, 50.0)};
+    std::uint64_t expect = 0;
+    for (std::size_t id = 0; id < map.num_points(); ++id) {
+      if (geom::within(map.index().point(id), pos, map.rs()) &&
+          map.kp(id) < k) {
+        expect += k - map.kp(id);
+      }
+    }
+    EXPECT_EQ(map.benefit(pos, k), expect);
+  }
+}
+
+TEST(CoverageMap, BenefitZeroWhenFullyCovered) {
+  auto map = small_map(100.0, 50);  // one giant disc covers everything
+  map.add_disc({25, 25});
+  EXPECT_TRUE(map.fully_covered(1));
+  EXPECT_EQ(map.benefit({25, 25}, 1), 0u);
+  EXPECT_GT(map.benefit({25, 25}, 2), 0u);
+}
+
+TEST(CoverageMap, BenefitCapsAtDeficit) {
+  auto map = small_map(4.0, 100);
+  // k=2 with one existing disc: each in-range point contributes 1.
+  map.add_disc({10, 10});
+  const auto covered_once = map.index().query_disc({10, 10}, 4.0);
+  EXPECT_EQ(map.benefit({10, 10}, 2), covered_once.size());
+}
+
+TEST(CoverageMap, FractionAndUncoveredAgree) {
+  auto map = small_map();
+  map.add_disc({25, 25});
+  const auto uncovered = map.uncovered_points(1);
+  EXPECT_NEAR(map.fraction_covered(1),
+              1.0 - static_cast<double>(uncovered.size()) /
+                        static_cast<double>(map.num_points()),
+              1e-12);
+}
+
+TEST(SensorSet, AddKillLifecycle) {
+  coverage::SensorSet set(make_rect(0, 0, 10, 10), 4.0);
+  const auto a = set.add({1, 1});
+  const auto b = set.add({2, 2});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.alive_count(), 2u);
+  EXPECT_TRUE(set.alive(a));
+  set.kill(a);
+  EXPECT_FALSE(set.alive(a));
+  EXPECT_EQ(set.alive_count(), 1u);
+  EXPECT_EQ(set.size(), 2u);  // records persist
+  set.kill(a);                // idempotent
+  EXPECT_EQ(set.alive_count(), 1u);
+  EXPECT_EQ(set.alive_ids(), std::vector<std::uint32_t>{b});
+}
+
+TEST(SensorSet, IndexTracksAliveOnly) {
+  coverage::SensorSet set(make_rect(0, 0, 10, 10), 4.0);
+  const auto a = set.add({5, 5});
+  EXPECT_EQ(set.index().count_in_disc({5, 5}, 1.0), 1u);
+  set.kill(a);
+  EXPECT_EQ(set.index().count_in_disc({5, 5}, 1.0), 0u);
+}
+
+TEST(SensorSet, UnknownIdThrows) {
+  coverage::SensorSet set(make_rect(0, 0, 10, 10), 4.0);
+  EXPECT_THROW(set.sensor(0), common::RequireError);
+  EXPECT_THROW(set.kill(3), common::RequireError);
+}
+
+TEST(Metrics, FractionAtLeastIsMonotone) {
+  auto map = small_map();
+  common::Rng rng(13);
+  for (int i = 0; i < 60; ++i) {
+    map.add_disc(lds::random_point(make_rect(0, 0, 50, 50), rng));
+  }
+  const auto m = coverage::compute_metrics(map, 6);
+  EXPECT_DOUBLE_EQ(m.fraction_at_least[0], 1.0);
+  for (std::size_t j = 1; j < m.fraction_at_least.size(); ++j) {
+    EXPECT_LE(m.fraction_at_least[j], m.fraction_at_least[j - 1]);
+  }
+  EXPECT_GE(m.max_kp, m.min_kp);
+  EXPECT_GE(m.mean_kp, static_cast<double>(m.min_kp));
+  EXPECT_LE(m.mean_kp, static_cast<double>(m.max_kp));
+}
+
+TEST(Metrics, MeanKpMatchesHandCount) {
+  const Rect field = make_rect(0, 0, 10, 10);
+  coverage::CoverageMap map(field, {{1, 1}, {9, 9}}, 2.0);
+  map.add_disc({1, 1});    // covers only the first point
+  map.add_disc({1, 1.5});  // covers only the first point
+  const auto m = coverage::compute_metrics(map, 3);
+  EXPECT_DOUBLE_EQ(m.mean_kp, 1.0);  // (2 + 0) / 2
+  EXPECT_DOUBLE_EQ(m.at_least(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.at_least(2), 0.5);
+  EXPECT_DOUBLE_EQ(m.at_least(3), 0.0);
+  EXPECT_EQ(m.min_kp, 0u);
+  EXPECT_EQ(m.max_kp, 2u);
+}
+
+TEST(Metrics, SummarizeMentionsCoverage) {
+  auto map = small_map();
+  const auto s = coverage::summarize(coverage::compute_metrics(map, 3), 3);
+  EXPECT_NE(s.find("points=200"), std::string::npos);
+  EXPECT_NE(s.find(">=3"), std::string::npos);
+}
+
+TEST(Metrics, AsciiFieldShapes) {
+  auto map = small_map();
+  const auto art = coverage::ascii_field(map, 2, 20, 10);
+  // 10 rows of 20 chars plus newlines.
+  EXPECT_EQ(art.size(), 10u * 21u);
+  // Fully uncovered with k=2: every populated cell shows deficit '2'.
+  EXPECT_NE(art.find('2'), std::string::npos);
+  EXPECT_EQ(art.find('.'), std::string::npos);
+}
+
+TEST(Metrics, AsciiFieldCoveredShowsDots) {
+  auto map = small_map(100.0, 50);
+  map.add_disc({25, 25});
+  const auto art = coverage::ascii_field(map, 1, 20, 10);
+  EXPECT_NE(art.find('.'), std::string::npos);
+  EXPECT_EQ(art.find('1'), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+// Degenerate and boundary configurations: tiny fields, single points,
+// extreme k, non-square geometry. Engines must terminate and cover.
+#include <gtest/gtest.h>
+
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+using core::DecorParams;
+using core::Field;
+using core::Scheme;
+
+const std::vector<Scheme> kAllSchemes{Scheme::kCentralized, Scheme::kRandom,
+                                      Scheme::kGrid, Scheme::kVoronoi};
+
+TEST(EdgeCase, SinglePointFieldStacksKSensors) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 2, 2);
+  p.num_points = 1;
+  p.k = 5;
+  p.rs = 4.0;
+  p.rc = 8.0;
+  for (auto scheme : kAllSchemes) {
+    common::Rng rng(1);
+    Field field(p, rng);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+    EXPECT_GE(field.sensors.alive_count(), 5u);
+  }
+}
+
+TEST(EdgeCase, FieldSmallerThanOneDisc) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 3, 3);
+  p.num_points = 20;
+  p.k = 1;
+  p.rs = 4.0;  // one sensor anywhere covers everything
+  p.rc = 8.0;
+  for (auto scheme : kAllSchemes) {
+    common::Rng rng(2);
+    Field field(p, rng);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+    if (scheme == Scheme::kCentralized) {
+      EXPECT_EQ(result.placed_nodes, 1u);
+    }
+  }
+}
+
+TEST(EdgeCase, HighCoverageRequirement) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 15, 15);
+  p.num_points = 100;
+  p.k = 8;
+  for (auto scheme : {Scheme::kCentralized, Scheme::kGrid,
+                      Scheme::kVoronoi}) {
+    common::Rng rng(3);
+    Field field(p, rng);
+    field.deploy_random(5, rng);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+    EXPECT_TRUE(field.map.fully_covered(8));
+  }
+}
+
+TEST(EdgeCase, NonSquareField) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 80, 10);  // a corridor
+  p.num_points = 300;
+  p.k = 2;
+  for (auto scheme : kAllSchemes) {
+    common::Rng rng(4);
+    Field field(p, rng);
+    field.deploy_random(10, rng);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+  }
+}
+
+TEST(EdgeCase, OffsetFieldOrigin) {
+  DecorParams p;
+  p.field = geom::Rect{50.0, -30.0, 90.0, 10.0};  // not at the origin
+  p.num_points = 300;
+  p.k = 1;
+  for (auto scheme : kAllSchemes) {
+    common::Rng rng(5);
+    Field field(p, rng);
+    field.deploy_random(10, rng);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+    for (const auto& pos : result.placements) {
+      EXPECT_TRUE(p.field.contains(pos));
+    }
+  }
+}
+
+TEST(EdgeCase, RcEqualsRsBoundary) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 20, 20);
+  p.num_points = 150;
+  p.k = 1;
+  p.rs = 4.0;
+  p.rc = 4.0;  // the model's minimum
+  common::Rng rng(6);
+  Field field(p, rng);
+  field.deploy_random(5, rng);
+  const auto result = core::run_engine(Scheme::kVoronoi, field, rng);
+  EXPECT_TRUE(result.reached_full_coverage);
+}
+
+TEST(EdgeCase, GridCellLargerThanField) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 20, 20);
+  p.num_points = 150;
+  p.k = 2;
+  p.cell_side = 100.0;  // one cell = the paper's centralized degenerate
+  common::Rng rng(7);
+  Field field(p, rng);
+  field.deploy_random(5, rng);
+  const auto result = core::grid_decor(field, rng);
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_EQ(result.cells, 1u);
+}
+
+TEST(EdgeCase, DuplicateApproximationPoints) {
+  // Degenerate point sets (duplicates) must not break counting.
+  const geom::Rect field = geom::make_rect(0, 0, 10, 10);
+  coverage::CoverageMap map(field, {{5, 5}, {5, 5}, {5, 5}}, 2.0);
+  map.add_disc({5, 5});
+  EXPECT_EQ(map.num_covered(1), 3u);
+  EXPECT_EQ(map.benefit({5, 5}, 2), 3u);
+  map.remove_disc({5, 5});
+  EXPECT_EQ(map.num_covered(1), 0u);
+}
+
+TEST(EdgeCase, ZeroBudgetPlacesNothing) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 20, 20);
+  p.num_points = 100;
+  p.k = 1;
+  core::EngineLimits limits;
+  limits.max_new_nodes = 0;
+  for (auto scheme : kAllSchemes) {
+    common::Rng rng(8);
+    Field field(p, rng);
+    const auto result = core::run_engine(scheme, field, rng, limits);
+    EXPECT_EQ(result.placed_nodes, 0u) << core::to_string(scheme);
+    EXPECT_FALSE(result.reached_full_coverage);
+  }
+}
+
+TEST(EdgeCase, RestorationAfterTotalAnnihilation) {
+  // Every sensor dies; each engine must rebuild from nothing.
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 25, 25);
+  p.num_points = 200;
+  p.k = 1;
+  for (auto scheme : {Scheme::kCentralized, Scheme::kGrid,
+                      Scheme::kVoronoi}) {
+    common::Rng rng(9);
+    Field field(p, rng);
+    field.deploy_random(15, rng);
+    core::run_engine(scheme, field, rng);
+    for (auto id : field.sensors.alive_ids()) field.fail(id);
+    ASSERT_EQ(field.sensors.alive_count(), 0u);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+  }
+}
+
+TEST(EdgeCase, RepeatedRestorationsConverge) {
+  // Fail-and-restore five times: each round completes and the node count
+  // does not blow up (dead sensors are not counted, the field re-uses
+  // surviving redundancy).
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 30, 30);
+  p.num_points = 300;
+  p.k = 2;
+  common::Rng rng(10);
+  Field field(p, rng);
+  field.deploy_random(20, rng);
+  core::grid_decor(field, rng);
+  const auto baseline = field.sensors.alive_count();
+  for (int round = 0; round < 5; ++round) {
+    core::fail_random_fraction(field, 0.3, rng);
+    const auto result = core::grid_decor(field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << "round " << round;
+    EXPECT_LT(field.sensors.alive_count(), 2 * baseline)
+        << "alive population diverging";
+  }
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "net/leader_election.hpp"
+#include "net/messages.hpp"
+#include "net/sensor_node.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace decor;
+using namespace decor::net;
+using geom::make_rect;
+using geom::Point2;
+
+/// Node that runs leader election for a fixed cell id over the radio.
+class ElectNode : public SensorNode {
+ public:
+  ElectNode(SensorNodeParams p, std::uint32_t cell, ElectionParams ep)
+      : SensorNode(p), cell_(cell), eparams_(ep) {}
+
+  void on_start() override {
+    SensorNode::on_start();
+    election_ = std::make_unique<LeaderElection>(*this, cell_, eparams_);
+    election_->start(
+        [this](const ElectPayload& p) {
+          broadcast(sim::Message::make(id(), kElect, p), params_.rc);
+        },
+        [this](const LeaderPayload& p) {
+          broadcast(sim::Message::make(id(), kLeader, p), params_.rc);
+        },
+        [this](std::uint32_t leader, bool self) {
+          history.emplace_back(leader, self);
+        });
+  }
+
+  const LeaderElection& election() const { return *election_; }
+  std::vector<std::pair<std::uint32_t, bool>> history;
+
+ protected:
+  void handle_message(const sim::Message& msg) override {
+    if (msg.kind == kElect) {
+      election_->on_elect(msg.src, msg.as<ElectPayload>());
+    } else if (msg.kind == kLeader) {
+      election_->on_leader_msg(msg.src, msg.as<LeaderPayload>());
+    }
+  }
+
+ private:
+  std::uint32_t cell_;
+  ElectionParams eparams_;
+  std::unique_ptr<LeaderElection> election_;
+};
+
+struct Cluster {
+  std::unique_ptr<sim::World> world;
+  std::vector<std::uint32_t> ids;
+
+  explicit Cluster(std::size_t n, std::uint64_t seed = 3,
+                   ElectionParams ep = {5.0, 0.05, 0.01}) {
+    world = std::make_unique<sim::World>(make_rect(0, 0, 50, 50),
+                                         sim::RadioParams{1e-3, 1e-4, 0.0},
+                                         seed);
+    SensorNodeParams p;
+    p.rc = 50.0;  // full connectivity: the paper's intra-cell assumption
+    p.heartbeat.period = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(world->spawn(
+          {5.0 + static_cast<double>(i) * 2.0, 10.0},
+          std::make_unique<ElectNode>(p, /*cell=*/7, ep)));
+    }
+  }
+
+  ElectNode& node(std::uint32_t id) { return world->node_as<ElectNode>(id); }
+
+  std::set<std::uint32_t> leaders() {
+    std::set<std::uint32_t> out;
+    for (auto id : ids) {
+      if (!world->alive(id)) continue;
+      if (node(id).election().is_leader()) out.insert(id);
+    }
+    return out;
+  }
+};
+
+TEST(Election, ExactlyOneLeaderEmerges) {
+  Cluster c(8);
+  c.world->sim().run_until(1.0);
+  EXPECT_EQ(c.leaders().size(), 1u);
+  // All members agree on who it is.
+  std::set<std::uint32_t> believed;
+  for (auto id : c.ids) {
+    ASSERT_TRUE(c.node(id).election().leader().has_value());
+    believed.insert(*c.node(id).election().leader());
+  }
+  EXPECT_EQ(believed.size(), 1u);
+}
+
+TEST(Election, SingleNodeElectsItself) {
+  Cluster c(1);
+  c.world->sim().run_until(1.0);
+  EXPECT_TRUE(c.node(c.ids[0]).election().is_leader());
+}
+
+TEST(Election, RotationChangesLeaderEventually) {
+  Cluster c(6, 11);
+  // Run through many 5-second terms; random priorities make it
+  // overwhelmingly likely that leadership moves at least once.
+  c.world->sim().run_until(60.0);
+  std::set<std::uint32_t> ever_led;
+  for (auto id : c.ids) {
+    for (const auto& [leader, self] : c.node(id).history) {
+      if (self) ever_led.insert(id);
+    }
+  }
+  EXPECT_GE(ever_led.size(), 2u);
+  EXPECT_EQ(c.leaders().size(), 1u);
+}
+
+TEST(Election, SurvivesLeaderDeath) {
+  Cluster c(5);
+  c.world->sim().run_until(1.0);
+  const auto first = *c.leaders().begin();
+  c.world->kill(first);
+  // Next term elects a replacement among the survivors.
+  c.world->sim().run_until(12.0);
+  const auto now_leaders = c.leaders();
+  ASSERT_EQ(now_leaders.size(), 1u);
+  EXPECT_NE(*now_leaders.begin(), first);
+}
+
+TEST(Election, TermCounterAdvances) {
+  Cluster c(3);
+  c.world->sim().run_until(16.0);  // three 5s terms
+  EXPECT_GE(c.node(c.ids[0]).election().term(), 3u);
+}
+
+TEST(Election, BidsForOtherCellsIgnored) {
+  Cluster c(3);
+  c.world->sim().run_until(1.0);
+  auto& n0 = c.node(c.ids[0]);
+  const auto leader_before = n0.election().leader();
+  // Inject a bogus winning bid for a different cell.
+  ElectPayload bogus{/*cell=*/99, ~std::uint64_t{0}, n0.election().term()};
+  const_cast<LeaderElection&>(n0.election()).on_elect(999, bogus);
+  c.world->sim().run_until(1.2);
+  EXPECT_EQ(n0.election().leader(), leader_before);
+}
+
+TEST(Election, CellIsolation) {
+  // Two cells on one radio: each elects its own leader.
+  auto world = std::make_unique<sim::World>(
+      make_rect(0, 0, 50, 50), sim::RadioParams{1e-3, 1e-4, 0.0}, 9);
+  SensorNodeParams p;
+  p.rc = 50.0;
+  const ElectionParams ep{5.0, 0.05, 0.01};
+  std::vector<std::uint32_t> cell_a, cell_b;
+  for (int i = 0; i < 3; ++i) {
+    cell_a.push_back(world->spawn({5.0 + i, 10},
+                                  std::make_unique<ElectNode>(p, 1, ep)));
+    cell_b.push_back(world->spawn({5.0 + i, 20},
+                                  std::make_unique<ElectNode>(p, 2, ep)));
+  }
+  world->sim().run_until(1.0);
+  int leaders_a = 0, leaders_b = 0;
+  for (auto id : cell_a) {
+    leaders_a += world->node_as<ElectNode>(id).election().is_leader();
+  }
+  for (auto id : cell_b) {
+    leaders_b += world->node_as<ElectNode>(id).election().is_leader();
+  }
+  EXPECT_EQ(leaders_a, 1);
+  EXPECT_EQ(leaders_b, 1);
+}
+
+}  // namespace

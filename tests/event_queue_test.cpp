@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/require.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace decor::sim;
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByInsertion) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(1.0, [&] { ran = true; });
+  h.cancel();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelOneOfMany) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  auto h = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  auto h = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  h.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int fired = 0;
+  std::function<void(Time)> chain = [&](Time t) {
+    ++fired;
+    if (fired < 5) {
+      q.schedule(t + 1.0, [&chain, t] { chain(t + 1.0); });
+    }
+  };
+  q.schedule(0.0, [&chain] { chain(0.0); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop_and_run(), decor::common::RequireError);
+  EXPECT_THROW(q.next_time(), decor::common::RequireError);
+}
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> times;
+  sim.schedule(2.5, [&] { times.push_back(sim.now()); });
+  sim.schedule(1.0, [&] { times.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, RelativeSchedulingCompounds) {
+  Simulator sim;
+  double second_fire = 0.0;
+  sim.schedule(1.0, [&] {
+    sim.schedule(2.0, [&] { second_fire = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second_fire, 3.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, StopBreaksRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.schedule(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, SchedulingIntoThePastThrows) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(0.5, [] {}), decor::common::RequireError);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), decor::common::RequireError);
+}
+
+TEST(Simulator, DeterministicRngFromSeed) {
+  Simulator a(7), b(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+TEST(Simulator, CancelledHandleReportsState) {
+  Simulator sim;
+  auto h = sim.schedule(1.0, [] {});
+  EXPECT_TRUE(h.valid());
+  EXPECT_FALSE(h.cancelled());
+  h.cancel();
+  EXPECT_TRUE(h.cancelled());
+  EXPECT_FALSE(EventHandle{}.valid());
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sim/failure.hpp"
+#include "sim/node.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace decor;
+using namespace decor::sim;
+using geom::make_rect;
+using geom::Point2;
+
+class Dummy : public NodeProcess {};
+
+std::unique_ptr<World> make_world_ptr(std::size_t n, std::uint64_t seed = 1) {
+  auto world =
+      std::make_unique<World>(make_rect(0, 0, 100, 100), RadioParams{}, seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i % 10) * 10.0 + 5.0;
+    const double y = static_cast<double>(i / 10) * 10.0 + 5.0;
+    world->spawn({x, y}, std::make_unique<Dummy>());
+  }
+  world->sim().run();
+  return world;
+}
+
+/// Dereference helper keeping the test bodies readable.
+#define MAKE_WORLD(var, ...)              \
+  auto var##_ptr = make_world_ptr(__VA_ARGS__); \
+  World& var = *var##_ptr
+
+TEST(RandomFailures, KillsRequestedFraction) {
+  MAKE_WORLD(world, 100);
+  common::Rng rng(5);
+  const auto killed = inject_random_failures(world, 0.3, rng);
+  EXPECT_EQ(killed.size(), 30u);
+  EXPECT_EQ(world.alive_count(), 70u);
+  for (auto id : killed) EXPECT_FALSE(world.alive(id));
+}
+
+TEST(RandomFailures, FractionClamped) {
+  MAKE_WORLD(world, 10);
+  common::Rng rng(5);
+  EXPECT_EQ(inject_random_failures(world, 2.0, rng).size(), 10u);
+  EXPECT_EQ(world.alive_count(), 0u);
+  EXPECT_TRUE(inject_random_failures(world, 0.5, rng).empty());
+}
+
+TEST(RandomFailures, ZeroFractionIsNoop) {
+  MAKE_WORLD(world, 20);
+  common::Rng rng(5);
+  EXPECT_TRUE(inject_random_failures(world, 0.0, rng).empty());
+  EXPECT_EQ(world.alive_count(), 20u);
+}
+
+TEST(RandomFailures, CountVariantExact) {
+  MAKE_WORLD(world, 50);
+  common::Rng rng(6);
+  const auto killed = inject_random_failures_count(world, 7, rng);
+  EXPECT_EQ(killed.size(), 7u);
+  std::set<std::uint32_t> uniq(killed.begin(), killed.end());
+  EXPECT_EQ(uniq.size(), 7u);
+}
+
+TEST(RandomFailures, VictimsDifferAcrossSeeds) {
+  MAKE_WORLD(w1, 100);
+  MAKE_WORLD(w2, 100);
+  common::Rng r1(1), r2(2);
+  const auto k1 = inject_random_failures(w1, 0.2, r1);
+  const auto k2 = inject_random_failures(w2, 0.2, r2);
+  EXPECT_NE(k1, k2);
+}
+
+TEST(AreaFailure, KillsExactlyInsideDisc) {
+  MAKE_WORLD(world, 100);
+  const geom::Disc disaster{{50, 50}, 25.0};
+  const auto killed = inject_area_failure(world, disaster);
+  EXPECT_FALSE(killed.empty());
+  for (std::uint32_t id = 0; id < world.num_nodes(); ++id) {
+    const bool inside = disaster.contains(world.position(id));
+    EXPECT_EQ(world.alive(id), !inside);
+  }
+}
+
+TEST(AreaFailure, MissingDiscKillsNothing) {
+  MAKE_WORLD(world, 100);
+  const auto killed = inject_area_failure(world, {{200, 200}, 10.0});
+  EXPECT_TRUE(killed.empty());
+  EXPECT_EQ(world.alive_count(), 100u);
+}
+
+TEST(AreaFailure, ScheduledFiresAtTime) {
+  MAKE_WORLD(world, 100);
+  schedule_area_failure(world, {{50, 50}, 30.0}, 10.0);
+  world.sim().run_until(5.0);
+  EXPECT_EQ(world.alive_count(), 100u);
+  world.sim().run_until(15.0);
+  EXPECT_LT(world.alive_count(), 100u);
+}
+
+TEST(ExponentialFailures, AllNodesEventuallyDie) {
+  MAKE_WORLD(world, 50);
+  common::Rng rng(7);
+  schedule_exponential_failures(world, 10.0, rng);
+  world.sim().run();
+  EXPECT_EQ(world.alive_count(), 0u);
+}
+
+TEST(ExponentialFailures, MeanLifetimeRoughlyRespected) {
+  MAKE_WORLD(world, 100);
+  common::Rng rng(8);
+  schedule_exponential_failures(world, 20.0, rng);
+  world.sim().run_until(20.0);
+  // After one mean lifetime, ~1/e ~ 37% should survive.
+  EXPECT_GT(world.alive_count(), 15u);
+  EXPECT_LT(world.alive_count(), 60u);
+}
+
+}  // namespace

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "geometry/disc.hpp"
+#include "geometry/grid_partition.hpp"
+#include "geometry/lattice.hpp"
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+#include "geometry/voronoi.hpp"
+
+namespace {
+
+using namespace decor::geom;
+
+TEST(Point, Arithmetic) {
+  const Point2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Point2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Point2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Point2{2.0, 4.0}));
+  EXPECT_EQ((2.0 * a), (Point2{2.0, 4.0}));
+}
+
+TEST(Point, Distances) {
+  EXPECT_DOUBLE_EQ(distance_sq({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Point, WithinIsClosed) {
+  EXPECT_TRUE(within({3, 4}, {0, 0}, 5.0));   // exactly on the boundary
+  EXPECT_FALSE(within({3, 4}, {0, 0}, 4.99));
+  EXPECT_TRUE(within({0, 0}, {0, 0}, 0.0));
+}
+
+TEST(Rect, BasicsAndContains) {
+  const Rect r = make_rect(1.0, 2.0, 4.0, 6.0);
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 6.0);
+  EXPECT_DOUBLE_EQ(r.area(), 24.0);
+  EXPECT_EQ(r.center(), (Point2{3.0, 5.0}));
+  EXPECT_TRUE(r.contains({1.0, 2.0}));  // boundary is inside
+  EXPECT_TRUE(r.contains({5.0, 8.0}));
+  EXPECT_FALSE(r.contains({0.99, 5.0}));
+}
+
+TEST(Rect, ClampProjects) {
+  const Rect r = make_rect(0, 0, 10, 10);
+  EXPECT_EQ(r.clamp({-5, 5}), (Point2{0, 5}));
+  EXPECT_EQ(r.clamp({5, 15}), (Point2{5, 10}));
+  EXPECT_EQ(r.clamp({3, 4}), (Point2{3, 4}));
+}
+
+TEST(Rect, IntersectsDisc) {
+  const Rect r = make_rect(0, 0, 10, 10);
+  EXPECT_TRUE(r.intersects_disc({5, 5}, 0.1));    // inside
+  EXPECT_TRUE(r.intersects_disc({-1, 5}, 1.0));   // touches edge
+  EXPECT_TRUE(r.intersects_disc({11, 11}, 1.5));  // reaches the corner
+  EXPECT_FALSE(r.intersects_disc({12, 12}, 1.0));
+}
+
+TEST(Disc, ContainsAndArea) {
+  const Disc d{{0, 0}, 2.0};
+  EXPECT_TRUE(d.contains({2, 0}));
+  EXPECT_FALSE(d.contains({2.01, 0}));
+  EXPECT_NEAR(d.area(), 12.566370, 1e-5);
+}
+
+TEST(Disc, DiscIntersection) {
+  const Disc a{{0, 0}, 1.0};
+  EXPECT_TRUE(a.intersects(Disc{{2, 0}, 1.0}));   // tangent
+  EXPECT_FALSE(a.intersects(Disc{{2.01, 0}, 1.0}));
+  EXPECT_TRUE(a.intersects(Disc{{0.5, 0}, 0.1}));  // nested
+}
+
+TEST(Lattice, SquareCoverCoversEveryPoint) {
+  const Rect area = make_rect(0, 0, 30, 20);
+  const double r = 3.0;
+  const auto centers = square_cover(area, r);
+  ASSERT_FALSE(centers.empty());
+  decor::common::Rng rng(4);
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 p{rng.uniform(0.0, 30.0), rng.uniform(0.0, 20.0)};
+    bool covered = false;
+    for (const auto& c : centers) {
+      if (within(p, c, r)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << "uncovered point " << p.x << "," << p.y;
+  }
+}
+
+TEST(Lattice, HexCoverCoversEveryPoint) {
+  const Rect area = make_rect(0, 0, 25, 25);
+  const double r = 2.5;
+  const auto centers = hex_cover(area, r);
+  ASSERT_FALSE(centers.empty());
+  decor::common::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Point2 p{rng.uniform(0.0, 25.0), rng.uniform(0.0, 25.0)};
+    bool covered = false;
+    for (const auto& c : centers) {
+      if (within(p, c, r)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered);
+  }
+}
+
+TEST(Lattice, HexDenserThanSquareInCenters) {
+  const Rect area = make_rect(0, 0, 100, 100);
+  // Hex covering needs fewer discs than square covering at equal radius.
+  EXPECT_LT(hex_cover(area, 4.0).size(), square_cover(area, 4.0).size());
+}
+
+TEST(Lattice, CentersInsideArea) {
+  const Rect area = make_rect(10, 10, 20, 20);
+  for (const auto& c : square_cover(area, 3.0)) EXPECT_TRUE(area.contains(c));
+  for (const auto& c : hex_cover(area, 3.0)) EXPECT_TRUE(area.contains(c));
+}
+
+TEST(GridPartition, CellCountAndRects) {
+  const GridPartition g(make_rect(0, 0, 100, 100), 5.0);
+  EXPECT_EQ(g.nx(), 20u);
+  EXPECT_EQ(g.ny(), 20u);
+  EXPECT_EQ(g.num_cells(), 400u);
+  const Rect r0 = g.rect_of(0);
+  EXPECT_DOUBLE_EQ(r0.x0, 0.0);
+  EXPECT_DOUBLE_EQ(r0.x1, 5.0);
+}
+
+TEST(GridPartition, NonDividingSideClipsBorder) {
+  const GridPartition g(make_rect(0, 0, 100, 100), 30.0);
+  EXPECT_EQ(g.nx(), 4u);
+  const Rect last = g.rect_of(3);  // rightmost cell of bottom row
+  EXPECT_DOUBLE_EQ(last.x0, 90.0);
+  EXPECT_DOUBLE_EQ(last.x1, 100.0);
+}
+
+TEST(GridPartition, CellOfRoundTrip) {
+  const GridPartition g(make_rect(0, 0, 100, 100), 10.0);
+  decor::common::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const Point2 p{rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)};
+    const auto c = g.cell_of(p);
+    EXPECT_TRUE(g.rect_of(c).contains(p));
+  }
+}
+
+TEST(GridPartition, BorderPointsClampInward) {
+  const GridPartition g(make_rect(0, 0, 100, 100), 10.0);
+  EXPECT_LT(g.cell_of({100.0, 100.0}), g.num_cells());
+  EXPECT_EQ(g.cell_of({0.0, 0.0}), 0u);
+}
+
+TEST(GridPartition, NeighborCounts) {
+  const GridPartition g(make_rect(0, 0, 100, 100), 10.0);
+  EXPECT_EQ(g.neighbors_of(0).size(), 3u);                 // corner
+  EXPECT_EQ(g.neighbors_of(5).size(), 5u);                 // edge
+  EXPECT_EQ(g.neighbors_of(5 * 10 + 5).size(), 8u);        // interior
+}
+
+TEST(GridPartition, NeighborsAreSymmetric) {
+  const GridPartition g(make_rect(0, 0, 50, 50), 10.0);
+  for (std::size_t c = 0; c < g.num_cells(); ++c) {
+    for (std::size_t nb : g.neighbors_of(c)) {
+      const auto back = g.neighbors_of(nb);
+      EXPECT_NE(std::find(back.begin(), back.end(), c), back.end());
+    }
+  }
+}
+
+TEST(Voronoi, NearestOwnerWins) {
+  const VoronoiSite self{1, {0, 0}};
+  const std::vector<VoronoiSite> nbs{{2, {10, 0}}};
+  EXPECT_TRUE(owns_point(self, nbs, {2, 0}, 8.0));
+  EXPECT_FALSE(owns_point(self, nbs, {8, 0}, 8.0));  // closer to neighbor
+}
+
+TEST(Voronoi, BeyondRcIsUnowned) {
+  const VoronoiSite self{1, {0, 0}};
+  EXPECT_FALSE(owns_point(self, {}, {9, 0}, 8.0));
+  EXPECT_TRUE(owns_point(self, {}, {8, 0}, 8.0));  // boundary inclusive
+}
+
+TEST(Voronoi, TieBreaksToLowerId) {
+  const VoronoiSite low{1, {0, 0}};
+  const VoronoiSite high{2, {4, 0}};
+  const Point2 midpoint{2, 0};
+  EXPECT_TRUE(owns_point(low, {high}, midpoint, 8.0));
+  EXPECT_FALSE(owns_point(high, {low}, midpoint, 8.0));
+}
+
+TEST(Voronoi, OwnedPointsFilters) {
+  const VoronoiSite self{1, {0, 0}};
+  const std::vector<VoronoiSite> nbs{{2, {6, 0}}};
+  const std::vector<Point2> points{{1, 0}, {5, 0}, {20, 0}};
+  const auto owned = owned_points(self, nbs, points, {0, 1, 2}, 8.0);
+  ASSERT_EQ(owned.size(), 1u);
+  EXPECT_EQ(owned[0], 0u);
+}
+
+TEST(Voronoi, ExactlyOneOwnerAmongMutualNeighbors) {
+  // For points within rc of every site, ownership partitions: exactly one
+  // site owns each point.
+  const std::vector<VoronoiSite> sites{{1, {2, 2}}, {2, {6, 2}}, {3, {4, 6}}};
+  decor::common::Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const Point2 p{rng.uniform(1.0, 7.0), rng.uniform(1.0, 7.0)};
+    int owners = 0;
+    for (const auto& s : sites) {
+      std::vector<VoronoiSite> others;
+      for (const auto& o : sites) {
+        if (o.id != s.id) others.push_back(o);
+      }
+      if (owns_point(s, others, p, 100.0)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << "point " << p.x << "," << p.y;
+  }
+}
+
+}  // namespace

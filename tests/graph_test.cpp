@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "coverage/coverage_map.hpp"
+#include "coverage/sensor.hpp"
+#include "graph/comm_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/vertex_connectivity.hpp"
+#include "lds/halton.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+using graph::CommGraph;
+
+/// Builds a graph from an explicit edge list over n nodes.
+CommGraph from_edges(std::size_t n,
+                     const std::vector<std::pair<std::uint32_t,
+                                                 std::uint32_t>>& edges) {
+  CommGraph g;
+  g.adj.assign(n, {});
+  g.node_ids.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) g.node_ids[i] = i;
+  for (auto [a, b] : edges) {
+    g.adj[a].push_back(b);
+    g.adj[b].push_back(a);
+  }
+  return g;
+}
+
+CommGraph cycle(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    edges.push_back({i, static_cast<std::uint32_t>((i + 1) % n)});
+  }
+  return from_edges(n, edges);
+}
+
+CommGraph path(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return from_edges(n, edges);
+}
+
+CommGraph complete(std::size_t n) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = i + 1; j < n; ++j) edges.push_back({i, j});
+  }
+  return from_edges(n, edges);
+}
+
+TEST(CommGraph, BuiltFromPositionsWithinRc) {
+  const std::vector<geom::Point2> pos{{0, 0}, {5, 0}, {11, 0}};
+  const auto g = graph::build_comm_graph(pos, 6.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(CommGraph, RangeIsClosed) {
+  const auto g = graph::build_comm_graph({{0, 0}, {8, 0}}, 8.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(CommGraph, FromSensorSetSkipsDead) {
+  coverage::SensorSet sensors(geom::make_rect(0, 0, 20, 20), 8.0);
+  sensors.add({1, 1});
+  const auto dead = sensors.add({2, 1});
+  sensors.add({3, 1});
+  sensors.kill(dead);
+  const auto g = graph::build_comm_graph(sensors, 8.0);
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_EQ(g.node_ids[0], 0u);
+  EXPECT_EQ(g.node_ids[1], 2u);
+}
+
+TEST(Connectivity, ComponentsAndConnected) {
+  auto g = from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(graph::num_components(g), 2u);
+  EXPECT_FALSE(graph::is_connected(g));
+  const auto labels = graph::component_labels(g);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_TRUE(graph::is_connected(path(6)));
+}
+
+TEST(Connectivity, EmptyAndSingleton) {
+  CommGraph empty;
+  EXPECT_EQ(graph::num_components(empty), 0u);
+  EXPECT_TRUE(graph::is_connected(empty));
+  EXPECT_TRUE(graph::is_connected(from_edges(1, {})));
+  EXPECT_EQ(graph::min_degree(from_edges(1, {})), 0u);
+}
+
+TEST(Connectivity, MinDegree) {
+  EXPECT_EQ(graph::min_degree(cycle(5)), 2u);
+  EXPECT_EQ(graph::min_degree(path(5)), 1u);
+  EXPECT_EQ(graph::min_degree(complete(5)), 4u);
+}
+
+TEST(VertexConnectivity, KnownGraphs) {
+  EXPECT_EQ(graph::vertex_connectivity(path(6)), 1u);
+  EXPECT_EQ(graph::vertex_connectivity(cycle(6)), 2u);
+  EXPECT_EQ(graph::vertex_connectivity(complete(6)), 5u);
+  EXPECT_EQ(graph::vertex_connectivity(from_edges(4, {{0, 1}, {2, 3}})), 0u);
+}
+
+TEST(VertexConnectivity, StarAndBridge) {
+  // Star: removing the hub disconnects -> kappa = 1.
+  EXPECT_EQ(graph::vertex_connectivity(
+                from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}})),
+            1u);
+  // Two triangles joined at one vertex: kappa = 1 (cut vertex 2).
+  EXPECT_EQ(graph::vertex_connectivity(from_edges(
+                5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}})),
+            1u);
+}
+
+TEST(VertexConnectivity, TwoCliquesJoinedByMVertices) {
+  // K5 and K5 sharing m=3 vertices: kappa = 3.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  auto clique = [&edges](std::vector<std::uint32_t> vs) {
+    for (std::size_t i = 0; i < vs.size(); ++i) {
+      for (std::size_t j = i + 1; j < vs.size(); ++j) {
+        edges.push_back({vs[i], vs[j]});
+      }
+    }
+  };
+  clique({0, 1, 2, 3, 4});        // left clique
+  clique({2, 3, 4, 5, 6});        // right clique shares {2,3,4}
+  // Deduplicate shared-clique edges.
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  const auto g = from_edges(7, edges);
+  EXPECT_EQ(graph::vertex_connectivity(g), 3u);
+  EXPECT_TRUE(graph::is_k_connected(g, 3));
+  EXPECT_FALSE(graph::is_k_connected(g, 4));
+}
+
+TEST(VertexConnectivity, IsKConnectedBoundaries) {
+  const auto c = cycle(5);
+  EXPECT_TRUE(graph::is_k_connected(c, 0));
+  EXPECT_TRUE(graph::is_k_connected(c, 1));
+  EXPECT_TRUE(graph::is_k_connected(c, 2));
+  EXPECT_FALSE(graph::is_k_connected(c, 3));
+  // K4 is 3-connected but not 4-connected (needs > k nodes).
+  EXPECT_TRUE(graph::is_k_connected(complete(4), 3));
+  EXPECT_FALSE(graph::is_k_connected(complete(4), 4));
+}
+
+TEST(VertexConnectivity, LocalConnectivity) {
+  const auto c = cycle(6);
+  EXPECT_EQ(graph::local_connectivity(c, 0, 3), 2u);  // two arc paths
+  EXPECT_EQ(graph::local_connectivity(c, 0, 1), 2u);  // edge + long way
+  const auto p = path(4);
+  EXPECT_EQ(graph::local_connectivity(p, 0, 3), 1u);
+  EXPECT_EQ(graph::local_connectivity(p, 0, 3, 1), 1u);  // capped
+  EXPECT_THROW(graph::local_connectivity(p, 0, 0), common::RequireError);
+}
+
+TEST(VertexConnectivity, CapShortCircuits) {
+  const auto k6 = complete(6);
+  EXPECT_EQ(graph::local_connectivity(k6, 0, 1, 2), 2u);
+  EXPECT_EQ(graph::local_connectivity(k6, 0, 1, 0), 5u);
+}
+
+class RandomGeometricParam : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomGeometricParam, KappaConsistentWithDefinitionChecks) {
+  // Cross-validate kappa on random geometric graphs: min_degree is an
+  // upper bound, is_k_connected(kappa) holds, is_k_connected(kappa+1)
+  // fails.
+  common::Rng rng(GetParam());
+  const auto pos =
+      lds::random_points(geom::make_rect(0, 0, 30, 30), 40, rng);
+  const auto g = graph::build_comm_graph(pos, 10.0);
+  const auto kappa = graph::vertex_connectivity(g);
+  EXPECT_LE(kappa, graph::min_degree(g));
+  if (kappa > 0) {
+    EXPECT_TRUE(graph::is_k_connected(g, kappa));
+  }
+  EXPECT_FALSE(graph::is_k_connected(g, kappa + 1));
+  if (!graph::is_connected(g)) {
+    EXPECT_EQ(kappa, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGeometricParam,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(PaperCorollary, KCoverageImpliesKConnectivityWhenRcIsTwiceRs) {
+  // Section 2: rc >= 2*rs and full k-coverage => k-connectivity. Verify
+  // on DECOR deployments for k = 1..3.
+  for (std::uint32_t k = 1; k <= 3; ++k) {
+    common::Rng rng(100 + k);
+    coverage::SensorSet sensors(geom::make_rect(0, 0, 30, 30), 4.0, 3.0);
+    coverage::CoverageMap map(geom::make_rect(0, 0, 30, 30),
+                              lds::halton_points(
+                                  geom::make_rect(0, 0, 30, 30), 300),
+                              3.0);
+    // Greedy k-cover at approximation points (centralized flavour).
+    while (!map.fully_covered(k)) {
+      const auto uncovered = map.uncovered_points(k);
+      std::size_t best = uncovered.front();
+      std::uint64_t best_benefit = 0;
+      for (auto id : uncovered) {
+        const auto b = map.benefit(map.index().point(id), k);
+        if (b > best_benefit) {
+          best_benefit = b;
+          best = id;
+        }
+      }
+      sensors.add(map.index().point(best));
+      map.add_disc(map.index().point(best));
+    }
+    const auto g = graph::build_comm_graph(sensors, 2.0 * 3.0);
+    EXPECT_TRUE(graph::is_k_connected(g, k)) << "k=" << k;
+  }
+}
+
+}  // namespace

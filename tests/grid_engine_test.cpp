@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+using core::DecorParams;
+using core::Field;
+
+DecorParams params(std::uint32_t k, double cell_side = 5.0) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 40, 40);
+  p.num_points = 500;
+  p.k = k;
+  p.rs = 4.0;
+  p.rc = 8.0;
+  p.cell_side = cell_side;
+  return p;
+}
+
+TEST(GridEngine, EmptyFieldIsBootstrappedAndCovered) {
+  // No sensor anywhere: the engine must seed leaderless cells (the
+  // paper's regular-positioning / neighboring-leader fallback) and still
+  // reach full coverage.
+  common::Rng rng(1);
+  Field field(params(1), rng);
+  const auto result = core::grid_decor(field, rng);
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_GT(result.placed_nodes, 0u);
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(GridEngine, SingleSeedGrowsAcrossCells) {
+  common::Rng rng(2);
+  Field field(params(1), rng);
+  field.deploy({1, 1});  // one sensor in the corner cell
+  const auto result = core::grid_decor(field, rng);
+  EXPECT_TRUE(result.reached_full_coverage);
+  // Seeding had to cascade across all 64 cells.
+  EXPECT_GT(result.rounds, 3u);
+}
+
+TEST(GridEngine, CellsFieldMatchesPartition) {
+  common::Rng rng(3);
+  Field field(params(1, 10.0), rng);
+  field.deploy_random(20, rng);
+  const auto result = core::grid_decor(field, rng);
+  EXPECT_EQ(result.cells, 16u);  // 40/10 x 40/10
+}
+
+TEST(GridEngine, PlacementsAreApproximationPoints) {
+  common::Rng rng(4);
+  Field field(params(2), rng);
+  field.deploy_random(20, rng);
+  const auto result = core::grid_decor(field, rng);
+  std::set<std::pair<double, double>> point_set;
+  for (const auto& p : field.map.index().points()) {
+    point_set.insert({p.x, p.y});
+  }
+  for (const auto& p : result.placements) {
+    EXPECT_TRUE(point_set.count({p.x, p.y}))
+        << "placement off the point set: " << p.x << "," << p.y;
+  }
+}
+
+TEST(GridEngine, MessagesGrowWithCellSize) {
+  // Figure 10's shape: a bigger cell means more placements per leader and
+  // hence more notifications per cell.
+  auto run = [](double cell_side) {
+    common::Rng rng(5);
+    Field field(params(3, cell_side), rng);
+    field.deploy_random(30, rng);
+    return core::grid_decor(field, rng).messages_per_cell();
+  };
+  EXPECT_LT(run(5.0), run(10.0));
+}
+
+TEST(GridEngine, MoreRoundsThanBaselinesButBounded) {
+  common::Rng rng(6);
+  Field field(params(3), rng);
+  field.deploy_random(30, rng);
+  const auto result = core::grid_decor(field, rng);
+  EXPECT_GE(result.rounds, 1u);
+  // Each round every needy leader places once; rounds are bounded by the
+  // per-cell workload, far below the total placement count.
+  EXPECT_LT(result.rounds, result.placed_nodes);
+}
+
+TEST(GridEngine, RestoresAfterAreaFailureWithoutGlobalKnowledge) {
+  common::Rng rng(7);
+  Field field(params(2), rng);
+  field.deploy_random(30, rng);
+  ASSERT_TRUE(core::grid_decor(field, rng).reached_full_coverage);
+
+  const auto killed = core::fail_area(field, {{20, 20}, 10.0});
+  EXPECT_FALSE(killed.empty());
+  EXPECT_FALSE(field.map.fully_covered(2));
+
+  const auto restore = core::grid_decor(field, rng);
+  EXPECT_TRUE(restore.reached_full_coverage);
+  EXPECT_TRUE(field.map.fully_covered(2));
+}
+
+TEST(GridEngine, OverCoverageIsTheCostOfLocality) {
+  // Grid DECOR never sees neighbor-cell sensors, so it should use at
+  // least as many nodes as the centralized greedy on the same start.
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    common::Rng rng_g(seed), rng_c(seed);
+    Field field_g(params(3), rng_g);
+    field_g.deploy_random(30, rng_g);
+    Field field_c(params(3), rng_c);
+    field_c.deploy_random(30, rng_c);
+    const auto grid = core::grid_decor(field_g, rng_g);
+    const auto central = core::centralized_greedy(field_c);
+    EXPECT_GE(grid.placed_nodes, central.placed_nodes);
+  }
+}
+
+}  // namespace

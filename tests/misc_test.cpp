@@ -1,0 +1,65 @@
+// Remaining small-surface checks: tracing, wire sizes, message payloads.
+#include <gtest/gtest.h>
+
+#include "net/messages.hpp"
+#include "sim/message.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace decor;
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  sim::Trace trace;
+  trace.record(1.0, sim::TraceKind::kSpawn, 3, "x");
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(Trace, EnableRecordClearCycle) {
+  sim::Trace trace;
+  trace.enable(true);
+  trace.record(1.0, sim::TraceKind::kTx, 1, "kind=5");
+  trace.record(2.0, sim::TraceKind::kRx, 2, "kind=5 from=1");
+  trace.record(3.0, sim::TraceKind::kKill, 1, "");
+  EXPECT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.filter(sim::TraceKind::kTx).size(), 1u);
+  EXPECT_EQ(trace.grep("kind=5").size(), 2u);
+  EXPECT_EQ(trace.grep("from=1").size(), 1u);
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+  EXPECT_TRUE(trace.enabled());
+}
+
+TEST(WireSize, AllKindsHavePlausibleSizes) {
+  for (auto kind : {net::kHello, net::kHeartbeat, net::kElect, net::kLeader,
+                    net::kPlacement, net::kCoverageQuery,
+                    net::kCoverageReply, net::kReport}) {
+    const auto size = net::wire_size(kind);
+    EXPECT_GE(size, 16u);
+    EXPECT_LE(size, 64u);
+  }
+}
+
+TEST(Message, MakeSetsAllFields) {
+  struct Payload {
+    int v;
+  };
+  const auto msg = sim::Message::make(7, 42, Payload{9}, 24);
+  EXPECT_EQ(msg.src, 7u);
+  EXPECT_EQ(msg.kind, 42);
+  EXPECT_EQ(msg.size_bytes, 24u);
+  EXPECT_EQ(msg.as<Payload>().v, 9);
+}
+
+TEST(Message, PayloadSharedAcrossCopies) {
+  const auto msg = sim::Message::make(1, 2, std::string("body"));
+  const auto copy = msg;  // broadcast-style copy
+  EXPECT_EQ(&msg.as<std::string>(), &copy.as<std::string>());
+}
+
+TEST(Message, WrongPayloadTypeThrows) {
+  const auto msg = sim::Message::make(1, 2, 3.5);
+  EXPECT_THROW(msg.as<int>(), std::bad_any_cast);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+namespace {
+
+using decor::common::default_thread_count;
+using decor::common::parallel_for;
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> visits(n);
+  parallel_for(n, [&](std::size_t i) { ++visits[i]; });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneJobs) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, ExplicitThreadCount) {
+  std::atomic<int> sum{0};
+  parallel_for(100, [&](std::size_t i) { sum += static_cast<int>(i); }, 3);
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  std::vector<std::size_t> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(i); }, 1);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          50,
+          [&](std::size_t i) {
+            if (i == 13) throw std::runtime_error("job 13 broke");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, OtherJobsStillRunDespiteException) {
+  std::atomic<int> completed{0};
+  try {
+    parallel_for(
+        100,
+        [&](std::size_t i) {
+          if (i == 0) throw std::logic_error("boom");
+          ++completed;
+        },
+        4);
+    FAIL() << "should have thrown";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_EQ(completed.load(), 99);
+}
+
+TEST(ParallelFor, DefaultThreadCountPositive) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ParallelFor, DeterministicResultSlots) {
+  // The bench pattern: per-job slots merged after the run give the same
+  // outcome regardless of scheduling.
+  const std::size_t n = 200;
+  std::vector<double> results(n);
+  parallel_for(n, [&](std::size_t i) {
+    results[i] = static_cast<double>(i) * 0.5;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(results[i], static_cast<double>(i) * 0.5);
+  }
+}
+
+}  // namespace

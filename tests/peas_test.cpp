@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coverage/coverage_map.hpp"
+#include "lds/halton.hpp"
+#include "lds/random_points.hpp"
+#include "net/peas.hpp"
+#include "sim/world.hpp"
+
+namespace {
+
+using namespace decor;
+using net::PeasNode;
+using net::PeasParams;
+
+struct PeasNet {
+  std::unique_ptr<sim::World> world;
+  std::vector<std::uint32_t> ids;
+  PeasParams params;
+
+  PeasNet(std::size_t n, std::uint64_t seed, PeasParams p = {}) : params(p) {
+    world = std::make_unique<sim::World>(
+        geom::make_rect(0, 0, 40, 40), sim::RadioParams{1e-3, 1e-4, 0.0},
+        seed);
+    common::Rng rng(seed);
+    for (const auto& pos :
+         lds::random_points(geom::make_rect(0, 0, 40, 40), n, rng)) {
+      ids.push_back(world->spawn(pos, std::make_unique<PeasNode>(params)));
+    }
+  }
+
+  PeasNode& node(std::uint32_t id) { return world->node_as<PeasNode>(id); }
+
+  std::vector<std::uint32_t> workers() {
+    std::vector<std::uint32_t> out;
+    for (auto id : ids) {
+      if (world->alive(id) && node(id).working()) out.push_back(id);
+    }
+    return out;
+  }
+};
+
+TEST(Peas, WorkingSetEmergesAndIsStable) {
+  PeasNet net(150, 1);
+  net.world->sim().run_until(60.0);
+  const auto w1 = net.workers();
+  EXPECT_FALSE(w1.empty());
+  // Working nodes never demote; the set can only grow, and after many
+  // sleep cycles it should be saturated (nobody else wakes into a hole).
+  net.world->sim().run_until(120.0);
+  const auto w2 = net.workers();
+  EXPECT_GE(w2.size(), w1.size());
+  net.world->sim().run_until(180.0);
+  EXPECT_EQ(net.workers().size(), w2.size()) << "still churning at t=180";
+}
+
+TEST(Peas, OnlyAFractionWorks) {
+  PeasNet net(150, 2);
+  net.world->sim().run_until(120.0);
+  const auto workers = net.workers();
+  // 150 nodes on 40x40 with rp=4: a separated cover needs ~40-70 workers.
+  EXPECT_LT(workers.size(), 100u);
+  EXPECT_GT(workers.size(), 20u);
+}
+
+TEST(Peas, EverySleeperHasAWorkerInProbingRange) {
+  PeasNet net(150, 3);
+  net.world->sim().run_until(200.0);
+  const auto workers = net.workers();
+  for (auto id : net.ids) {
+    if (net.node(id).working()) continue;
+    bool guarded = false;
+    for (auto w : workers) {
+      if (geom::distance(net.world->position(id),
+                         net.world->position(w)) <=
+          net.params.probing_range) {
+        guarded = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(guarded) << "sleeper " << id << " unguarded";
+  }
+}
+
+TEST(Peas, WorkersCoverWhatTheWholeNetworkCovered) {
+  // PEAS's point: the working subset preserves (approximate) 1-coverage
+  // of the area the full set covered, with rp <= rs.
+  PeasParams p;
+  p.probing_range = 3.5;
+  PeasNet net(250, 4, p);
+  net.world->sim().run_until(200.0);
+
+  const geom::Rect field = geom::make_rect(0, 0, 40, 40);
+  const auto points = lds::halton_points(field, 400);
+  coverage::CoverageMap all(field, points, 4.0);
+  coverage::CoverageMap awake(field, points, 4.0);
+  for (auto id : net.ids) all.add_disc(net.world->position(id));
+  for (auto id : net.workers()) awake.add_disc(net.world->position(id));
+  // The awake subset retains nearly all of the full set's 1-coverage.
+  EXPECT_GT(awake.fraction_covered(1),
+            0.95 * all.fraction_covered(1));
+}
+
+TEST(Peas, WorkerDeathTriggersReplacement) {
+  PeasNet net(150, 5);
+  net.world->sim().run_until(120.0);
+  const auto workers = net.workers();
+  ASSERT_FALSE(workers.empty());
+  // Kill every worker; future probes find silence and promote sleepers.
+  for (auto w : workers) net.world->kill(w);
+  EXPECT_TRUE(net.workers().empty());
+  net.world->sim().run_until(240.0);
+  EXPECT_FALSE(net.workers().empty());
+}
+
+TEST(Peas, ProbeCountIsModest) {
+  PeasNet net(100, 6);
+  net.world->sim().run_until(100.0);
+  std::uint64_t probes = 0;
+  for (auto id : net.ids) probes += net.node(id).probes_sent();
+  // ~100 nodes, mean sleep 5s, 100s: at most ~2000 probes even if nobody
+  // ever became working; with workers suppressing churn it's far less
+  // but never zero.
+  EXPECT_GT(probes, 100u);
+  EXPECT_LT(probes, 2500u);
+}
+
+TEST(Peas, DeterministicGivenSeed) {
+  PeasNet a(80, 7), b(80, 7);
+  a.world->sim().run_until(100.0);
+  b.world->sim().run_until(100.0);
+  EXPECT_EQ(a.workers(), b.workers());
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// Tests for the exact perimeter-coverage decision procedure.
+#include <gtest/gtest.h>
+
+#include "coverage/area_estimate.hpp"
+#include "coverage/perimeter.hpp"
+#include "decor/decor.hpp"
+#include "geometry/lattice.hpp"
+
+namespace {
+
+using namespace decor;
+using coverage::is_area_k_covered;
+using coverage::min_area_coverage;
+using coverage::SensorSet;
+using geom::make_rect;
+using geom::Rect;
+
+const Rect kField = make_rect(0, 0, 40, 40);
+
+SensorSet make_set(double rs = 4.0) { return SensorSet(kField, rs, rs); }
+
+TEST(Perimeter, EmptyNetworkIsZero) {
+  auto set = make_set();
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 0u);
+  EXPECT_TRUE(is_area_k_covered(set, kField, 0, 4.0));
+  EXPECT_FALSE(is_area_k_covered(set, kField, 1, 4.0));
+}
+
+TEST(Perimeter, SingleSmallDiscLeavesZeroRegion) {
+  auto set = make_set();
+  set.add({20, 20});
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 0u);
+}
+
+TEST(Perimeter, GiantDiscCoversConstantOne) {
+  auto set = make_set();
+  set.add({20, 20}, 100.0);  // perimeter entirely outside the field
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 1u);
+  EXPECT_TRUE(is_area_k_covered(set, kField, 1, 4.0));
+  EXPECT_FALSE(is_area_k_covered(set, kField, 2, 4.0));
+}
+
+TEST(Perimeter, TwoGiantDiscsCoverConstantTwo) {
+  auto set = make_set();
+  set.add({20, 20}, 100.0);
+  set.add({21, 20}, 120.0);
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 2u);
+}
+
+TEST(Perimeter, MixedGiantAndSmall) {
+  auto set = make_set();
+  set.add({20, 20}, 100.0);  // blanket
+  set.add({20, 20}, 4.0);    // small disc on top
+  // Minimum over the field is still 1 (outside the small disc).
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 1u);
+}
+
+TEST(Perimeter, LatticeCoverIsExactlyOneCovered) {
+  auto set = make_set(3.0);
+  for (const auto& c : geom::square_cover(kField, 3.0)) set.add(c, 3.0);
+  EXPECT_GE(min_area_coverage(set, kField, 3.0), 1u);
+  EXPECT_TRUE(is_area_k_covered(set, kField, 1, 3.0));
+}
+
+TEST(Perimeter, DoubledLatticeIsTwoCovered) {
+  auto set = make_set(3.0);
+  for (const auto& c : geom::square_cover(kField, 3.0)) {
+    set.add(c, 3.0);
+    set.add(c, 3.0);  // a second sensor at the same position
+  }
+  EXPECT_GE(min_area_coverage(set, kField, 3.0), 2u);
+}
+
+TEST(Perimeter, DetectsAPinholeGap) {
+  // A lattice cover with one tile removed: min must drop to 0 even
+  // though the hole is a small curved sliver a coarse grid could miss.
+  auto set = make_set(3.0);
+  const auto centers = geom::square_cover(kField, 3.0);
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    if (i == centers.size() / 2) continue;  // pinhole
+    set.add(centers[i], 3.0);
+  }
+  EXPECT_EQ(min_area_coverage(set, kField, 3.0), 0u);
+}
+
+TEST(Perimeter, AgreesWithDenseGridEstimator) {
+  // If the exact minimum is >= k, the sampled coverage must be 1.0; if
+  // it is < k, sampling at high resolution should find the deficit for
+  // non-degenerate holes.
+  common::Rng rng(7);
+  core::DecorParams params;
+  params.field = kField;
+  params.num_points = 500;
+  params.k = 2;
+  core::Field field(params, rng);
+  field.deploy_random(30, rng);
+  core::centralized_greedy(field);
+  const auto exact = min_area_coverage(field.sensors, kField, params.rs);
+  const double sampled = coverage::area_coverage_grid(
+      field.sensors, kField, exact + 1, params.rs, 400);
+  // By definition of the exact minimum, coverage at level exact+1 is
+  // incomplete, and coverage at level exact is complete.
+  EXPECT_LT(sampled, 1.0);
+  if (exact > 0) {
+    const double at_exact = coverage::area_coverage_grid(
+        field.sensors, kField, exact, params.rs, 400);
+    EXPECT_DOUBLE_EQ(at_exact, 1.0);
+  }
+}
+
+TEST(Perimeter, PointCoverageOverstatesAreaCoverage) {
+  // The honest version of the paper's premise: k-covering the finite
+  // point set does NOT always k-cover the continuous area — slivers
+  // between points stay below k. The low-discrepancy choice makes the
+  // gap small (see ablation_pointsets), not zero.
+  common::Rng rng(8);
+  core::DecorParams params;
+  params.field = kField;
+  params.num_points = 400;
+  params.k = 2;
+  core::Field field(params, rng);
+  field.deploy_random(20, rng);
+  core::centralized_greedy(field);
+  ASSERT_TRUE(field.map.fully_covered(2));
+  EXPECT_LT(min_area_coverage(field.sensors, kField, params.rs), 2u);
+}
+
+TEST(Perimeter, SensorOutsideFieldPokingIn) {
+  auto set = make_set(10.0);
+  set.add({-5, 20}, 10.0);  // centre outside; disc pokes into the field
+  // Field still has uncovered regions.
+  EXPECT_EQ(min_area_coverage(set, kField, 10.0), 0u);
+}
+
+TEST(Perimeter, HeterogeneousRadiiExact) {
+  auto set = make_set(4.0);
+  // A 25-radius disc at the center covers all but four corner slivers
+  // (the corners are sqrt(800) ~ 28.3 away).
+  set.add({20, 20}, 25.0);
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 0u);
+  // Patch the corners with small discs (corner within radius).
+  set.add({0, 0}, 9.0);
+  set.add({40, 0}, 9.0);
+  set.add({0, 40}, 9.0);
+  set.add({40, 40}, 9.0);
+  EXPECT_EQ(min_area_coverage(set, kField, 4.0), 1u);
+}
+
+}  // namespace

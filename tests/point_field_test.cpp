@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+using core::DecorParams;
+using core::Field;
+using core::PointKind;
+
+DecorParams base_params() {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 30, 30);
+  p.num_points = 300;
+  p.k = 2;
+  return p;
+}
+
+TEST(MakePoints, CountAndBoundsForEveryKind) {
+  for (auto kind : {PointKind::kHalton, PointKind::kHammersley,
+                    PointKind::kRandom, PointKind::kJittered}) {
+    auto p = base_params();
+    p.point_kind = kind;
+    common::Rng rng(1);
+    const auto pts = core::make_points(p, rng);
+    EXPECT_EQ(pts.size(), 300u) << core::to_string(kind);
+    for (const auto& pt : pts) EXPECT_TRUE(p.field.contains(pt));
+  }
+}
+
+TEST(MakePoints, DeterministicKindsIgnoreRng) {
+  auto p = base_params();
+  common::Rng rng_a(1), rng_b(999);
+  const auto a = core::make_points(p, rng_a);
+  const auto b = core::make_points(p, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(MakePoints, RandomKindsDependOnRng) {
+  auto p = base_params();
+  p.point_kind = PointKind::kRandom;
+  common::Rng rng_a(1), rng_b(2);
+  const auto a = core::make_points(p, rng_a);
+  const auto b = core::make_points(p, rng_b);
+  EXPECT_FALSE(a[0] == b[0]);
+}
+
+TEST(MakePoints, ScrambleSeedChangesHalton) {
+  auto p = base_params();
+  common::Rng rng(1);
+  const auto plain = core::make_points(p, rng);
+  p.scramble_seed = 77;
+  const auto scrambled = core::make_points(p, rng);
+  int moved = 0;
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    if (!(plain[i] == scrambled[i])) ++moved;
+  }
+  EXPECT_GT(moved, 250);
+}
+
+TEST(Field, DeployUpdatesMapAndSensorsConsistently) {
+  common::Rng rng(3);
+  Field field(base_params(), rng);
+  const auto id = field.deploy({15, 15});
+  EXPECT_EQ(field.sensors.alive_count(), 1u);
+  EXPECT_EQ(field.map.num_covered(1),
+            field.map.index().query_disc({15, 15}, 4.0).size());
+  field.fail(id);
+  EXPECT_EQ(field.sensors.alive_count(), 0u);
+  EXPECT_EQ(field.map.num_covered(1), 0u);
+  field.fail(id);  // idempotent
+  EXPECT_EQ(field.map.num_covered(1), 0u);
+}
+
+TEST(Field, DeployRandomStaysInsideField) {
+  common::Rng rng(4);
+  Field field(base_params(), rng);
+  field.deploy_random(100, rng);
+  for (const auto& s : field.sensors.all()) {
+    EXPECT_TRUE(field.params.field.contains(s.pos));
+    EXPECT_DOUBLE_EQ(s.rs, field.params.rs);
+  }
+}
+
+TEST(Field, HeterogeneousRangeValidated) {
+  common::Rng rng(5);
+  Field field(base_params(), rng);
+  EXPECT_THROW(field.deploy_random_heterogeneous(5, 0.0, 3.0, rng),
+               common::RequireError);
+  EXPECT_THROW(field.deploy_random_heterogeneous(5, 5.0, 3.0, rng),
+               common::RequireError);
+  field.deploy_random_heterogeneous(5, 3.0, 5.0, rng);
+  for (const auto& s : field.sensors.all()) {
+    EXPECT_GE(s.rs, 3.0);
+    EXPECT_LE(s.rs, 5.0);
+  }
+}
+
+TEST(Field, KZeroRejected) {
+  auto p = base_params();
+  p.k = 0;
+  common::Rng rng(6);
+  EXPECT_THROW(Field(p, rng), common::RequireError);
+}
+
+TEST(Params, ToStringNames) {
+  EXPECT_STREQ(core::to_string(core::Scheme::kGrid), "grid");
+  EXPECT_STREQ(core::to_string(core::Scheme::kVoronoi), "voronoi");
+  EXPECT_STREQ(core::to_string(core::Scheme::kCentralized), "centralized");
+  EXPECT_STREQ(core::to_string(core::Scheme::kRandom), "random");
+  EXPECT_STREQ(core::to_string(PointKind::kHalton), "halton");
+  EXPECT_STREQ(core::to_string(PointKind::kHammersley), "hammersley");
+}
+
+TEST(DeploymentResult, DerivedMetrics) {
+  core::DeploymentResult r;
+  r.initial_nodes = 10;
+  r.placed_nodes = 5;
+  r.messages = 30;
+  r.cells = 3;
+  EXPECT_EQ(r.total_nodes(), 15u);
+  EXPECT_DOUBLE_EQ(r.messages_per_cell(), 10.0);
+  r.cells = 0;
+  EXPECT_DOUBLE_EQ(r.messages_per_cell(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "coverage/coverage_map.hpp"
+#include "coverage/redundancy.hpp"
+#include "coverage/sensor.hpp"
+#include "lds/halton.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+using geom::make_rect;
+using geom::Rect;
+
+struct Harness {
+  Rect field = make_rect(0, 0, 30, 30);
+  coverage::CoverageMap map;
+  coverage::SensorSet sensors;
+
+  explicit Harness(double rs = 4.0, std::size_t points = 200)
+      : map(field, lds::halton_points(field, points), rs),
+        sensors(field, rs) {}
+
+  void place(geom::Point2 pos) {
+    sensors.add(pos);
+    map.add_disc(pos);
+  }
+};
+
+TEST(Redundancy, EmptyDeployment) {
+  Harness s;
+  const auto report = coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_TRUE(report.redundant_ids.empty());
+  EXPECT_EQ(report.alive_nodes, 0u);
+  EXPECT_DOUBLE_EQ(report.fraction(), 0.0);
+}
+
+TEST(Redundancy, DuplicateSensorIsRedundant) {
+  Harness s;
+  s.place({15, 15});
+  s.place({15, 15});  // exact duplicate: one of the two is pure overhead
+  const auto report = coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_EQ(report.redundant_ids.size(), 1u);
+}
+
+TEST(Redundancy, SingleCovererIsEssential) {
+  Harness s;
+  s.place({15, 15});
+  const auto report = coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_TRUE(report.redundant_ids.empty());
+}
+
+TEST(Redundancy, RespectsK) {
+  Harness s;
+  s.place({15, 15});
+  s.place({15, 15});
+  // For k=2 both duplicates are load-bearing.
+  const auto report = coverage::find_redundant(s.map, s.sensors, 2);
+  EXPECT_TRUE(report.redundant_ids.empty());
+}
+
+TEST(Redundancy, SequentialRemovalIsConsistent) {
+  Harness s;
+  // Three stacked duplicates, k=1: exactly two are removable.
+  s.place({15, 15});
+  s.place({15, 15});
+  s.place({15, 15});
+  const auto report = coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_EQ(report.redundant_ids.size(), 2u);
+}
+
+TEST(Redundancy, DeadSensorsIgnored) {
+  Harness s;
+  s.place({15, 15});
+  s.place({15, 15});
+  s.sensors.kill(1);
+  s.map.remove_disc({15, 15});
+  const auto report = coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_TRUE(report.redundant_ids.empty());
+  EXPECT_EQ(report.alive_nodes, 1u);
+}
+
+TEST(Redundancy, InputMapUnchanged) {
+  Harness s;
+  s.place({15, 15});
+  s.place({15, 15});
+  const auto before = s.map.counts();
+  (void)coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_EQ(s.map.counts(), before);
+}
+
+class RedundancyPropertyParam
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RedundancyPropertyParam, RemovingReportedSetPreservesCoverage) {
+  // Property: physically removing every reported-redundant node leaves
+  // every initially k-covered point still k-covered.
+  common::Rng rng(GetParam());
+  Harness s;
+  const std::uint32_t k = 2;
+  for (int i = 0; i < 120; ++i) s.place(lds::random_point(s.field, rng));
+
+  const auto covered_before = s.map.num_covered(k);
+  const auto report = coverage::find_redundant(s.map, s.sensors, k);
+  for (std::uint32_t id : report.redundant_ids) {
+    const auto pos = s.sensors.position(id);
+    s.sensors.kill(id);
+    s.map.remove_disc(pos);
+  }
+  EXPECT_EQ(s.map.num_covered(k), covered_before);
+  // And after removal, nothing further is redundant (the greedy set is
+  // maximal for the scan order).
+  const auto again = coverage::find_redundant(s.map, s.sensors, k);
+  EXPECT_TRUE(again.redundant_ids.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RedundancyPropertyParam,
+                         ::testing::Values(11, 22, 33, 44));
+
+TEST(Redundancy, FractionComputation) {
+  Harness s;
+  s.place({15, 15});
+  s.place({15, 15});
+  const auto report = coverage::find_redundant(s.map, s.sensors, 1);
+  EXPECT_DOUBLE_EQ(report.fraction(), 0.5);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+using core::DecorParams;
+using core::Field;
+using core::Scheme;
+
+DecorParams params(std::uint32_t k) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 40, 40);
+  p.num_points = 500;
+  p.k = k;
+  p.rs = 4.0;
+  p.rc = 8.0;
+  return p;
+}
+
+Field deployed_field(std::uint32_t k, Scheme scheme, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Field field(params(k), rng);
+  field.deploy_random(30, rng);
+  core::deploy_full(scheme, field, rng);
+  return field;
+}
+
+TEST(Restoration, FailRandomFractionKillsExactCount) {
+  auto field = deployed_field(2, Scheme::kCentralized, 1);
+  common::Rng rng(2);
+  const auto alive_before = field.sensors.alive_count();
+  const auto killed = core::fail_random_fraction(field, 0.25, rng);
+  EXPECT_EQ(killed.size(),
+            static_cast<std::size_t>(
+                std::llround(0.25 * static_cast<double>(alive_before))));
+  EXPECT_EQ(field.sensors.alive_count(), alive_before - killed.size());
+}
+
+TEST(Restoration, CoverageDegradesMonotonicallyWithFailures) {
+  auto field = deployed_field(3, Scheme::kGrid, 3);
+  common::Rng rng(4);
+  double prev = field.map.fraction_covered(1);
+  for (int step = 0; step < 5; ++step) {
+    core::fail_random_fraction(field, 0.1, rng);
+    const double now = field.map.fraction_covered(1);
+    EXPECT_LE(now, prev + 1e-12);
+    prev = now;
+  }
+}
+
+TEST(Restoration, KCoverageGivesFaultTolerance) {
+  // The paper's Figure 12 premise: with k >= 2, losing 30% of nodes still
+  // leaves >= 90% of points 1-covered, while k = 1 deployments are much
+  // more fragile at the same loss rate.
+  auto field3 = deployed_field(3, Scheme::kGrid, 5);
+  common::Rng rng(6);
+  core::fail_random_fraction(field3, 0.3, rng);
+  EXPECT_GE(field3.map.fraction_covered(1), 0.9);
+}
+
+TEST(Restoration, MaxTolerableGrowsWithK) {
+  common::Rng rng(7);
+  double prev = -1.0;
+  for (std::uint32_t k : {1u, 3u}) {
+    auto field = deployed_field(k, Scheme::kVoronoi, 11);
+    const double tol =
+        core::max_tolerable_failure_fraction(field, 0.9, rng);
+    EXPECT_GT(tol, prev);
+    prev = tol;
+  }
+}
+
+TEST(Restoration, MaxTolerableDoesNotModifyInput) {
+  auto field = deployed_field(2, Scheme::kCentralized, 8);
+  common::Rng rng(9);
+  const auto alive_before = field.sensors.alive_count();
+  const auto counts_before = field.map.counts();
+  (void)core::max_tolerable_failure_fraction(field, 0.9, rng);
+  EXPECT_EQ(field.sensors.alive_count(), alive_before);
+  EXPECT_EQ(field.map.counts(), counts_before);
+}
+
+TEST(Restoration, MaxTolerableOnEmptyFieldIsZero) {
+  common::Rng rng(1);
+  Field field(params(1), rng);
+  EXPECT_DOUBLE_EQ(core::max_tolerable_failure_fraction(field, 0.9, rng),
+                   0.0);
+}
+
+TEST(Restoration, AreaFailurePipelineRestoresCoverage) {
+  for (auto scheme : {Scheme::kCentralized, Scheme::kGrid,
+                      Scheme::kVoronoi}) {
+    auto field = deployed_field(2, scheme, 12);
+    common::Rng rng(13);
+    const geom::Disc disaster{{20, 20}, 10.0};
+    const auto outcome =
+        core::restore_after_area_failure(scheme, field, disaster, rng);
+    EXPECT_FALSE(outcome.failed.empty()) << core::to_string(scheme);
+    // Post-failure metrics captured the hole...
+    EXPECT_LT(outcome.post_failure.at_least(2), 1.0);
+    // ...and restoration filled it.
+    EXPECT_TRUE(outcome.restoration.reached_full_coverage);
+    EXPECT_TRUE(field.map.fully_covered(2));
+  }
+}
+
+TEST(Restoration, AreaFailureLeavesOutsideIntact) {
+  auto field = deployed_field(2, Scheme::kCentralized, 14);
+  const geom::Disc disaster{{10, 10}, 8.0};
+  core::fail_area(field, disaster);
+  // Points far outside the disaster (beyond rs of any killed sensor) are
+  // still 2-covered.
+  const auto& index = field.map.index();
+  for (std::size_t id = 0; id < index.size(); ++id) {
+    if (geom::distance(index.point(id), disaster.center) >
+        disaster.radius + field.params.rs) {
+      EXPECT_GE(field.map.kp(id), 2u);
+    }
+  }
+}
+
+TEST(Restoration, RestorationCostBelowFromScratch) {
+  // Restoring a hole must cost (far) fewer nodes than covering the whole
+  // field from scratch.
+  auto field = deployed_field(2, Scheme::kCentralized, 15);
+  const auto full_cost = field.sensors.alive_count();
+  common::Rng rng(16);
+  const auto outcome = core::restore_after_area_failure(
+      Scheme::kCentralized, field, {{20, 20}, 10.0}, rng);
+  EXPECT_LT(outcome.restoration.placed_nodes, full_cost / 2);
+}
+
+TEST(Restoration, FieldCopyIsIndependent) {
+  auto field = deployed_field(1, Scheme::kCentralized, 17);
+  Field copy = field;
+  core::fail_area(copy, {{20, 20}, 30.0});
+  EXPECT_FALSE(copy.map.fully_covered(1));
+  EXPECT_TRUE(field.map.fully_covered(1));
+  EXPECT_GT(field.sensors.alive_count(), copy.sensors.alive_count());
+}
+
+}  // namespace

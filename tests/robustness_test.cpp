@@ -1,0 +1,176 @@
+// Protocol robustness under non-ideal radios: the properties the stack
+// must keep when frames get lost, faded or collided.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "decor/decor.hpp"
+#include "decor/voronoi_sim.hpp"
+#include "lds/random_points.hpp"
+#include "net/leader_election.hpp"
+#include "net/sensor_node.hpp"
+#include "sim/propagation.hpp"
+
+namespace {
+
+using namespace decor;
+using geom::make_rect;
+using geom::Point2;
+
+// --- leader election under loss ---------------------------------------------
+
+class ElectNode : public net::SensorNode {
+ public:
+  ElectNode(net::SensorNodeParams p, net::ElectionParams ep)
+      : net::SensorNode(p), eparams_(ep) {}
+
+  void on_start() override {
+    net::SensorNode::on_start();
+    election_ =
+        std::make_unique<net::LeaderElection>(*this, /*cell=*/1, eparams_);
+    election_->start(
+        [this](const net::ElectPayload& p) {
+          broadcast(sim::Message::make(id(), net::kElect, p), params_.rc);
+        },
+        [this](const net::LeaderPayload& p) {
+          broadcast(sim::Message::make(id(), net::kLeader, p), params_.rc);
+        },
+        [](std::uint32_t, bool) {});
+  }
+
+  const net::LeaderElection& election() const { return *election_; }
+
+ protected:
+  void handle_message(const sim::Message& msg) override {
+    if (msg.kind == net::kElect) {
+      election_->on_elect(msg.src, msg.as<net::ElectPayload>());
+    } else if (msg.kind == net::kLeader) {
+      election_->on_leader_msg(msg.src, msg.as<net::LeaderPayload>());
+    }
+  }
+
+ private:
+  net::ElectionParams eparams_;
+  std::unique_ptr<net::LeaderElection> election_;
+};
+
+TEST(Robustness, ElectionConvergesUnderTwentyPercentLoss) {
+  sim::RadioParams radio{1e-3, 1e-4, 0.2};
+  sim::World world(make_rect(0, 0, 50, 50), radio, 31);
+  net::SensorNodeParams p;
+  p.rc = 50.0;
+  const net::ElectionParams ep{5.0, 0.2, 0.05};
+  std::vector<std::uint32_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(world.spawn({10.0 + i * 2.0, 10.0},
+                              std::make_unique<ElectNode>(p, ep)));
+  }
+  // Several terms: duplicate leaders caused by lost bids must heal by
+  // the next successful announcement.
+  world.sim().run_until(30.0);
+  std::set<std::uint32_t> believed;
+  for (auto id : ids) {
+    const auto leader = world.node_as<ElectNode>(id).election().leader();
+    ASSERT_TRUE(leader.has_value()) << "node " << id << " has no leader";
+    believed.insert(*leader);
+  }
+  // All survivors agree on one leader (convergence across lossy terms).
+  EXPECT_EQ(believed.size(), 1u);
+}
+
+// --- grid protocol under harsh radios ---------------------------------------
+
+core::SimRunConfig harsh_config(std::uint64_t seed) {
+  core::SimRunConfig cfg;
+  cfg.params.field = make_rect(0, 0, 20, 20);
+  cfg.params.num_points = 200;
+  cfg.params.k = 1;
+  cfg.params.cell_side = 5.0;
+  cfg.seed = seed;
+  cfg.run_time = 300.0;
+  common::Rng rng(seed);
+  cfg.initial_positions = lds::random_points(cfg.params.field, 10, rng);
+  return cfg;
+}
+
+TEST(Robustness, GridProtocolCoversUnderLoss) {
+  auto cfg = harsh_config(32);
+  cfg.radio.loss_prob = 0.2;
+  const auto r = core::run_grid_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+TEST(Robustness, GridProtocolCoversUnderShadowing) {
+  auto cfg = harsh_config(33);
+  cfg.radio.propagation =
+      std::make_shared<sim::LogNormalShadowingModel>(3.0, 4.0);
+  const auto r = core::run_grid_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+TEST(Robustness, GridProtocolCoversUnderCollisions) {
+  auto cfg = harsh_config(34);
+  cfg.radio.bitrate_bps = 250000.0;
+  const auto r = core::run_grid_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+TEST(Robustness, VoronoiProtocolCoversUnderLossAndCollisions) {
+  core::VoronoiSimConfig cfg;
+  cfg.params.field = make_rect(0, 0, 20, 20);
+  cfg.params.num_points = 200;
+  cfg.params.k = 1;
+  cfg.seed = 35;
+  cfg.run_time = 300.0;
+  cfg.radio.loss_prob = 0.15;
+  cfg.radio.bitrate_bps = 250000.0;
+  common::Rng rng(35);
+  cfg.initial_positions = lds::random_points(cfg.params.field, 10, rng);
+  const auto r = core::run_voronoi_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+TEST(Robustness, LossCostsExtraNodesNotCorrectness) {
+  auto ideal_cfg = harsh_config(36);
+  const auto ideal = core::run_grid_decor_sim(ideal_cfg);
+  auto lossy_cfg = harsh_config(36);
+  lossy_cfg.radio.loss_prob = 0.3;
+  const auto lossy = core::run_grid_decor_sim(lossy_cfg);
+  ASSERT_TRUE(ideal.reached_full_coverage);
+  ASSERT_TRUE(lossy.reached_full_coverage);
+  // Lost notifications can only cause over-placement, never holes.
+  EXPECT_GE(lossy.placed_nodes + 5, ideal.placed_nodes);
+}
+
+TEST(Robustness, HeartbeatDetectionSurvivesModerateLoss) {
+  // With 20% loss a neighbor missing one heartbeat must not be declared
+  // dead (timeout spans 3.5 periods), but a killed node still is.
+  sim::RadioParams radio{1e-3, 1e-4, 0.2};
+  sim::World world(make_rect(0, 0, 50, 50), radio, 37);
+  net::SensorNodeParams p;
+  p.rc = 10.0;
+
+  class Recorder : public net::SensorNode {
+   public:
+    explicit Recorder(net::SensorNodeParams p) : net::SensorNode(p) {}
+    std::vector<std::uint32_t> failed;
+
+   protected:
+    void on_neighbor_failed(std::uint32_t id, geom::Point2) override {
+      failed.push_back(id);
+    }
+  };
+
+  const auto a = world.spawn({10, 10}, std::make_unique<Recorder>(p));
+  const auto b = world.spawn({14, 10}, std::make_unique<Recorder>(p));
+  world.sim().run_until(25.0);
+  EXPECT_TRUE(world.node_as<Recorder>(a).failed.empty())
+      << "false positive under loss";
+  world.kill(b);
+  world.sim().run_until(35.0);
+  ASSERT_EQ(world.node_as<Recorder>(a).failed.size(), 1u);
+  EXPECT_EQ(world.node_as<Recorder>(a).failed[0], b);
+}
+
+}  // namespace

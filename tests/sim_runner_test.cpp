@@ -1,0 +1,144 @@
+// End-to-end tests of the protocol-driven grid DECOR (sim_runner).
+//
+// These run the real message-passing stack — hello, heartbeats, leader
+// election, placement notifications, seeding — on small fields so each
+// case stays well under a second.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "decor/decor.hpp"
+#include "net/messages.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+using core::GridSimHarness;
+using core::SimRunConfig;
+
+SimRunConfig small_config(std::uint32_t k, std::uint64_t seed) {
+  SimRunConfig cfg;
+  cfg.params.field = geom::make_rect(0, 0, 20, 20);
+  cfg.params.num_points = 200;
+  cfg.params.k = k;
+  cfg.params.rs = 4.0;
+  cfg.params.rc = 8.0;
+  cfg.params.cell_side = 5.0;
+  cfg.seed = seed;
+  cfg.run_time = 120.0;
+  cfg.placement_interval = 0.2;
+  cfg.seed_check_interval = 2.0;
+  cfg.election = net::ElectionParams{10.0, 0.05, 0.01};
+  common::Rng rng(seed);
+  cfg.initial_positions =
+      lds::random_points(cfg.params.field, 10, rng);
+  return cfg;
+}
+
+TEST(SimRunner, ReachesFullCoverage) {
+  const auto result = core::run_grid_decor_sim(small_config(1, 1));
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_EQ(result.initial_nodes, 10u);
+  EXPECT_GT(result.placed_nodes, 0u);
+  EXPECT_GT(result.radio_tx, 0u);
+  EXPECT_GT(result.radio_rx, 0u);
+  EXPECT_LT(result.finish_time, 120.0);
+  EXPECT_DOUBLE_EQ(result.metrics.at_least(1), 1.0);
+}
+
+TEST(SimRunner, KTwoCoverage) {
+  const auto result = core::run_grid_decor_sim(small_config(2, 2));
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(result.metrics.at_least(2), 1.0);
+}
+
+TEST(SimRunner, DeterministicGivenSeed) {
+  const auto a = core::run_grid_decor_sim(small_config(1, 3));
+  const auto b = core::run_grid_decor_sim(small_config(1, 3));
+  EXPECT_EQ(a.placed_nodes, b.placed_nodes);
+  EXPECT_EQ(a.radio_tx, b.radio_tx);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(SimRunner, EmptyFieldGetsSeeded) {
+  auto cfg = small_config(1, 4);
+  cfg.initial_positions = {{1.0, 1.0}};  // one corner node only
+  const auto result = core::run_grid_decor_sim(cfg);
+  EXPECT_TRUE(result.reached_full_coverage);
+  // Silent cells were seeded across the whole field.
+  EXPECT_GT(result.placed_nodes, 10u);
+}
+
+TEST(SimRunner, PlacementsTrackGroundTruth) {
+  GridSimHarness harness(small_config(1, 5));
+  const auto result = harness.run();
+  ASSERT_TRUE(result.reached_full_coverage);
+  EXPECT_EQ(result.placements.size(), result.placed_nodes);
+  // Ground-truth map agrees with a from-scratch recount of the placements
+  // plus the initial nodes.
+  coverage::CoverageMap fresh(geom::make_rect(0, 0, 20, 20),
+                              std::vector<geom::Point2>(
+                                  harness.map().index().points()),
+                              4.0);
+  auto cfg = small_config(1, 5);
+  for (const auto& p : cfg.initial_positions) fresh.add_disc(p);
+  for (const auto& p : result.placements) fresh.add_disc(p);
+  EXPECT_EQ(fresh.counts(), harness.map().counts());
+}
+
+TEST(SimRunner, RestoresAfterMidRunFailure) {
+  auto cfg = small_config(1, 6);
+  cfg.run_time = 400.0;
+  GridSimHarness harness(cfg);
+
+  // Phase 1: deploy to full coverage.
+  const auto first = harness.run();
+  ASSERT_TRUE(first.reached_full_coverage);
+
+  // Destroy a disc area; leaders must detect the silence via heartbeats
+  // and redeploy when the simulation continues.
+  std::vector<std::uint32_t> killed =
+      harness.world().nodes_in_disc({10, 10}, 6.0);
+  ASSERT_FALSE(killed.empty());
+  for (std::uint32_t id : killed) harness.kill_node(id);
+  ASSERT_FALSE(harness.map().fully_covered(1));
+
+  // Phase 2: resume; the run loop stops again once coverage is restored.
+  const auto second = harness.run();
+  EXPECT_TRUE(second.reached_full_coverage)
+      << "killed " << killed.size() << " nodes, coverage never restored";
+  EXPECT_GT(second.placed_nodes, first.placed_nodes);
+}
+
+TEST(SimRunner, NewLeadersQueryNeighborsOnce) {
+  // Every first-time leader broadcasts one kCoverageQuery so established
+  // neighbors can replay cross-boundary placements to it.
+  GridSimHarness harness(small_config(1, 9));
+  harness.world().trace().enable(true);
+  const auto result = harness.run();
+  ASSERT_TRUE(result.reached_full_coverage);
+  const auto queries = harness.world().trace().grep(
+      "kind=" + std::to_string(net::kCoverageQuery));
+  EXPECT_FALSE(queries.empty());
+  // At most one query per node ever (the flag is sticky).
+  std::map<std::uint32_t, int> per_node;
+  for (const auto& r : queries) {
+    if (r.kind == sim::TraceKind::kTx) ++per_node[r.node];
+  }
+  for (const auto& [node, count] : per_node) {
+    EXPECT_EQ(count, 1) << "node " << node << " queried twice";
+  }
+}
+
+TEST(SimRunner, RadioTrafficScalesReasonably) {
+  const auto result = core::run_grid_decor_sim(small_config(1, 7));
+  // Heartbeats dominate: total tx must stay within a small multiple of
+  // nodes * sim-seconds (no broadcast storms).
+  const double node_seconds =
+      static_cast<double>(result.initial_nodes + result.placed_nodes) *
+      result.finish_time;
+  EXPECT_LT(static_cast<double>(result.radio_tx), 3.0 * node_seconds + 500.0);
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Tests for sleep scheduling and true-area coverage estimation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "coverage/area_estimate.hpp"
+#include "decor/decor.hpp"
+#include "decor/sleep_scheduling.hpp"
+
+namespace {
+
+using namespace decor;
+using core::DecorParams;
+using core::Field;
+
+DecorParams params(std::uint32_t k) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 40, 40);
+  p.num_points = 500;
+  p.k = k;
+  p.rs = 4.0;
+  return p;
+}
+
+Field covered_field(std::uint32_t k, std::uint64_t seed) {
+  common::Rng rng(seed);
+  Field field(params(k), rng);
+  field.deploy_random(30, rng);
+  core::centralized_greedy(field);
+  return field;
+}
+
+// --- plan_epoch -------------------------------------------------------------
+
+TEST(SleepSchedule, AwakeSetMaintainsCoverage) {
+  auto field = covered_field(3, 1);
+  std::vector<double> energy(field.sensors.size(), 10.0);
+  const auto plan = core::plan_epoch(field, energy);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_FALSE(plan.awake.empty());
+  // Verify 1-coverage by the awake subset alone.
+  coverage::CoverageMap awake_map(
+      field.params.field,
+      std::vector<geom::Point2>(field.map.index().points()),
+      field.params.rs);
+  for (std::uint32_t id : plan.awake) {
+    awake_map.add_disc(field.sensors.position(id));
+  }
+  EXPECT_TRUE(awake_map.fully_covered(1));
+}
+
+TEST(SleepSchedule, AwakeSetIsMuchSmallerThanDeployment) {
+  auto field = covered_field(3, 2);
+  std::vector<double> energy(field.sensors.size(), 10.0);
+  const auto plan = core::plan_epoch(field, energy);
+  ASSERT_TRUE(plan.feasible);
+  // A 3-covered deployment needs roughly a third of its nodes awake for
+  // 1-coverage; allow slack for greedy inefficiency.
+  EXPECT_LT(plan.awake.size(), field.sensors.alive_count() / 2);
+}
+
+TEST(SleepSchedule, PrefersEnergyRichSensors) {
+  auto field = covered_field(2, 3);
+  std::vector<double> energy(field.sensors.size(), 1.0);
+  // Mark half the sensors as rich; the awake set should be biased to them.
+  for (std::size_t i = 0; i < energy.size(); i += 2) energy[i] = 100.0;
+  const auto plan = core::plan_epoch(field, energy);
+  ASSERT_TRUE(plan.feasible);
+  std::size_t rich = 0;
+  for (auto id : plan.awake) {
+    if (energy[id] == 100.0) ++rich;
+  }
+  EXPECT_GT(rich * 2, plan.awake.size());  // majority are rich
+}
+
+TEST(SleepSchedule, InfeasibleWhenCoverageMissing) {
+  common::Rng rng(4);
+  Field field(params(1), rng);
+  field.deploy_random(3, rng);  // nowhere near full coverage
+  std::vector<double> energy(field.sensors.size(), 10.0);
+  const auto plan = core::plan_epoch(field, energy);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_TRUE(plan.awake.empty());
+}
+
+TEST(SleepSchedule, CoverKTwoNeedsMoreAwake) {
+  auto field = covered_field(4, 5);
+  std::vector<double> energy(field.sensors.size(), 10.0);
+  const auto plan1 = core::plan_epoch(field, energy, {1, 1.0});
+  const auto plan2 = core::plan_epoch(field, energy, {2, 1.0});
+  ASSERT_TRUE(plan1.feasible);
+  ASSERT_TRUE(plan2.feasible);
+  EXPECT_GT(plan2.awake.size(), plan1.awake.size());
+}
+
+// --- simulate_lifetime ------------------------------------------------------
+
+class LifetimeParam : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LifetimeParam, LifetimeGrowsWithK) {
+  std::size_t prev = 0;
+  for (std::uint32_t k : {1u, 2u, 3u}) {
+    auto field = covered_field(k, GetParam());
+    const auto result = core::simulate_lifetime(field, 30.0, 100000);
+    EXPECT_GT(result.epochs, prev) << "k=" << k;
+    prev = result.epochs;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LifetimeParam, ::testing::Values(7, 8));
+
+TEST(Lifetime, StopsAtEpochLimit) {
+  auto field = covered_field(2, 9);
+  const auto result = core::simulate_lifetime(field, 1e9, 50);
+  EXPECT_EQ(result.epochs, 50u);
+  EXPECT_TRUE(result.hit_epoch_limit);
+  EXPECT_GT(result.mean_awake, 0.0);
+}
+
+TEST(Lifetime, DrainsAndKillsSensors) {
+  auto field = covered_field(2, 10);
+  const auto before = field.sensors.alive_count();
+  const auto result = core::simulate_lifetime(field, 3.0, 100000);
+  EXPECT_FALSE(result.hit_epoch_limit);
+  EXPECT_GT(result.epochs, 0u);
+  EXPECT_LT(field.sensors.alive_count(), before);
+}
+
+// --- area coverage estimation ----------------------------------------------
+
+TEST(AreaEstimate, SingleDiscMatchesAnalyticArea) {
+  coverage::SensorSet sensors(geom::make_rect(0, 0, 40, 40), 5.0, 5.0);
+  sensors.add({20, 20});
+  const double measured = coverage::area_coverage_grid(
+      sensors, geom::make_rect(0, 0, 40, 40), 1, 5.0, 400);
+  const double analytic = std::numbers::pi * 25.0 / 1600.0;
+  EXPECT_NEAR(measured, analytic, 0.003);
+}
+
+TEST(AreaEstimate, GridAndMonteCarloAgree) {
+  auto field = covered_field(2, 11);
+  const double grid = coverage::area_coverage_grid(
+      field.sensors, field.params.field, 2, field.params.rs, 250);
+  common::Rng rng(12);
+  const double mc = coverage::area_coverage_monte_carlo(
+      field.sensors, field.params.field, 2, field.params.rs, 40000, rng);
+  EXPECT_NEAR(grid, mc, 0.015);
+}
+
+TEST(AreaEstimate, FullPointCoverageImpliesNearFullAreaCoverage) {
+  // The paper's premise: k-covering the low-discrepancy points k-covers
+  // (almost) all of the area. At this point density (500 points on
+  // 40x40) a few percent of sliver area between points stays below k.
+  auto field = covered_field(2, 13);
+  ASSERT_TRUE(field.map.fully_covered(2));
+  const double area = coverage::area_coverage_grid(
+      field.sensors, field.params.field, 2, field.params.rs, 300);
+  EXPECT_GT(area, 0.93);
+}
+
+TEST(AreaEstimate, DenserPointSetTightensTheApproximation) {
+  // More approximation points -> smaller gap between "all points
+  // k-covered" and "all area k-covered".
+  auto run = [](std::size_t points) {
+    auto p = params(2);
+    p.num_points = points;
+    common::Rng rng(19);
+    Field field(p, rng);
+    field.deploy_random(30, rng);
+    core::centralized_greedy(field);
+    return coverage::area_coverage_grid(field.sensors, p.field, 2, p.rs,
+                                        300);
+  };
+  EXPECT_GT(run(2000), run(150));
+}
+
+TEST(AreaEstimate, MonotoneInK) {
+  auto field = covered_field(3, 14);
+  double prev = 1.1;
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    const double a = coverage::area_coverage_grid(
+        field.sensors, field.params.field, k, field.params.rs, 150);
+    EXPECT_LE(a, prev + 1e-12);
+    prev = a;
+  }
+}
+
+TEST(AreaEstimate, HeterogeneousRadiiRespected) {
+  coverage::SensorSet sensors(geom::make_rect(0, 0, 40, 40), 5.0, 2.0);
+  sensors.add({10, 20}, 2.0);
+  sensors.add({30, 20}, 8.0);
+  const double a = coverage::area_coverage_grid(
+      sensors, geom::make_rect(0, 0, 40, 40), 1, 2.0, 400);
+  const double analytic =
+      (std::numbers::pi * 4.0 + std::numbers::pi * 64.0) / 1600.0;
+  EXPECT_NEAR(a, analytic, 0.005);
+}
+
+// --- heterogeneous deployments end-to-end -----------------------------------
+
+TEST(Heterogeneous, FieldDeploysMixedRadii) {
+  common::Rng rng(15);
+  Field field(params(1), rng);
+  field.deploy_random_heterogeneous(20, 2.0, 8.0, rng);
+  std::set<double> radii;
+  for (const auto& s : field.sensors.all()) radii.insert(s.rs);
+  EXPECT_GT(radii.size(), 10u);  // actually varied
+}
+
+TEST(Heterogeneous, RestorationCompletesOnMixedInitialNetwork) {
+  for (auto scheme : {core::Scheme::kCentralized, core::Scheme::kGrid,
+                      core::Scheme::kVoronoi}) {
+    common::Rng rng(16);
+    Field field(params(2), rng);
+    field.deploy_random_heterogeneous(30, 2.0, 8.0, rng);
+    const auto result = core::run_engine(scheme, field, rng);
+    EXPECT_TRUE(result.reached_full_coverage) << core::to_string(scheme);
+    EXPECT_TRUE(field.map.fully_covered(2));
+  }
+}
+
+TEST(Heterogeneous, FailUsesDeployedRadius) {
+  common::Rng rng(17);
+  Field field(params(1), rng);
+  const auto id = field.deploy({20, 20}, 10.0);
+  const auto covered = field.map.num_covered(1);
+  EXPECT_GT(covered, 0u);
+  field.fail(id);  // must remove the 10-radius disc, not the default 4
+  EXPECT_EQ(field.map.num_covered(1), 0u);
+}
+
+TEST(Heterogeneous, RedundancyUsesPerSensorRadius) {
+  common::Rng rng(18);
+  Field field(params(1), rng);
+  // A big disc covering everything a small disc covers makes the small
+  // one redundant.
+  field.deploy({20, 20}, 12.0);
+  field.deploy({20, 20}, 3.0);
+  const auto report =
+      coverage::find_redundant(field.map, field.sensors, 1);
+  ASSERT_EQ(report.redundant_ids.size(), 1u);
+  EXPECT_EQ(report.redundant_ids[0], 1u);  // the small one
+}
+
+}  // namespace

@@ -1,0 +1,140 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace {
+
+using decor::common::Accumulator;
+using decor::common::percentile;
+using decor::common::SeriesTable;
+
+TEST(Accumulator, EmptyDefaults) {
+  Accumulator a;
+  EXPECT_TRUE(a.empty());
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.sum(), 0.0);
+}
+
+TEST(Accumulator, SingleValue) {
+  Accumulator a;
+  a.add(3.5);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator whole, left, right;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i * 0.7) * 10.0;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 100.0), 5.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 30.0), 7.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile({}, 50.0), decor::common::RequireError);
+}
+
+TEST(SeriesTable, MeansPerCell) {
+  SeriesTable t("k");
+  t.add(1.0, "a", 10.0);
+  t.add(1.0, "a", 20.0);
+  t.add(2.0, "a", 5.0);
+  t.add(1.0, "b", 1.0);
+  EXPECT_DOUBLE_EQ(t.mean(1.0, "a"), 15.0);
+  EXPECT_DOUBLE_EQ(t.mean(2.0, "a"), 5.0);
+  EXPECT_DOUBLE_EQ(t.mean(1.0, "b"), 1.0);
+  EXPECT_TRUE(std::isnan(t.mean(2.0, "b")));
+  EXPECT_TRUE(std::isnan(t.mean(3.0, "a")));
+}
+
+TEST(SeriesTable, XsSortedUnique) {
+  SeriesTable t("x");
+  t.add(3.0, "s", 1.0);
+  t.add(1.0, "s", 1.0);
+  t.add(3.0, "s", 2.0);
+  const auto xs = t.xs();
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_DOUBLE_EQ(xs[0], 1.0);
+  EXPECT_DOUBLE_EQ(xs[1], 3.0);
+}
+
+TEST(SeriesTable, SeriesOrderIsFirstSeen) {
+  SeriesTable t("x");
+  t.add(1.0, "zeta", 1.0);
+  t.add(1.0, "alpha", 1.0);
+  ASSERT_EQ(t.series_names().size(), 2u);
+  EXPECT_EQ(t.series_names()[0], "zeta");
+  EXPECT_EQ(t.series_names()[1], "alpha");
+}
+
+TEST(SeriesTable, TextAndCsvContainData) {
+  SeriesTable t("k");
+  t.add(1.0, "nodes", 250.0);
+  const auto text = t.to_text();
+  EXPECT_NE(text.find("nodes"), std::string::npos);
+  EXPECT_NE(text.find("250.00"), std::string::npos);
+  const auto csv = t.to_csv();
+  EXPECT_NE(csv.find("k,nodes,nodes_sd"), std::string::npos);
+  EXPECT_NE(csv.find("250"), std::string::npos);
+}
+
+TEST(SeriesTable, StddevOfTrials) {
+  SeriesTable t("x");
+  t.add(1.0, "s", 1.0);
+  t.add(1.0, "s", 3.0);
+  EXPECT_NEAR(t.stddev(1.0, "s"), std::sqrt(2.0), 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "decor/decor.hpp"
+
+namespace {
+
+using namespace decor;
+using core::DecorParams;
+using core::Field;
+
+DecorParams params(std::uint32_t k, double rc = 8.0) {
+  DecorParams p;
+  p.field = geom::make_rect(0, 0, 40, 40);
+  p.num_points = 500;
+  p.k = k;
+  p.rs = 4.0;
+  p.rc = rc;
+  return p;
+}
+
+TEST(VoronoiEngine, FrontierGrowsFromSingleSeed) {
+  // One node in a corner; everything else is farther than rc from any
+  // node, i.e. unowned. Coverage must still complete via frontier growth.
+  common::Rng rng(1);
+  Field field(params(1), rng);
+  field.deploy({1, 1});
+  const auto result = core::voronoi_decor(field, rng);
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_GT(result.rounds, 3u);  // the frontier advances at most rc/round
+}
+
+TEST(VoronoiEngine, EmptyFieldSeedsItself) {
+  common::Rng rng(2);
+  Field field(params(1), rng);
+  const auto result = core::voronoi_decor(field, rng);
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_TRUE(field.map.fully_covered(1));
+}
+
+TEST(VoronoiEngine, PlacementsAreApproximationPoints) {
+  common::Rng rng(3);
+  Field field(params(2), rng);
+  field.deploy_random(20, rng);
+  const auto result = core::voronoi_decor(field, rng);
+  std::set<std::pair<double, double>> point_set;
+  for (const auto& p : field.map.index().points()) {
+    point_set.insert({p.x, p.y});
+  }
+  for (const auto& p : result.placements) {
+    EXPECT_TRUE(point_set.count({p.x, p.y}));
+  }
+}
+
+TEST(VoronoiEngine, LargerRcReducesRedundancy) {
+  // Figure 9's shape: a wider communication radius informs each node of a
+  // larger area, so fewer redundant nodes get placed.
+  auto redundancy = [](double rc) {
+    double total = 0.0;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+      common::Rng rng(seed);
+      Field field(params(3, rc), rng);
+      field.deploy_random(30, rng);
+      core::voronoi_decor(field, rng);
+      total += coverage::find_redundant(field.map, field.sensors, 3)
+                   .fraction();
+    }
+    return total / 4.0;
+  };
+  EXPECT_LE(redundancy(14.14), redundancy(8.0) + 0.02);
+}
+
+TEST(VoronoiEngine, CellsEqualsFinalNodeCount) {
+  common::Rng rng(5);
+  Field field(params(2), rng);
+  field.deploy_random(20, rng);
+  const auto result = core::voronoi_decor(field, rng);
+  EXPECT_EQ(result.cells, field.sensors.alive_count());
+}
+
+TEST(VoronoiEngine, MessagesScaleWithRc) {
+  // Figure 10's shape: announcements reach every node within rc, so more
+  // messages go out per placement with a bigger radius.
+  auto messages = [](double rc) {
+    common::Rng rng(6);
+    Field field(params(3, rc), rng);
+    field.deploy_random(30, rng);
+    const auto r = core::voronoi_decor(field, rng);
+    return static_cast<double>(r.messages) /
+           static_cast<double>(std::max<std::size_t>(r.placed_nodes, 1));
+  };
+  EXPECT_LT(messages(8.0), messages(14.14));
+}
+
+TEST(VoronoiEngine, RestoresAfterAreaFailure) {
+  common::Rng rng(7);
+  Field field(params(2), rng);
+  field.deploy_random(30, rng);
+  ASSERT_TRUE(core::voronoi_decor(field, rng).reached_full_coverage);
+
+  core::fail_area(field, {{20, 20}, 12.0});
+  EXPECT_FALSE(field.map.fully_covered(2));
+  const auto restore = core::voronoi_decor(field, rng);
+  EXPECT_TRUE(restore.reached_full_coverage);
+}
+
+TEST(VoronoiEngine, NearCentralizedQuality) {
+  // The paper reports Voronoi DECOR within ~13-25% of centralized.
+  // Allow a loose 60% bound so the test stays robust across seeds while
+  // still catching gross regressions.
+  for (std::uint64_t seed : {1ull, 2ull}) {
+    common::Rng rng_v(seed), rng_c(seed);
+    Field field_v(params(3, 14.14), rng_v);
+    field_v.deploy_random(30, rng_v);
+    Field field_c(params(3), rng_c);
+    field_c.deploy_random(30, rng_c);
+    const auto voronoi = core::voronoi_decor(field_v, rng_v);
+    const auto central = core::centralized_greedy(field_c);
+    EXPECT_LE(static_cast<double>(voronoi.total_nodes()),
+              1.6 * static_cast<double>(central.total_nodes()));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// End-to-end tests of the protocol-driven Voronoi DECOR.
+#include <gtest/gtest.h>
+
+#include "decor/decor.hpp"
+#include "decor/voronoi_sim.hpp"
+#include "lds/random_points.hpp"
+
+namespace {
+
+using namespace decor;
+using core::VoronoiSimConfig;
+using core::VoronoiSimHarness;
+
+VoronoiSimConfig small_config(std::uint32_t k, std::uint64_t seed) {
+  VoronoiSimConfig cfg;
+  cfg.params.field = geom::make_rect(0, 0, 20, 20);
+  cfg.params.num_points = 200;
+  cfg.params.k = k;
+  cfg.params.rs = 4.0;
+  cfg.params.rc = 8.0;
+  cfg.seed = seed;
+  cfg.run_time = 150.0;
+  cfg.check_interval = 0.2;
+  cfg.stall_timeout = 5.0;
+  common::Rng rng(seed);
+  cfg.initial_positions = lds::random_points(cfg.params.field, 10, rng);
+  return cfg;
+}
+
+TEST(VoronoiSim, ReachesFullCoverage) {
+  const auto result = core::run_voronoi_decor_sim(small_config(1, 1));
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_EQ(result.initial_nodes, 10u);
+  EXPECT_GT(result.placed_nodes, 0u);
+  EXPECT_GT(result.radio_tx, 0u);
+  EXPECT_LT(result.finish_time, 150.0);
+  EXPECT_DOUBLE_EQ(result.metrics.at_least(1), 1.0);
+}
+
+TEST(VoronoiSim, KTwoCoverage) {
+  const auto result = core::run_voronoi_decor_sim(small_config(2, 2));
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(result.metrics.at_least(2), 1.0);
+}
+
+TEST(VoronoiSim, DeterministicGivenSeed) {
+  const auto a = core::run_voronoi_decor_sim(small_config(1, 3));
+  const auto b = core::run_voronoi_decor_sim(small_config(1, 3));
+  EXPECT_EQ(a.placed_nodes, b.placed_nodes);
+  EXPECT_EQ(a.radio_tx, b.radio_tx);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+}
+
+TEST(VoronoiSim, FrontierGrowsFromCornerSeed) {
+  auto cfg = small_config(1, 4);
+  cfg.initial_positions = {{1.0, 1.0}};
+  const auto result = core::run_voronoi_decor_sim(cfg);
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_GT(result.placed_nodes, 10u);
+}
+
+TEST(VoronoiSim, NodeCountStaysSane) {
+  // Over-placement guard: a 20x20 field at k=1 needs ~8+ nodes of rs=4;
+  // the distributed protocol may double that but not explode.
+  const auto result = core::run_voronoi_decor_sim(small_config(1, 5));
+  ASSERT_TRUE(result.reached_full_coverage);
+  EXPECT_LT(result.initial_nodes + result.placed_nodes, 80u);
+}
+
+TEST(VoronoiSim, RestoresAfterMidRunFailure) {
+  auto cfg = small_config(1, 6);
+  cfg.run_time = 400.0;
+  VoronoiSimHarness harness(cfg);
+
+  const auto first = harness.run();
+  ASSERT_TRUE(first.reached_full_coverage);
+
+  auto killed = harness.world().nodes_in_disc({10, 10}, 6.0);
+  ASSERT_FALSE(killed.empty());
+  for (auto id : killed) harness.kill_node(id);
+  ASSERT_FALSE(harness.map().fully_covered(1));
+
+  const auto second = harness.run();
+  EXPECT_TRUE(second.reached_full_coverage);
+  EXPECT_GT(second.placed_nodes, first.placed_nodes);
+}
+
+TEST(VoronoiSim, PlacementsTrackGroundTruth) {
+  VoronoiSimHarness harness(small_config(1, 7));
+  const auto result = harness.run();
+  ASSERT_TRUE(result.reached_full_coverage);
+  coverage::CoverageMap fresh(
+      geom::make_rect(0, 0, 20, 20),
+      std::vector<geom::Point2>(harness.map().index().points()), 4.0);
+  auto cfg = small_config(1, 7);
+  for (const auto& p : cfg.initial_positions) fresh.add_disc(p);
+  for (const auto& p : result.placements) fresh.add_disc(p);
+  EXPECT_EQ(fresh.counts(), harness.map().counts());
+}
+
+TEST(VoronoiSim, EmptyFieldSeededByWatchdog) {
+  auto cfg = small_config(1, 8);
+  cfg.initial_positions.clear();
+  const auto result = core::run_voronoi_decor_sim(cfg);
+  EXPECT_TRUE(result.reached_full_coverage);
+  EXPECT_GE(result.seeded_nodes, 1u);
+}
+
+}  // namespace

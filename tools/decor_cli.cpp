@@ -1,0 +1,297 @@
+// decor — command-line front end to the DECOR library.
+//
+// Subcommands:
+//   deploy        run a deployment engine and report metrics
+//   restore       deploy, inject a failure, restore, report both halves
+//   sim           run the event-driven protocol (grid or voronoi scheme)
+//   discrepancy   compare point-set generators on star discrepancy
+//   connectivity  deploy and measure communication-graph connectivity
+//   lifetime      duty-cycled sleep scheduling on a k-covered network
+//   peas          PEAS baseline working-set formation
+//
+// Common flags: --k --rs --rc --side --points --initial --seed --cell
+// Run `decor <subcommand> --help` for the specifics; every flag has a
+// paper-default so bare invocations work.
+#include <iostream>
+#include <string>
+
+#include "common/options.hpp"
+#include "common/table.hpp"
+#include "coverage/area_estimate.hpp"
+#include "decor/decor.hpp"
+#include "decor/voronoi_sim.hpp"
+#include "graph/comm_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/vertex_connectivity.hpp"
+#include "decor/sleep_scheduling.hpp"
+#include "lds/discrepancy.hpp"
+#include "lds/hammersley.hpp"
+#include "net/peas.hpp"
+
+namespace {
+
+using namespace decor;
+
+core::DecorParams params_from(const common::Options& opts) {
+  core::DecorParams p;
+  const double side = opts.get_double("side", 100.0);
+  p.field = geom::make_rect(0, 0, side, side);
+  p.k = static_cast<std::uint32_t>(opts.get_int("k", 3));
+  p.rs = opts.get_double("rs", 4.0);
+  p.rc = opts.get_double("rc", 2.0 * p.rs);
+  p.cell_side = opts.get_double("cell", 5.0);
+  p.num_points = static_cast<std::size_t>(opts.get_int("points", 2000));
+  const std::string kind = opts.get("point-kind", "halton");
+  if (kind == "hammersley") p.point_kind = core::PointKind::kHammersley;
+  if (kind == "random") p.point_kind = core::PointKind::kRandom;
+  if (kind == "jittered") p.point_kind = core::PointKind::kJittered;
+  return p;
+}
+
+core::Scheme scheme_from(const common::Options& opts) {
+  const std::string s = opts.get("scheme", "grid");
+  if (s == "centralized") return core::Scheme::kCentralized;
+  if (s == "random") return core::Scheme::kRandom;
+  if (s == "voronoi") return core::Scheme::kVoronoi;
+  return core::Scheme::kGrid;
+}
+
+void report_deployment(const core::Field& field,
+                       const core::DeploymentResult& result,
+                       std::uint32_t k) {
+  const auto metrics = coverage::compute_metrics(field.map, k + 1);
+  const auto redundancy =
+      coverage::find_redundant(field.map, field.sensors, k);
+  std::cout << "placed " << result.placed_nodes << " nodes ("
+            << result.total_nodes() << " total) in " << result.rounds
+            << " round(s); " << result.messages << " messages; "
+            << (result.reached_full_coverage ? "full" : "PARTIAL")
+            << " coverage\n"
+            << coverage::summarize(metrics, k) << "; redundant nodes: "
+            << redundancy.redundant_ids.size() << " ("
+            << static_cast<int>(redundancy.fraction() * 100) << "%)\n";
+}
+
+int cmd_deploy(const common::Options& opts) {
+  const auto params = params_from(opts);
+  common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  core::Field field(params, rng);
+  field.deploy_random(
+      static_cast<std::size_t>(opts.get_int("initial", 200)), rng);
+  const auto result = core::run_engine(scheme_from(opts), field, rng);
+  report_deployment(field, result, params.k);
+  if (opts.get_bool("map", false)) {
+    std::cout << coverage::ascii_field(field.map, params.k) << '\n';
+  }
+  if (opts.get_bool("dump", false)) {
+    std::cout << "x,y\n";
+    for (const auto& s : field.sensors.all()) {
+      if (s.alive) std::cout << s.pos.x << ',' << s.pos.y << '\n';
+    }
+  }
+  return result.reached_full_coverage ? 0 : 2;
+}
+
+int cmd_restore(const common::Options& opts) {
+  const auto params = params_from(opts);
+  const auto scheme = scheme_from(opts);
+  common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  core::Field field(params, rng);
+  field.deploy_random(
+      static_cast<std::size_t>(opts.get_int("initial", 200)), rng);
+  std::cout << "== deployment ==\n";
+  report_deployment(field, core::run_engine(scheme, field, rng), params.k);
+
+  const std::string type = opts.get("failure", "area");
+  if (type == "random") {
+    const double fraction = opts.get_double("fraction", 0.3);
+    const auto killed = core::fail_random_fraction(field, fraction, rng);
+    std::cout << "\n== failure: " << killed.size()
+              << " random nodes killed ==\n";
+  } else {
+    const double radius = opts.get_double("radius", 24.0);
+    const geom::Disc disc{field.params.field.center(), radius};
+    const auto killed = core::fail_area(field, disc);
+    std::cout << "\n== failure: disc radius " << radius << " killed "
+              << killed.size() << " nodes ==\n";
+  }
+  std::cout << coverage::summarize(
+                   coverage::compute_metrics(field.map, params.k + 1),
+                   params.k)
+            << "\n\n== restoration ==\n";
+  const auto restore = core::run_engine(scheme, field, rng);
+  report_deployment(field, restore, params.k);
+  return restore.reached_full_coverage ? 0 : 2;
+}
+
+int cmd_sim(const common::Options& opts) {
+  const auto params = params_from(opts);
+  common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  const auto initial = lds::random_points(
+      params.field, static_cast<std::size_t>(opts.get_int("initial", 20)),
+      rng);
+  const double run_time = opts.get_double("run-time", 300.0);
+  const std::string s = opts.get("scheme", "grid");
+  if (s == "voronoi") {
+    core::VoronoiSimConfig cfg;
+    cfg.params = params;
+    cfg.initial_positions = initial;
+    cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+    cfg.run_time = run_time;
+    const auto r = core::run_voronoi_decor_sim(cfg);
+    std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
+              << r.seeded_nodes << " seeded), covered="
+              << (r.reached_full_coverage ? "yes" : "no") << " at t="
+              << r.finish_time << "s, radio tx=" << r.radio_tx << "\n";
+    return r.reached_full_coverage ? 0 : 2;
+  }
+  core::SimRunConfig cfg;
+  cfg.params = params;
+  cfg.initial_positions = initial;
+  cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  cfg.run_time = run_time;
+  const auto r = core::run_grid_decor_sim(cfg);
+  std::cout << "grid sim: placed " << r.placed_nodes << ", covered="
+            << (r.reached_full_coverage ? "yes" : "no") << " at t="
+            << r.finish_time << "s, radio tx=" << r.radio_tx << "\n";
+  return r.reached_full_coverage ? 0 : 2;
+}
+
+int cmd_discrepancy(const common::Options& opts) {
+  const auto n = static_cast<std::size_t>(opts.get_int("n", 2000));
+  const geom::Rect unit = geom::make_rect(0, 0, 1, 1);
+  common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  common::Table table({"generator", "star discrepancy"});
+  table.add_row({"halton", std::to_string(lds::star_discrepancy(
+                               lds::halton_points(unit, n), unit))});
+  table.add_row({"hammersley",
+                 std::to_string(lds::star_discrepancy(
+                     lds::hammersley_points(unit, n), unit))});
+  table.add_row({"jittered", std::to_string(lds::star_discrepancy(
+                                 lds::jittered_points(unit, n, rng), unit))});
+  table.add_row({"random", std::to_string(lds::star_discrepancy(
+                               lds::random_points(unit, n, rng), unit))});
+  std::cout << "N = " << n << "\n" << table.to_text();
+  return 0;
+}
+
+int cmd_lifetime(const common::Options& opts) {
+  const auto params = params_from(opts);
+  common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  core::Field field(params, rng);
+  field.deploy_random(
+      static_cast<std::size_t>(opts.get_int("initial", 100)), rng);
+  const auto deploy = core::run_engine(scheme_from(opts), field, rng);
+  const double battery = opts.get_double("battery", 100.0);
+  const auto max_epochs =
+      static_cast<std::size_t>(opts.get_int("epochs", 100000));
+  const auto nodes = field.sensors.alive_count();
+  const auto result = core::simulate_lifetime(field, battery, max_epochs);
+  std::cout << "deployment: " << nodes << " nodes ("
+            << (deploy.reached_full_coverage ? "full" : "partial") << " "
+            << params.k << "-coverage)\n"
+            << "lifetime: " << result.epochs << " epochs"
+            << (result.hit_epoch_limit ? " (limit reached)" : "")
+            << ", mean awake set " << result.mean_awake << " nodes ("
+            << 100.0 * result.mean_awake / static_cast<double>(nodes)
+            << "% of the network)\n";
+  return 0;
+}
+
+int cmd_peas(const common::Options& opts) {
+  const auto params = params_from(opts);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  common::Rng rng(seed);
+  net::PeasParams pp;
+  pp.probing_range = opts.get_double("rp", params.rs);
+  pp.mean_sleep = opts.get_double("mean-sleep", 5.0);
+  pp.rc = params.rc;
+  sim::World world(params.field, sim::RadioParams{}, seed);
+  const auto n = static_cast<std::size_t>(opts.get_int("initial", 200));
+  std::vector<std::uint32_t> ids;
+  for (const auto& pos : lds::random_points(params.field, n, rng)) {
+    ids.push_back(world.spawn(pos, std::make_unique<net::PeasNode>(pp)));
+  }
+  world.sim().run_until(opts.get_double("run-time", 150.0));
+  std::size_t workers = 0;
+  coverage::CoverageMap awake(params.field,
+                              core::make_points(params, rng), params.rs);
+  for (auto id : ids) {
+    if (world.node_as<net::PeasNode>(id).working()) {
+      ++workers;
+      awake.add_disc(world.position(id));
+    }
+  }
+  std::cout << "PEAS: " << workers << "/" << n << " nodes working ("
+            << 100.0 * static_cast<double>(workers) /
+                   static_cast<double>(n)
+            << "%), working-set 1-coverage "
+            << 100.0 * awake.fraction_covered(1) << "% of the points\n";
+  return 0;
+}
+
+int cmd_connectivity(const common::Options& opts) {
+  const auto params = params_from(opts);
+  common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  core::Field field(params, rng);
+  field.deploy_random(
+      static_cast<std::size_t>(opts.get_int("initial", 50)), rng);
+  const auto result = core::run_engine(scheme_from(opts), field, rng);
+  const auto g = graph::build_comm_graph(field.sensors, params.rc);
+  std::cout << "deployment: " << result.total_nodes() << " nodes, "
+            << (result.reached_full_coverage ? "full" : "partial") << " "
+            << params.k << "-coverage\n"
+            << "graph at rc=" << params.rc << ": " << g.num_edges()
+            << " links, " << graph::num_components(g) << " component(s), "
+            << "min degree " << graph::min_degree(g) << "\n";
+  if (opts.get_bool("kappa", true)) {
+    std::cout << "vertex connectivity kappa = "
+              << graph::vertex_connectivity(g) << " (paper corollary "
+              << (params.rc >= 2.0 * params.rs ? "applies: expect >= k"
+                                               : "does not apply")
+              << ")\n";
+  }
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "usage: decor <subcommand> [--flag=value ...]\n\n"
+      "subcommands:\n"
+      "  deploy        run a deployment engine (--scheme=grid|voronoi|\n"
+      "                centralized|random, --k, --initial, --map, --dump)\n"
+      "  restore       deploy, fail (--failure=area|random, --radius,\n"
+      "                --fraction), restore\n"
+      "  sim           event-driven protocol run (--scheme=grid|voronoi)\n"
+      "  discrepancy   compare point generators (--n)\n"
+      "  lifetime      duty-cycled sleep scheduling (--battery, --epochs)\n"
+      "  peas          PEAS baseline working-set (--rp, --mean-sleep)\n"
+      "  connectivity  communication-graph analysis (--kappa)\n\n"
+      "common flags: --k --rs --rc --side --points --initial --seed "
+      "--cell --point-kind\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const common::Options opts(argc - 1, argv + 1);
+  try {
+    if (cmd == "deploy") return cmd_deploy(opts);
+    if (cmd == "restore") return cmd_restore(opts);
+    if (cmd == "sim") return cmd_sim(opts);
+    if (cmd == "discrepancy") return cmd_discrepancy(opts);
+    if (cmd == "connectivity") return cmd_connectivity(opts);
+    if (cmd == "lifetime") return cmd_lifetime(opts);
+    if (cmd == "peas") return cmd_peas(opts);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  usage();
+  return cmd == "--help" || cmd == "help" ? 0 : 1;
+}
