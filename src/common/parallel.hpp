@@ -1,11 +1,15 @@
-// Minimal data-parallel helper for the benchmark harnesses.
+// Minimal data-parallel helper for the benchmark harnesses and the
+// coverage::BenefitIndex cold-start rebuild.
 //
 // Experiment sweeps are embarrassingly parallel over (configuration,
 // trial) jobs: every job owns an independent seeded RNG and field, so
 // running them on worker threads changes nothing about the results.
 // Determinism is preserved by collecting each job's output into its own
 // slot and merging sequentially afterwards — never by sharing mutable
-// state across jobs.
+// state across jobs. BenefitIndex::rebuild relies on this contract to be
+// bit-identical for any thread count (guarded by a differential test in
+// tests/benefit_index_test.cpp), so callers must not weaken it to
+// slot-free accumulation.
 #pragma once
 
 #include <cstddef>

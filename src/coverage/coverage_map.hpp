@@ -27,6 +27,11 @@ class CoverageMap {
 
   double rs() const noexcept { return rs_; }
   const geom::PointGridIndex& index() const noexcept { return *index_; }
+  /// Shared handle to the immutable point index, so derived structures
+  /// (BenefitIndex) can outlive or be copied independently of the map.
+  std::shared_ptr<const geom::PointGridIndex> index_ptr() const noexcept {
+    return index_;
+  }
   std::size_t num_points() const noexcept { return counts_.size(); }
 
   /// Coverage count of one approximation point.

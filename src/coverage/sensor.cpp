@@ -28,6 +28,14 @@ void SensorSet::kill(std::uint32_t id) {
   --alive_count_;
 }
 
+void SensorSet::revive(std::uint32_t id) {
+  DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
+  if (sensors_[id].alive) return;
+  sensors_[id].alive = true;
+  index_.insert(id, sensors_[id].pos);
+  ++alive_count_;
+}
+
 const Sensor& SensorSet::sensor(std::uint32_t id) const {
   DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
   return sensors_[id];

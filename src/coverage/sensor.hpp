@@ -50,6 +50,11 @@ class SensorSet {
   /// already dead.
   void kill(std::uint32_t id);
 
+  /// Undoes a kill: the sensor re-enters the alive set and the spatial
+  /// index at its original position (what-if analyses roll failures back
+  /// instead of deep-copying the set). No-op if already alive.
+  void revive(std::uint32_t id);
+
   std::size_t size() const noexcept { return sensors_.size(); }
   std::size_t alive_count() const noexcept { return alive_count_; }
 

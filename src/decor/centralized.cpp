@@ -1,25 +1,8 @@
 #include "decor/centralized.hpp"
 
-#include <queue>
+#include "coverage/benefit_index.hpp"
 
 namespace decor::core {
-
-namespace {
-
-/// Max-heap entry: larger benefit first, then smaller point id (matching
-/// the reference scan, which takes the first maximum in id order).
-struct Candidate {
-  std::uint64_t benefit;
-  std::size_t point;
-};
-struct Worse {
-  bool operator()(const Candidate& a, const Candidate& b) const noexcept {
-    if (a.benefit != b.benefit) return a.benefit < b.benefit;
-    return a.point > b.point;
-  }
-};
-
-}  // namespace
 
 DeploymentResult centralized_greedy(Field& field, EngineLimits limits) {
   const std::uint32_t k = field.params.k;
@@ -29,34 +12,20 @@ DeploymentResult centralized_greedy(Field& field, EngineLimits limits) {
   result.initial_nodes = field.sensors.alive_count();
   result.rounds = 1;
 
-  // Seed the queue with every currently-uncovered point. Coverage only
-  // grows during the run, so no new candidates ever appear and covered
-  // points can be dropped for good.
-  std::priority_queue<Candidate, std::vector<Candidate>, Worse> queue;
-  for (std::size_t id : map.uncovered_points(k)) {
-    queue.push({map.benefit(map.index().point(id), k), id});
-  }
+  // The index seeds from the map's current counts (parallel bulk rebuild)
+  // and thereafter tracks every placement with a 2*rs delta update, so
+  // each iteration's arg-max is one lazy heap query instead of a rescan.
+  coverage::BenefitIndex index(map, k);
 
-  while (result.placed_nodes < limits.max_new_nodes && !queue.empty()) {
-    const Candidate top = queue.top();
-    queue.pop();
-    if (map.kp(top.point) >= k) continue;  // covered since queued: drop
-    const geom::Point2 pos = map.index().point(top.point);
-    const std::uint64_t fresh = map.benefit(pos, k);
-    if (fresh != top.benefit) {
-      // Stale: re-queue with the current value; since benefits only
-      // decrease, anything that survives to the top fresh is the argmax.
-      queue.push({fresh, top.point});
-      continue;
-    }
+  while (result.placed_nodes < limits.max_new_nodes) {
+    const auto best = index.best();
+    if (!best) break;  // every point k-covered
+    const geom::Point2 pos = map.index().point(best->point);
     field.deploy(pos);
+    index.add_disc(pos, map.rs());
     ++result.placed_nodes;
     result.placements.push_back(pos);
     if (limits.on_place) limits.on_place(result.placed_nodes, map);
-    // The selected point may still need more coverage (k > 1).
-    if (map.kp(top.point) < k) {
-      queue.push({map.benefit(pos, k), top.point});
-    }
   }
   result.reached_full_coverage = map.fully_covered(k);
   return result;

@@ -14,12 +14,12 @@
 
 namespace decor::core {
 
-/// Lazy-greedy implementation: because adding coverage can only shrink a
-/// candidate's benefit (Equation 1 is monotone non-increasing in the
-/// counts), a stale-priority queue that re-evaluates only the popped head
-/// selects exactly the same argmax as a full rescan — typically ~50x
-/// faster at paper scale. Tie-breaking (benefit desc, point id asc)
-/// matches the reference implementation, so results are bit-identical.
+/// Incremental implementation on coverage::BenefitIndex: benefits are
+/// maintained as state (each placement delta-updates only the points
+/// within 2*rs) and the arg-max comes from the index's lazy heap.
+/// Tie-breaking (benefit desc, point id asc) matches the reference
+/// implementation, so results are bit-identical — see
+/// tests/benefit_index_test.cpp for the differential proof.
 DeploymentResult centralized_greedy(Field& field, EngineLimits limits = {});
 
 /// Reference O(placements x candidates) rescan version; kept as the

@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "coverage/benefit_index.hpp"
 #include "coverage/coverage_map.hpp"
 #include "coverage/metrics.hpp"
 #include "coverage/redundancy.hpp"

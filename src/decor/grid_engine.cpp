@@ -2,27 +2,26 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/require.hpp"
+#include "coverage/benefit_index.hpp"
 #include "geometry/grid_partition.hpp"
 
 namespace decor::core {
 
 namespace {
 
-/// What one leader believes about its cell.
+/// What one leader believes about its cell. Believed per-point coverage
+/// and Equation-1 benefits live in the shared BenefitIndex (points are
+/// labelled with their cell, and belief updates are cell-scoped), so the
+/// cell record only keeps the counters the round loop steers by.
 struct CellState {
   std::vector<std::uint32_t> point_ids;  // global ids of points in the cell
-  std::vector<std::uint32_t> local_kp;   // believed coverage, per point slot
-  std::size_t uncovered = 0;             // slots with local_kp < k
+  std::size_t uncovered = 0;             // points believed below k
   bool has_leader = false;
   std::size_t members = 0;  // initial alive sensors (election accounting)
-};
-
-struct PointLoc {
-  std::uint32_t cell = 0;
-  std::uint32_t slot = 0;
 };
 
 /// A placement decided this round, pending simultaneous application.
@@ -46,7 +45,9 @@ class GridEngine {
 
  private:
   void build_initial_state();
-  void local_add_disc(CellState& cell, geom::Point2 pos, double radius);
+  /// Cell `cell` learns of a disc at `pos`: its belief about its own
+  /// points updates, nothing else.
+  void local_add_disc(std::size_t cell, geom::Point2 pos, double radius);
   /// Best uncovered point of `cell` by local benefit; false if none.
   bool best_point(const CellState& cell, geom::Point2& out) const;
   void apply(const Decision& d, DeploymentResult& result);
@@ -58,66 +59,54 @@ class GridEngine {
   double rs_;
   geom::GridPartition partition_;
   std::vector<CellState> cells_;
-  std::vector<PointLoc> point_loc_;
+  std::unique_ptr<coverage::BenefitIndex> beliefs_;
 };
 
 void GridEngine::build_initial_state() {
   cells_.assign(partition_.num_cells(), CellState{});
   const auto& index = field_.map.index();
-  point_loc_.resize(index.size());
+  std::vector<std::int64_t> owners(index.size(), 0);
   for (std::size_t id = 0; id < index.size(); ++id) {
     const std::size_t c = partition_.cell_of(index.point(id));
-    point_loc_[id] = {static_cast<std::uint32_t>(c),
-                      static_cast<std::uint32_t>(cells_[c].point_ids.size())};
+    owners[id] = static_cast<std::int64_t>(c);
     cells_[c].point_ids.push_back(static_cast<std::uint32_t>(id));
   }
-  for (auto& cell : cells_) {
-    cell.local_kp.assign(cell.point_ids.size(), 0);
-    cell.uncovered = cell.point_ids.size();
+  // Beliefs start at zero coverage: a leader only knows what it is told.
+  beliefs_ = std::make_unique<coverage::BenefitIndex>(
+      field_.map.index_ptr(), rs_, k_, std::move(owners));
+  for (std::size_t c = 0; c < cells_.size(); ++c) {
+    cells_[c].uncovered = cells_[c].point_ids.size();
   }
   // Leaders know the sensors inside their own cell and nothing beyond:
   // each initial sensor contributes only to its home cell's belief
   // (heterogeneous sensors contribute with their own radius).
   for (const auto& s : field_.sensors.all()) {
     if (!s.alive) continue;
-    auto& cell = cells_[partition_.cell_of(s.pos)];
-    cell.has_leader = true;
-    ++cell.members;
-    local_add_disc(cell, s.pos, s.rs > 0.0 ? s.rs : rs_);
+    const std::size_t c = partition_.cell_of(s.pos);
+    cells_[c].has_leader = true;
+    ++cells_[c].members;
+    local_add_disc(c, s.pos, s.rs > 0.0 ? s.rs : rs_);
   }
 }
 
-void GridEngine::local_add_disc(CellState& cell, geom::Point2 pos,
+void GridEngine::local_add_disc(std::size_t cell, geom::Point2 pos,
                                 double radius) {
-  field_.map.index().for_each_in_disc(pos, radius, [&](std::size_t id) {
-    const PointLoc loc = point_loc_[id];
-    if (&cells_[loc.cell] != &cell) return;
-    if (cell.local_kp[loc.slot] < k_ && cell.local_kp[loc.slot] + 1 >= k_) {
-      --cell.uncovered;
-    }
-    ++cell.local_kp[loc.slot];
-  });
+  cells_[cell].uncovered -= beliefs_->add_disc_owned(
+      pos, radius, static_cast<std::int64_t>(cell));
 }
 
 bool GridEngine::best_point(const CellState& cell, geom::Point2& out) const {
+  // Benefit over the points this leader is responsible for (its own
+  // cell), per Equation 1 evaluated on the leader's belief — an O(1)
+  // read per candidate from the maintained index.
   std::uint64_t best_benefit = 0;
   bool found = false;
-  const auto& index = field_.map.index();
-  for (std::size_t slot = 0; slot < cell.point_ids.size(); ++slot) {
-    if (cell.local_kp[slot] >= k_) continue;
-    const geom::Point2 candidate = index.point(cell.point_ids[slot]);
-    // Benefit over the points this leader is responsible for (its own
-    // cell), per Equation 1 evaluated on the leader's belief.
-    std::uint64_t b = 0;
-    index.for_each_in_disc(candidate, rs_, [&](std::size_t id) {
-      const PointLoc loc = point_loc_[id];
-      if (&cells_[loc.cell] != &cell) return;
-      const std::uint32_t c = cell.local_kp[loc.slot];
-      if (c < k_) b += k_ - c;
-    });
+  for (const std::uint32_t pid : cell.point_ids) {
+    if (beliefs_->count(pid) >= k_) continue;
+    const std::uint64_t b = beliefs_->benefit(pid);
     if (!found || b > best_benefit) {
       best_benefit = b;
-      out = candidate;
+      out = field_.map.index().point(pid);
       found = true;
     }
   }
@@ -129,8 +118,8 @@ void GridEngine::apply(const Decision& d, DeploymentResult& result) {
   ++result.placed_nodes;
   result.placements.push_back(d.pos);
 
+  local_add_disc(d.cell, d.pos, rs_);
   auto& own = cells_[d.cell];
-  local_add_disc(own, d.pos, rs_);
   if (d.is_seed) {
     own.has_leader = true;
     ++own.members;
@@ -146,7 +135,7 @@ void GridEngine::apply(const Decision& d, DeploymentResult& result) {
   // leader exists to receive it.
   for (std::size_t nb : partition_.neighbors_of(d.cell)) {
     if (!partition_.rect_of(nb).intersects_disc(d.pos, rs_)) continue;
-    local_add_disc(cells_[nb], d.pos, rs_);
+    local_add_disc(nb, d.pos, rs_);
     if (cells_[nb].has_leader) ++result.messages;
   }
   if (limits_.on_place) limits_.on_place(result.placed_nodes, field_.map);

@@ -68,4 +68,13 @@ void Field::fail(std::uint32_t id) {
   map.remove_disc(pos, rs);
 }
 
+void Field::revive(std::uint32_t id) {
+  if (sensors.alive(id)) return;
+  const auto& s = sensors.sensor(id);
+  const auto pos = s.pos;
+  const double rs = s.rs > 0.0 ? s.rs : params.rs;
+  sensors.revive(id);
+  map.add_disc(pos, rs);
+}
+
 }  // namespace decor::core

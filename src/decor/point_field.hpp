@@ -34,6 +34,10 @@ struct Field {
   /// radius it was deployed with).
   void fail(std::uint32_t id);
 
+  /// Undoes a fail: restores the sensor and re-adds its sensing disc.
+  /// No-op if the sensor is already alive.
+  void revive(std::uint32_t id);
+
   DecorParams params;
   coverage::CoverageMap map;
   coverage::SensorSet sensors;

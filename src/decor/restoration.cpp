@@ -35,24 +35,52 @@ std::vector<std::uint32_t> fail_area(Field& field, const geom::Disc& area) {
   return killed;
 }
 
-double max_tolerable_failure_fraction(const Field& field, double min_coverage,
+double max_tolerable_failure_fraction(Field& field, double min_coverage,
                                       common::Rng& rng) {
-  Field scratch = field;  // counts + sensor records copy; the point index
-                          // is shared and immutable
-  auto alive = scratch.sensors.alive_ids();
+  auto alive = field.sensors.alive_ids();
   if (alive.empty()) return 0.0;
   rng.shuffle(alive);
   const auto total = static_cast<double>(alive.size());
+  const auto num_points = static_cast<double>(field.map.num_points());
+
+  // Track the 1-covered count incrementally: killing one sensor uncovers
+  // exactly the in-disc points whose count is about to drop from 1 to 0,
+  // so each step costs one disc sweep instead of a full O(points) scan.
+  std::size_t covered1 = field.map.num_covered(1);
+
+  // The what-if runs on the field itself and is rolled back afterwards by
+  // re-adding the killed sensors' discs — no deep copy of the counts and
+  // sensor records per call.
+  std::vector<std::uint32_t> killed;
+  killed.reserve(alive.size());
+  const auto undo = [&] {
+    for (auto it = killed.rbegin(); it != killed.rend(); ++it) {
+      field.revive(*it);
+    }
+  };
+
   // 1-coverage only decreases as nodes die, so the first crossing is the
   // answer.
-  std::size_t killed = 0;
   for (std::uint32_t id : alive) {
-    scratch.fail(id);
-    ++killed;
-    if (scratch.map.fraction_covered(1) < min_coverage) {
-      return static_cast<double>(killed - 1) / total;
+    const auto& s = field.sensors.sensor(id);
+    const double rs = s.rs > 0.0 ? s.rs : field.params.rs;
+    std::size_t uncovers = 0;
+    field.map.index().for_each_in_disc(s.pos, rs, [&](std::size_t pid) {
+      if (field.map.kp(pid) == 1) ++uncovers;
+    });
+    field.fail(id);
+    killed.push_back(id);
+    covered1 -= uncovers;
+    const double fraction = num_points == 0.0
+                                ? 1.0
+                                : static_cast<double>(covered1) / num_points;
+    if (fraction < min_coverage) {
+      const auto tolerated = static_cast<double>(killed.size() - 1) / total;
+      undo();
+      return tolerated;
     }
   }
+  undo();
   return 1.0;
 }
 

@@ -31,10 +31,13 @@ std::vector<std::uint32_t> fail_random_fraction(Field& field, double fraction,
 /// Kills every alive sensor inside `area`; returns the killed ids.
 std::vector<std::uint32_t> fail_area(Field& field, const geom::Disc& area);
 
-/// Kills random sensors one at a time (on a scratch copy) until the
-/// 1-coverage fraction drops below `min_coverage`; returns the largest
-/// tolerated failure fraction. The input field is not modified.
-double max_tolerable_failure_fraction(const Field& field, double min_coverage,
+/// Kills random sensors one at a time until the 1-coverage fraction drops
+/// below `min_coverage`; returns the largest tolerated failure fraction.
+/// The what-if runs on `field` itself and is undone before returning (the
+/// killed sensors are revived and their discs re-added), so the field is
+/// observably unmodified — without the per-call deep copy the old
+/// implementation paid.
+double max_tolerable_failure_fraction(Field& field, double min_coverage,
                                       common::Rng& rng);
 
 /// End-to-end outcome of a failure + restoration experiment.

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/require.hpp"
+#include "coverage/benefit_index.hpp"
 #include "decor/point_field.hpp"
 #include "net/leader_election.hpp"
 #include "net/messages.hpp"
@@ -268,33 +269,20 @@ class DecorGridSimNode final : public net::SensorNode {
     }
     const auto counts = local_counts();
     const auto& cell_pts = shared_->cell_points[cell_];
-    const std::uint32_t k = shared_->params.k;
 
-    // Max-benefit uncovered point of this cell (Algorithm 1).
-    std::uint64_t best_benefit = 0;
-    geom::Point2 best_pos{};
-    bool found = false;
-    for (std::size_t slot = 0; slot < cell_pts.size(); ++slot) {
-      if (counts[slot] >= k) continue;
-      const geom::Point2 candidate =
-          shared_->points->point(cell_pts[slot]);
-      std::uint64_t b = 0;
-      shared_->points->for_each_in_disc(
-          candidate, shared_->params.rs, [&](std::size_t pid) {
-            if (shared_->point_cell[pid] != cell_) return;
-            const std::uint32_t c = counts[shared_->point_slot[pid]];
-            if (c < k) b += k - c;
-          });
-      if (!found || b > best_benefit) {
-        best_benefit = b;
-        best_pos = candidate;
-        found = true;
-      }
-    }
-    if (!found) {
+    // Max-benefit uncovered point of this cell (Algorithm 1): Equation 1
+    // over the leader's belief, restricted to the points it owns.
+    const auto best = coverage::BenefitIndex::best_believed(
+        *shared_->points, shared_->params.rs, shared_->params.k, cell_pts,
+        [&](std::size_t pid) -> std::optional<std::uint32_t> {
+          if (shared_->point_cell[pid] != cell_) return std::nullopt;
+          return counts[shared_->point_slot[pid]];
+        });
+    if (!best) {
       loop_active_ = false;  // cell satisfied; failures re-arm the loop
       return;
     }
+    const geom::Point2 best_pos = shared_->points->point(best->point);
     ++my_placements_[PosKey{best_pos.x, best_pos.y}];
     shared_->harness->spawn_node(best_pos);
     broadcast(sim::Message::make(

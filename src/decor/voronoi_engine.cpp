@@ -3,16 +3,18 @@
 #include <algorithm>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/require.hpp"
+#include "coverage/benefit_index.hpp"
 
 namespace decor::core {
 
 namespace {
 
-constexpr std::int64_t kNoOwner = -1;
+constexpr std::int64_t kNoOwner = coverage::BenefitIndex::kNoOwner;
 
 class VoronoiEngine {
  public:
@@ -39,12 +41,15 @@ class VoronoiEngine {
   std::uint32_t k_;
   double rs_;
   double rc_;
-  std::vector<std::int64_t> owner_;
+  // Ground-truth counts plus per-point owner labels and owner-restricted
+  // Equation-1 benefits, all maintained incrementally: a placement is one
+  // add_disc, a territory claim a set_owner per reassigned point.
+  std::unique_ptr<coverage::BenefitIndex> index_;
 };
 
 void VoronoiEngine::build_ownership() {
   const auto& index = field_.map.index();
-  owner_.assign(index.size(), kNoOwner);
+  std::vector<std::int64_t> owners(index.size(), kNoOwner);
   for (std::size_t pid = 0; pid < index.size(); ++pid) {
     const geom::Point2 p = index.point(pid);
     double best_d = std::numeric_limits<double>::infinity();
@@ -58,8 +63,10 @@ void VoronoiEngine::build_ownership() {
             best = sid;
           }
         });
-    owner_[pid] = best;
+    owners[pid] = best;
   }
+  index_ = std::make_unique<coverage::BenefitIndex>(field_.map, k_,
+                                                    std::move(owners));
 }
 
 void VoronoiEngine::claim_territory(std::uint32_t node, geom::Point2 pos) {
@@ -68,16 +75,17 @@ void VoronoiEngine::claim_territory(std::uint32_t node, geom::Point2 pos) {
   field_.map.index().for_each_in_disc(pos, rc_, [&](std::size_t pid) {
     const geom::Point2 p = field_.map.index().point(pid);
     const double d_new = geom::distance_sq(p, pos);
-    if (owner_[pid] == kNoOwner) {
-      owner_[pid] = node;
+    const std::int64_t cur_owner = index_->owner(pid);
+    if (cur_owner == kNoOwner) {
+      index_->set_owner(pid, node);
       return;
     }
     const geom::Point2 cur =
-        field_.sensors.position(static_cast<std::uint32_t>(owner_[pid]));
+        field_.sensors.position(static_cast<std::uint32_t>(cur_owner));
     const double d_cur = geom::distance_sq(p, cur);
     if (d_new < d_cur ||
-        (d_new == d_cur && node < static_cast<std::uint32_t>(owner_[pid]))) {
-      owner_[pid] = node;
+        (d_new == d_cur && node < static_cast<std::uint32_t>(cur_owner))) {
+      index_->set_owner(pid, node);
     }
   });
 }
@@ -90,6 +98,7 @@ void VoronoiEngine::place(std::uint32_t placing_owner, geom::Point2 pos,
   result.messages += field_.sensors.index().count_in_disc(announcer, rc_) - 1;
 
   const std::uint32_t id = field_.deploy(pos);
+  index_->add_disc(pos, rs_);
   ++result.placed_nodes;
   result.placements.push_back(pos);
   claim_territory(id, pos);
@@ -107,7 +116,7 @@ bool VoronoiEngine::seed_frontier(DeploymentResult& result) {
   double best_d = std::numeric_limits<double>::infinity();
   bool found = false;
   for (std::size_t pid = 0; pid < index.size(); ++pid) {
-    if (field_.map.kp(pid) >= k_ || owner_[pid] != kNoOwner) continue;
+    if (index_->count(pid) >= k_ || index_->owner(pid) != kNoOwner) continue;
     const geom::Point2 p = index.point(pid);
     // Distance to the nearest alive sensor, by expanding ring search.
     double d = std::numeric_limits<double>::infinity();
@@ -130,6 +139,7 @@ bool VoronoiEngine::seed_frontier(DeploymentResult& result) {
   }
   if (!found) return false;
   const std::uint32_t id = field_.deploy(best_pos);
+  index_->add_disc(best_pos, rs_);
   ++result.placed_nodes;
   result.placements.push_back(best_pos);
   ++result.messages;  // the out-of-band seeding directive
@@ -149,12 +159,13 @@ DeploymentResult VoronoiEngine::run() {
     std::unordered_map<std::uint32_t, std::vector<std::size_t>> by_owner;
     bool any_unowned_uncovered = false;
     for (std::size_t pid = 0; pid < index.size(); ++pid) {
-      if (field_.map.kp(pid) >= k_) continue;
-      if (owner_[pid] == kNoOwner) {
+      if (index_->count(pid) >= k_) continue;
+      const std::int64_t owner = index_->owner(pid);
+      if (owner == kNoOwner) {
         any_unowned_uncovered = true;
         continue;
       }
-      by_owner[static_cast<std::uint32_t>(owner_[pid])].push_back(pid);
+      by_owner[static_cast<std::uint32_t>(owner)].push_back(pid);
     }
 
     if (by_owner.empty()) {
@@ -166,6 +177,8 @@ DeploymentResult VoronoiEngine::run() {
 
     // Every owner decides simultaneously on the round-start coverage; the
     // snapshot of counts is implicit because placements apply afterwards.
+    // Benefit over this node's own points only (Equation 1 restricted to
+    // the local Voronoi cell) is an O(1) read per candidate.
     struct Decision {
       std::uint32_t owner;
       geom::Point2 pos;
@@ -177,18 +190,10 @@ DeploymentResult VoronoiEngine::run() {
       geom::Point2 best_pos{};
       bool found = false;
       for (std::size_t pid : pids) {
-        const geom::Point2 candidate = index.point(pid);
-        // Benefit over this node's own points only (Equation 1 restricted
-        // to the local Voronoi cell).
-        std::uint64_t b = 0;
-        index.for_each_in_disc(candidate, rs_, [&](std::size_t q) {
-          if (owner_[q] != static_cast<std::int64_t>(owner)) return;
-          const std::uint32_t c = field_.map.kp(q);
-          if (c < k_) b += k_ - c;
-        });
+        const std::uint64_t b = index_->benefit(pid);
         if (!found || b > best_benefit) {
           best_benefit = b;
-          best_pos = candidate;
+          best_pos = index.point(pid);
           found = true;
         }
       }

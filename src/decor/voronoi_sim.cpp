@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/require.hpp"
+#include "coverage/benefit_index.hpp"
 #include "decor/point_field.hpp"
 #include "net/messages.hpp"
 
@@ -76,8 +77,8 @@ class DecorVoronoiSimNode final : public net::SensorNode {
 
   /// Points of my local Voronoi cell: within rc, closer to me than to
   /// any neighbor I can hear (ties break to the lower node id).
-  std::vector<std::size_t> owned_points() const {
-    std::vector<std::size_t> out;
+  std::vector<std::uint32_t> owned_points() const {
+    std::vector<std::uint32_t> out;
     const auto neighbors = table_.snapshot();
     shared_->points->for_each_in_disc(
         pos(), params_.rc, [&](std::size_t pid) {
@@ -87,7 +88,7 @@ class DecorVoronoiSimNode final : public net::SensorNode {
             const double d_nb = geom::distance_sq(p, entry.pos);
             if (d_nb < d_self || (d_nb == d_self && nid < id())) return;
           }
-          out.push_back(pid);
+          out.push_back(static_cast<std::uint32_t>(pid));
         });
     return out;
   }
@@ -95,7 +96,7 @@ class DecorVoronoiSimNode final : public net::SensorNode {
   /// Believed coverage of the given points from everything this node can
   /// hear (multiplicity preserved; see sim_runner.cpp for why).
   std::unordered_map<std::size_t, std::uint32_t> believed_coverage(
-      const std::vector<std::size_t>& pids) const {
+      const std::vector<std::uint32_t>& pids) const {
     std::unordered_map<std::size_t, std::uint32_t> counts;
     counts.reserve(pids.size());
     for (auto pid : pids) counts.emplace(pid, 0);
@@ -136,31 +137,21 @@ class DecorVoronoiSimNode final : public net::SensorNode {
   }
 
   void tick() {
-    const std::uint32_t k = shared_->params.k;
     const auto mine = owned_points();
     const auto counts = believed_coverage(mine);
 
-    // Max-benefit uncovered owned point (Equation 1 over my cell).
-    std::uint64_t best_benefit = 0;
-    geom::Point2 best_pos{};
-    bool found = false;
-    for (std::size_t pid : mine) {
-      if (counts.at(pid) >= k) continue;
-      const geom::Point2 candidate = shared_->points->point(pid);
-      std::uint64_t b = 0;
-      shared_->points->for_each_in_disc(
-          candidate, shared_->params.rs, [&](std::size_t q) {
-            const auto it = counts.find(q);
-            if (it != counts.end() && it->second < k) b += k - it->second;
-          });
-      if (!found || b > best_benefit) {
-        best_benefit = b;
-        best_pos = candidate;
-        found = true;
-      }
-    }
+    // Max-benefit uncovered owned point (Equation 1 over my cell; points
+    // outside the cell neither contribute nor qualify).
+    const auto best = coverage::BenefitIndex::best_believed(
+        *shared_->points, shared_->params.rs, shared_->params.k, mine,
+        [&](std::size_t pid) -> std::optional<std::uint32_t> {
+          const auto it = counts.find(pid);
+          if (it == counts.end()) return std::nullopt;
+          return it->second;
+        });
 
-    if (found) {
+    if (best) {
+      const geom::Point2 best_pos = shared_->points->point(best->point);
       idle_streak_ = 0;
       ++my_placements_[PosKey{best_pos.x, best_pos.y}];
       shared_->harness->spawn_node(best_pos);

@@ -128,6 +128,66 @@ TEST_P(Seeded, BenefitBoundsTheActualDeficitReduction) {
   }
 }
 
+// --- BenefitIndex metamorphic invariants --------------------------------------
+
+TEST_P(Seeded, IndexedBenefitMonotoneUnderAddDiscAndRestoredByRemove) {
+  // Adding a disc can only raise counts, so every point's Equation-1
+  // benefit is monotone non-increasing; removing the same disc must
+  // restore every benefit and count exactly (the delta updates are
+  // integer and owner-symmetric, so no drift is tolerated).
+  common::Rng rng(GetParam());
+  const Rect field = make_rect(0, 0, 35, 35);
+  coverage::CoverageMap map(field, lds::halton_points(field, 400), 4.0);
+  const std::uint32_t k = 3;
+  coverage::BenefitIndex index(map, k);
+  for (int i = 0; i < 30; ++i) {
+    index.add_disc(lds::random_point(field, rng), map.rs());
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<std::uint64_t> before(index.num_points());
+    std::vector<std::uint32_t> counts(index.num_points());
+    for (std::size_t p = 0; p < index.num_points(); ++p) {
+      before[p] = index.benefit(p);
+      counts[p] = index.count(p);
+    }
+    const Point2 pos = lds::random_point(field, rng);
+    const double radius = rng.uniform(2.0, 6.0);
+    index.add_disc(pos, radius);
+    for (std::size_t p = 0; p < index.num_points(); ++p) {
+      EXPECT_LE(index.benefit(p), before[p]) << "trial " << trial;
+    }
+    index.remove_disc(pos, radius);
+    for (std::size_t p = 0; p < index.num_points(); ++p) {
+      ASSERT_EQ(index.benefit(p), before[p]) << "trial " << trial;
+      ASSERT_EQ(index.count(p), counts[p]) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(Seeded, IndexedBenefitZeroIffNeighborhoodFullyCovered) {
+  // b(p) == 0 exactly when every approximation point within rs of p is
+  // already k-covered — the greedy termination condition of Equation 1.
+  common::Rng rng(GetParam());
+  const Rect field = make_rect(0, 0, 30, 30);
+  coverage::CoverageMap map(field, lds::halton_points(field, 350), 3.5);
+  const std::uint32_t k = 2;
+  coverage::BenefitIndex index(map, k);
+  const auto n = 10 + rng.below(60);  // from sparse to near-saturated
+  for (std::size_t i = 0; i < n; ++i) {
+    index.add_disc(lds::random_point(field, rng), map.rs());
+  }
+  for (std::size_t p = 0; p < index.num_points(); ++p) {
+    bool all_k_covered = true;
+    map.index().for_each_in_disc(map.index().point(p), map.rs(),
+                                 [&](std::size_t q) {
+                                   if (index.count(q) < k) {
+                                     all_k_covered = false;
+                                   }
+                                 });
+    EXPECT_EQ(index.benefit(p) == 0, all_k_covered) << "point " << p;
+  }
+}
+
 // --- grid partition tiles the field -------------------------------------------
 
 TEST_P(Seeded, GridPartitionTilesExactly) {
