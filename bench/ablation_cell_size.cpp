@@ -45,5 +45,8 @@ int main(int argc, char** argv) {
             << "\nreading: small cells localize work (fewer msgs/cell) "
                "but multiply boundary races;\nhuge cells converge slowly "
                "and concentrate load on few leaders.\n";
+  bench::write_json_report(bench::json_path(opts, "ablation_cell_size"),
+                           "Ablation: grid cell size", setup,
+                           {{"cost_vs_cell_side", &table}});
   return 0;
 }

@@ -65,12 +65,15 @@ int main(int argc, char** argv) {
     out.push_back({x, "k_conn_holds_1.2rs",
                    graph::is_k_connected(g12, k) ? 100.0 : 0.0});
     return out;
-  });
+  }, setup.threads);
 
   std::cout
       << table.to_text()
       << "\nreading: with rc = 2*rs every k-covered deployment is "
          "k-connected (column = 100);\nwith rc cut to 1.2*rs the "
          "guarantee evaporates.\n";
+  bench::write_json_report(bench::json_path(opts, "ablation_connectivity"),
+                           "Ablation: k-connectivity", setup,
+                           {{"vertex_connectivity", &table}});
   return 0;
 }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
     return std::vector<bench::Sample>{
         {static_cast<double>(job.initial), job.cfg.label,
          static_cast<double>(result.placed_nodes)}};
-  });
+  }, setup.threads);
   for (const auto& batch : total_batches) {
     for (const auto& s : batch) total.add(s.x, s.series, s.value);
   }
@@ -63,5 +63,9 @@ int main(int argc, char** argv) {
                "placements nearly one-for-one; past the\ncoverage knee "
                "they mostly add redundancy and the total grows with the "
                "drop size.\n";
+  bench::write_json_report(
+      bench::json_path(opts, "ablation_initial_density"),
+      "Ablation: initial density", setup,
+      {{"placed_nodes", &placed}, {"total_nodes", &total}});
   return 0;
 }

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     return std::vector<bench::Sample>{
         {static_cast<double>(job.n), job.label,
          static_cast<double>(result.total_nodes())}};
-  });
+  }, setup.threads);
   for (const auto& batch : cov_batches) {
     for (const auto& s : batch) true_cov.add(s.x, s.series, s.value);
   }
@@ -78,5 +78,9 @@ int main(int argc, char** argv) {
             << "\nreading: at equal cardinality the low-discrepancy sets "
                "buy more *actual* area coverage;\nrandom approximations "
                "leave real holes their own points cannot see.\n";
+  bench::write_json_report(bench::json_path(opts, "ablation_pointsets"),
+                           "Ablation: point sets", setup,
+                           {{"total_nodes", &nodes},
+                            {"true_coverage_pct", &true_cov}});
   return 0;
 }

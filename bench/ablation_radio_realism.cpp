@@ -90,11 +90,14 @@ int main(int argc, char** argv) {
         {x, "placed", static_cast<double>(result.placed_nodes)},
         {x, "radio_tx", static_cast<double>(result.radio_tx)},
     };
-  });
+  }, setup.threads);
 
   for (std::size_t v = 0; v < variants.size(); ++v) {
     std::cout << "variant " << v << " = " << variants[v].label << '\n';
   }
   std::cout << '\n' << table.to_text() << '\n';
+  bench::write_json_report(
+      bench::json_path(opts, "ablation_radio_realism"),
+      "Ablation: radio realism", setup, {{"protocol_cost", &table}});
   return 0;
 }

@@ -86,5 +86,8 @@ int main(int argc, char** argv) {
                "budget regime as the emulation\n(asynchrony and heartbeat"
                "-paced knowledge add some overhead), validating the "
                "round-based figures.\n";
+  bench::write_json_report(
+      bench::json_path(opts, "ablation_sim_vs_engine"),
+      "Ablation: sim vs engine", setup, {{"totals", &table}});
   return 0;
 }

@@ -89,7 +89,7 @@ int main(int argc, char** argv) {
       out.push_back({x, "peas_cov%", 100.0 * awake.fraction_covered(1)});
     }
     return out;
-  });
+  }, setup.threads);
 
   std::cout << table.to_text()
             << "\nreading: both keep a small awake fraction; DECOR's "
@@ -97,5 +97,8 @@ int main(int argc, char** argv) {
                "point set, while PEAS's blind probing leaves residual "
                "holes —\nthe paper's argument for coverage-aware "
                "mechanisms, measured.\n";
+  bench::write_json_report(bench::json_path(opts, "baseline_peas"),
+                           "Baseline: PEAS vs DECOR sleep scheduling",
+                           setup, {{"awake_and_coverage", &table}});
   return 0;
 }

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
   // computation is O(N^2 log N); 2000 points is fine).
   common::Table table({"N", "halton", "hammersley", "jittered", "random",
                        "random/halton"});
+  common::SeriesTable discrepancy("N");
   for (std::size_t n : {250ul, 500ul, 1000ul, 2000ul}) {
     const double d_halton =
         lds::star_discrepancy(lds::halton_points(field, n), field);
@@ -36,11 +37,18 @@ int main(int argc, char** argv) {
         lds::star_discrepancy(lds::hammersley_points(field, n), field);
     common::Rng rng(setup.seed);
     common::Accumulator d_rand, d_jit;
+    const auto x = static_cast<double>(n);
+    discrepancy.add(x, "halton", d_halton);
+    discrepancy.add(x, "hammersley", d_ham);
     for (std::size_t t = 0; t < setup.trials; ++t) {
-      d_rand.add(
-          lds::star_discrepancy(lds::random_points(field, n, rng), field));
-      d_jit.add(
-          lds::star_discrepancy(lds::jittered_points(field, n, rng), field));
+      const double r =
+          lds::star_discrepancy(lds::random_points(field, n, rng), field);
+      const double j =
+          lds::star_discrepancy(lds::jittered_points(field, n, rng), field);
+      d_rand.add(r);
+      d_jit.add(j);
+      discrepancy.add(x, "random", r);
+      discrepancy.add(x, "jittered", j);
     }
     table.add_row_numeric({static_cast<double>(n), d_halton, d_ham,
                            d_jit.mean(), d_rand.mean(),
@@ -57,5 +65,7 @@ int main(int argc, char** argv) {
   std::cout << "the 2000-point Halton field (one char per ~2x4 area; "
                "digits would mark uncovered regions):\n"
             << coverage::ascii_field(map, 0) << '\n';
+  bench::write_json_report(bench::json_path(opts, "fig04"), "Figure 4",
+                           setup, {{"star_discrepancy", &discrepancy}});
   return 0;
 }

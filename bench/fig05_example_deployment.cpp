@@ -56,5 +56,19 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n(--dump prints all placements as CSV)\n";
   }
+
+  // Headline numbers of this single deployment, keyed by k.
+  common::SeriesTable summary("k");
+  const auto x = static_cast<double>(params.k);
+  summary.add(x, "placed_nodes", static_cast<double>(result.placed_nodes));
+  summary.add(x, "total_nodes", static_cast<double>(result.total_nodes()));
+  summary.add(x, "rounds", static_cast<double>(result.rounds));
+  summary.add(x, "messages", static_cast<double>(result.messages));
+  summary.add(x, "redundant_nodes",
+              static_cast<double>(redundancy.redundant_ids.size()));
+  summary.add(x, "covered_pct",
+              100.0 * field.map.fraction_covered(params.k));
+  bench::write_json_report(bench::json_path(opts, "fig05"), "Figure 5",
+                           setup, {{"deployment_summary", &summary}});
   return 0;
 }

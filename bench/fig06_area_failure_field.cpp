@@ -33,5 +33,17 @@ int main(int argc, char** argv) {
             << "field after the disaster ('.' = still " << params.k
             << "-covered, digits = coverage deficit):\n"
             << coverage::ascii_field(field.map, params.k) << '\n';
+
+  // Headline numbers of the disaster scenario, keyed by k.
+  common::SeriesTable summary("k");
+  const auto x = static_cast<double>(params.k);
+  summary.add(x, "deployed_nodes",
+              static_cast<double>(field.sensors.alive_count() +
+                                  killed.size()));
+  summary.add(x, "killed_nodes", static_cast<double>(killed.size()));
+  summary.add(x, "covered_pct_after",
+              100.0 * field.map.fraction_covered(params.k));
+  bench::write_json_report(bench::json_path(opts, "fig06"), "Figure 6",
+                           setup, {{"disaster_summary", &summary}});
   return 0;
 }

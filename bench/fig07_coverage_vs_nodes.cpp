@@ -58,5 +58,7 @@ int main(int argc, char** argv) {
             << "-covered vs total deployed nodes:\n"
             << table.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig07"), "Figure 7",
+                           setup, {{"coverage_pct_vs_nodes", &table}});
   return 0;
 }

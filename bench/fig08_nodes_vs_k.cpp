@@ -47,9 +47,11 @@ int main(int argc, char** argv) {
                      job.cfg.label + "(capped)", 1.0});
     }
     return out;
-  });
+  }, setup.threads);
 
   std::cout << "total nodes for 100% k-coverage:\n" << table.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig08"), "Figure 8",
+                           setup, {{"nodes_for_full_k_coverage", &table}});
   return 0;
 }

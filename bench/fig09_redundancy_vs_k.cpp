@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
     return std::vector<bench::Sample>{
         {static_cast<double>(job.k), job.cfg.label,
          100.0 * report.fraction()}};
-  });
+  }, setup.threads);
   for (const auto& batch : count_batches) {
     for (const auto& s : batch) counts.add(s.x, s.series, s.value);
   }
@@ -58,5 +58,9 @@ int main(int argc, char** argv) {
             << "\nredundant node counts:\n"
             << counts.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << pct.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig09"), "Figure 9",
+                           setup,
+                           {{"redundant_pct", &pct},
+                            {"redundant_counts", &counts}});
   return 0;
 }

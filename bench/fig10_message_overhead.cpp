@@ -39,5 +39,9 @@ int main(int argc, char** argv) {
             << "\nmessages per deployed node (leader-rotation view):\n"
             << per_node.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig10"), "Figure 10",
+                           setup,
+                           {{"messages_per_cell", &table},
+                            {"messages_per_node", &per_node}});
   return 0;
 }

@@ -84,12 +84,15 @@ int main(int argc, char** argv) {
         {x, tag + "_deploy_tx/node", deploy_tx / nodes},
         {x, tag + "_steady_tx/node/min", steady_tx / nodes},
     };
-  });
+  }, setup.threads);
 
   std::cout << table.to_text()
             << "\nreading: restoration-phase traffic per node is of the "
                "same order as Figure 10's message\ncounts; the heartbeat "
                "substrate (one beat per node-second) dominates steady "
                "state,\nwhich the paper's figure excludes by design.\n";
+  bench::write_json_report(bench::json_path(opts, "fig10b"),
+                           "Figure 10 (protocol companion)", setup,
+                           {{"radio_tx_per_node", &table}});
   return 0;
 }

@@ -46,5 +46,9 @@ int main(int argc, char** argv) {
             << "-covered:\n"
             << coveredk.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << covered1.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig11"), "Figure 11",
+                           setup,
+                           {{"covered1_pct", &covered1},
+                            {"coveredk_pct", &coveredk}});
   return 0;
 }

@@ -46,10 +46,12 @@ int main(int argc, char** argv) {
         core::max_tolerable_failure_fraction(field, min_coverage, fail_rng);
     return std::vector<bench::Sample>{
         {static_cast<double>(job.k), job.cfg.label, 100.0 * tol}};
-  });
+  }, setup.threads);
 
   std::cout << "maximum tolerated failure percentage:\n" << table.to_text()
             << '\n';
   if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig12"), "Figure 12",
+                           setup, {{"max_failure_pct", &table}});
   return 0;
 }

@@ -46,12 +46,14 @@ int main(int argc, char** argv) {
     return std::vector<bench::Sample>{
         {static_cast<double>(job.k), job.cfg.label,
          100.0 * field.map.fraction_covered(job.k)}};
-  });
+  }, setup.threads);
 
   std::cout << "disaster disc at (50,50), radius " << radius << " ("
             << 100.0 * disaster.area() / setup.base.field.area()
             << "% of the field)\n\n% of points still k-covered:\n"
             << table.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig13"), "Figure 13",
+                           setup, {{"covered_pct_after_disaster", &table}});
   return 0;
 }

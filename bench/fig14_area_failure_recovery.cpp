@@ -50,10 +50,12 @@ int main(int argc, char** argv) {
     return std::vector<bench::Sample>{
         {static_cast<double>(job.k), job.cfg.label,
          static_cast<double>(outcome.restoration.placed_nodes)}};
-  });
+  }, setup.threads);
 
   std::cout << "extra nodes placed to restore k-coverage:\n"
             << table.to_text() << '\n';
   if (opts.get_bool("csv", false)) std::cout << table.to_csv();
+  bench::write_json_report(bench::json_path(opts, "fig14"), "Figure 14",
+                           setup, {{"recovery_nodes", &table}});
   return 0;
 }

@@ -1,0 +1,55 @@
+// Custom google-benchmark main for the micro benches.
+//
+// Gives every micro binary the same --json <path> entry point as the
+// figure harnesses by translating it into google-benchmark's native
+// --benchmark_out/--benchmark_out_format pair (bare --json defaults to
+// "<binary>.json"); everything else is forwarded untouched.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::string default_json_path(const char* argv0) {
+  std::string name = argv0 ? argv0 : "micro";
+  const auto slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name + ".json";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0 ||
+        std::strncmp(a, "--json=", 7) == 0) {
+      std::string path;
+      if (a[6] == '=') {
+        path = a + 7;
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        path = argv[++i];
+      }
+      if (path.empty()) path = default_json_path(argv[0]);
+      args.push_back("--benchmark_out=" + path);
+      args.push_back("--benchmark_out_format=json");
+      continue;
+    }
+    args.push_back(a);
+  }
+
+  std::vector<char*> raw;
+  raw.reserve(args.size());
+  for (auto& s : args) raw.push_back(s.data());
+  int raw_argc = static_cast<int>(raw.size());
+  benchmark::Initialize(&raw_argc, raw.data());
+  if (benchmark::ReportUnrecognizedArguments(raw_argc, raw.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

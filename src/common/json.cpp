@@ -1,0 +1,131 @@
+#include "common/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace decor::common {
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0.0 ? "inf" : "-inf";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  DECOR_ASSERT(res.ec == std::errc{});
+  return std::string(buf, res.ptr);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (!stack_.back().first) os_ << ',';
+    stack_.back().first = false;
+  }
+}
+
+void JsonWriter::begin_object() {
+  pre_value();
+  os_ << '{';
+  stack_.push_back(Level{});
+}
+
+void JsonWriter::end_object() {
+  DECOR_ASSERT(!stack_.empty() && !after_key_);
+  os_ << '}';
+  stack_.pop_back();
+}
+
+void JsonWriter::begin_array() {
+  pre_value();
+  os_ << '[';
+  stack_.push_back(Level{});
+}
+
+void JsonWriter::end_array() {
+  DECOR_ASSERT(!stack_.empty() && !after_key_);
+  os_ << ']';
+  stack_.pop_back();
+}
+
+void JsonWriter::key(std::string_view k) {
+  DECOR_ASSERT(!stack_.empty() && !after_key_);
+  if (!stack_.back().first) os_ << ',';
+  stack_.back().first = false;
+  os_ << '"' << json_escape(k) << "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  pre_value();
+  os_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  os_ << format_double(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  pre_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  pre_value();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  pre_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null_value() {
+  pre_value();
+  os_ << "null";
+}
+
+}  // namespace decor::common

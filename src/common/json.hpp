@@ -1,0 +1,63 @@
+// Minimal streaming JSON writer for the telemetry layer.
+//
+// Every machine-readable artifact the repo emits (bench --json reports,
+// metrics snapshots, trace JSONL sinks) goes through this writer so the
+// output is byte-stable: keys are written in the order the caller chooses,
+// doubles are formatted with std::to_chars (shortest round-trippable form,
+// locale-independent), and non-finite doubles become null (JSON has no
+// NaN/Inf literals).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decor::common {
+
+/// Shortest round-trippable, locale-independent decimal form of `v`
+/// (std::to_chars). NaN renders as "nan" and infinities as "inf"/"-inf";
+/// JSON callers must map those to null (JsonWriter::value does).
+std::string format_double(double v);
+
+/// `s` with JSON string escapes applied (quotes, backslash, control
+/// characters as \u00XX), without surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// Structure-tracking streaming writer. The caller provides well-formed
+/// nesting (key before every value inside an object); the writer inserts
+/// commas and key quoting.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Writes the key of the next value; only valid inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(bool v);
+  void null_value();
+
+ private:
+  /// Comma/position bookkeeping before a value or container start.
+  void pre_value();
+
+  struct Level {
+    bool first = true;
+  };
+  std::ostream& os_;
+  std::vector<Level> stack_;
+  bool after_key_ = false;
+};
+
+}  // namespace decor::common

@@ -1,0 +1,118 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+
+namespace decor::common {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DECOR_REQUIRE_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be ascending");
+  counts_ = std::make_unique<std::atomic<std::uint64_t>[]>(num_buckets());
+  for (std::size_t i = 0; i < num_buckets(); ++i) counts_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  if (!metrics_enabled()) return;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  total_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name);
+    w.value(c->value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.value(g->value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h->bounds()) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (std::size_t i = 0; i < h->num_buckets(); ++i) {
+      w.value(h->bucket_count(i));
+    }
+    w.end_array();
+    w.key("total");
+    w.value(h->total_count());
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_json(w);
+  return os.str();
+}
+
+}  // namespace decor::common

@@ -1,0 +1,150 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms behind a single enable switch.
+//
+// The paper's whole evaluation is quantitative (message overhead, energy
+// per node, coverage over time), so the simulator and the engines publish
+// their counts here instead of growing ad-hoc accessor pairs. Design
+// constraints, in order:
+//
+//  1. Zero cost when disabled. Every mutation first reads one relaxed
+//     atomic bool (the global enable flag) and returns; benches that do
+//     not ask for telemetry pay one predictable branch per site.
+//  2. Deterministic snapshots. Benches run trials through parallel_for,
+//     so all accumulation is integer (counters, histogram bucket counts)
+//     or exact small-integer gauge arithmetic — the final values are
+//     independent of thread count and interleaving, which keeps --json
+//     artifacts byte-identical across --threads settings.
+//  3. Stable handles. counter()/gauge()/histogram() return references
+//     that live as long as the process; hot paths cache them in
+//     function-local statics and never touch the registry lock again.
+//
+// Values survive reset() as zeroes; registration is permanent (the
+// snapshot schema only ever grows within one process).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace decor::common {
+
+class JsonWriter;
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace detail
+
+/// Global metrics switch; off by default.
+inline bool metrics_enabled() noexcept {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Monotonic event count. inc() is a no-op while metrics are disabled.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept {
+    if (!metrics_enabled()) return;
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Instantaneous level (e.g. deliveries in flight). add() is exact for
+/// integral-valued gauges, which is all the deterministic snapshot
+/// guarantee covers; set() is last-writer-wins and belongs in
+/// single-threaded contexts.
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (!metrics_enabled()) return;
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) noexcept {
+    if (!metrics_enabled()) return;
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+  void reset() noexcept { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper edges,
+/// with an implicit +inf overflow bucket. Only integer bucket counts are
+/// kept (no floating sum) so concurrent observation stays deterministic.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// bounds().size() + 1 (the last bucket is the +inf overflow).
+  std::size_t num_buckets() const noexcept { return bounds_.size() + 1; }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_count() const noexcept {
+    return total_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<std::uint64_t> total_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  void enable(bool on) noexcept {
+    detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept { return metrics_enabled(); }
+
+  /// Finds or creates; the returned reference is stable for the process
+  /// lifetime (cache it in a function-local static on hot paths).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// A histogram's bounds are fixed by its first registration; later
+  /// lookups by the same name ignore `bounds`.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Zeroes every value; registrations stay.
+  void reset();
+
+  /// Snapshot as a JSON object, keys sorted by metric name:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  /// "counts":[...],"total":n}}}. Deterministic for integer-valued state.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::instance().
+inline MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+}  // namespace decor::common

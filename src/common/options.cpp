@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <string_view>
 
 namespace decor::common {
 
@@ -10,10 +11,15 @@ Options::Options(int argc, const char* const* argv) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const auto eq = arg.find('=');
-      if (eq == std::string::npos) {
-        kv_[arg.substr(2)] = "true";
-      } else {
+      if (eq != std::string::npos) {
         kv_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+        // "--key value" form: the next token is the value unless it is
+        // itself a flag (negative numbers bind as values, as expected).
+        kv_[arg.substr(2)] = argv[++i];
+      } else {
+        kv_[arg.substr(2)] = "true";
       }
     } else {
       positional_.push_back(std::move(arg));

@@ -1,9 +1,10 @@
 // Minimal command-line option parser for the bench harness and examples.
 //
-// Accepts --key=value and --flag forms; anything else is a positional
-// argument. Typed getters fall back to supplied defaults, so every harness
-// binary runs with sensible parameters when invoked bare (as the top-level
-// "run everything in build/bench" loop does).
+// Accepts --key=value, --key value (next token not itself a flag) and
+// bare --flag forms; anything else is a positional argument. Typed
+// getters fall back to supplied defaults, so every harness binary runs
+// with sensible parameters when invoked bare (as the top-level "run
+// everything in build/bench" loop does).
 #pragma once
 
 #include <cstdint>

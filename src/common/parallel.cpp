@@ -24,18 +24,26 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   }
 
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> abort{false};
   std::exception_ptr first_error;
   std::mutex error_mutex;
 
   auto worker = [&] {
     for (;;) {
+      // Fail fast: once a job has thrown, stop claiming new indices so
+      // the call returns (and rethrows) without running the remaining
+      // jobs to completion. Jobs already in flight still finish.
+      if (abort.load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
       }
     }
   };

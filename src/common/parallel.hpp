@@ -23,7 +23,9 @@ std::size_t default_thread_count() noexcept;
 /// Invokes fn(i) for every i in [0, n), distributing indices over worker
 /// threads (atomic work stealing). Runs inline when n <= 1 or only one
 /// thread is available. The first exception thrown by any job is
-/// rethrown on the caller's thread after all workers finish.
+/// rethrown on the caller's thread after all workers finish; once a job
+/// throws, workers stop claiming new indices (fail fast), so not every
+/// index is necessarily visited on the error path.
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   std::size_t threads = 0);
 

@@ -6,15 +6,27 @@
 #include <limits>
 #include <sstream>
 
+#include "common/json.hpp"
 #include "common/require.hpp"
 
 namespace decor::common {
+
+void Accumulator::add_to_sum(double x) noexcept {
+  const double t = sum_ + x;
+  if (std::abs(sum_) >= std::abs(x)) {
+    comp_ += (sum_ - t) + x;
+  } else {
+    comp_ += (x - t) + sum_;
+  }
+  sum_ = t;
+}
 
 void Accumulator::add(double x) noexcept {
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);
   m2_ += delta * (x - mean_);
+  add_to_sum(x);
   min_ = std::min(min_, x);
   max_ = std::max(max_, x);
 }
@@ -39,6 +51,10 @@ void Accumulator::merge(const Accumulator& other) noexcept {
   mean_ += delta * nb / total;
   m2_ += other.m2_ + delta * delta * na * nb / total;
   n_ += other.n_;
+  // The exact sums chain through the same compensated add (Welford
+  // moments above are untouched by the sum bookkeeping).
+  add_to_sum(other.sum_);
+  add_to_sum(other.comp_);
   min_ = std::min(min_, other.min_);
   max_ = std::max(max_, other.max_);
 }
@@ -89,6 +105,13 @@ double SeriesTable::stddev(double x, const std::string& series) const {
   return cell->second.stddev();
 }
 
+std::size_t SeriesTable::count(double x, const std::string& series) const {
+  auto row = cells_.find(x);
+  if (row == cells_.end()) return 0;
+  auto cell = row->second.find(series);
+  return cell == row->second.end() ? 0 : cell->second.count();
+}
+
 namespace {
 std::string format_cell(double v) {
   if (std::isnan(v)) return "-";
@@ -126,6 +149,9 @@ std::string SeriesTable::to_text() const {
 }
 
 std::string SeriesTable::to_csv() const {
+  // format_double (std::to_chars) rather than std::to_string: the latter
+  // truncates to 6 fixed decimals and honours the global locale, neither
+  // of which survives a round trip through strtod.
   std::ostringstream os;
   os << x_name_;
   for (const auto& name : series_order_)
@@ -133,15 +159,65 @@ std::string SeriesTable::to_csv() const {
   os << '\n';
   for (const auto& [x, row] : cells_) {
     (void)row;
-    os << x;
+    os << format_double(x);
     for (const auto& name : series_order_) {
       const double m = mean(x, name);
       const double sd = stddev(x, name);
-      os << ',' << (std::isnan(m) ? std::string{} : std::to_string(m)) << ','
-         << (std::isnan(sd) ? std::string{} : std::to_string(sd));
+      os << ',' << (std::isnan(m) ? std::string{} : format_double(m)) << ','
+         << (std::isnan(sd) ? std::string{} : format_double(sd));
     }
     os << '\n';
   }
+  return os.str();
+}
+
+void SeriesTable::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("x_name");
+  w.value(x_name_);
+  w.key("series");
+  w.begin_array();
+  for (const auto& name : series_order_) w.value(name);
+  w.end_array();
+  w.key("rows");
+  w.begin_array();
+  for (const auto& [x, row] : cells_) {
+    w.begin_object();
+    w.key("x");
+    w.value(x);
+    w.key("cells");
+    w.begin_object();
+    for (const auto& name : series_order_) {
+      const auto cell = row.find(name);
+      if (cell == row.end()) continue;
+      const Accumulator& acc = cell->second;
+      w.key(name);
+      w.begin_object();
+      w.key("count");
+      w.value(static_cast<std::uint64_t>(acc.count()));
+      w.key("mean");
+      w.value(acc.mean());
+      w.key("stddev");
+      w.value(acc.stddev());
+      w.key("min");
+      w.value(acc.min());
+      w.key("max");
+      w.value(acc.max());
+      w.key("sum");
+      w.value(acc.sum());
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string SeriesTable::to_json() const {
+  std::ostringstream os;
+  JsonWriter w(os);
+  write_json(w);
   return os.str();
 }
 

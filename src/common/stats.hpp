@@ -14,6 +14,8 @@
 
 namespace decor::common {
 
+class JsonWriter;
+
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
 class Accumulator {
  public:
@@ -31,15 +33,24 @@ class Accumulator {
 
   double min() const noexcept { return n_ ? min_ : 0.0; }
   double max() const noexcept { return n_ ? max_ : 0.0; }
-  double sum() const noexcept { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+  /// Exact (Neumaier-compensated) running sum of the observations —
+  /// carried separately rather than reconstructed as mean * n, which
+  /// loses precision for large n or mixed magnitudes.
+  double sum() const noexcept { return n_ ? sum_ + comp_ : 0.0; }
 
   /// Merges another accumulator into this one (parallel Welford merge).
   void merge(const Accumulator& other) noexcept;
 
  private:
+  /// Compensated add of `x` into sum_/comp_ (Neumaier's variant of Kahan
+  /// summation, which also handles |x| > |sum|).
+  void add_to_sum(double x) noexcept;
+
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+  double sum_ = 0.0;
+  double comp_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
 };
@@ -67,11 +78,23 @@ class SeriesTable {
   double mean(double x, const std::string& series) const;
   /// Standard deviation of a series at x; NaN if absent.
   double stddev(double x, const std::string& series) const;
+  /// Number of trials recorded for a series at x; 0 if absent.
+  std::size_t count(double x, const std::string& series) const;
 
   /// Renders an aligned text table of means (one row per x).
   std::string to_text() const;
-  /// Renders CSV of means with a stddev column per series.
+  /// Renders CSV of means with a stddev column per series. Numbers are
+  /// written in shortest round-trippable form (common/json.hpp's
+  /// format_double), locale-independent; absent cells stay empty.
   std::string to_csv() const;
+
+  /// Writes the table as one JSON object (schema "decor.series.v1"):
+  /// {"x_name":...,"series":[...],"rows":[{"x":...,"cells":{name:
+  /// {"count":n,"mean":...,"stddev":...,"min":...,"max":...,"sum":...}}}]}.
+  /// Rows ascend in x, series keep first-seen order, absent cells are
+  /// omitted — byte-stable for a given set of observations.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
 
  private:
   std::string x_name_;

@@ -2,10 +2,31 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
 #include "common/parallel.hpp"
 #include "common/require.hpp"
 
 namespace decor::coverage {
+
+namespace {
+
+// Disc events (2*rs delta sweeps), entries skipped as stale/covered in
+// best(), and full cold-start rebuilds — the index's cost drivers.
+common::Counter& delta_sweep_counter() {
+  static common::Counter& c =
+      common::metrics().counter("benefit.delta_sweeps");
+  return c;
+}
+common::Counter& stale_pop_counter() {
+  static common::Counter& c = common::metrics().counter("benefit.stale_pops");
+  return c;
+}
+common::Counter& rebuild_counter() {
+  static common::Counter& c = common::metrics().counter("benefit.rebuilds");
+  return c;
+}
+
+}  // namespace
 
 BenefitIndex::BenefitIndex(const CoverageMap& map, std::uint32_t k,
                            std::vector<std::int64_t> owners,
@@ -98,6 +119,7 @@ std::uint64_t BenefitIndex::recompute_one(std::size_t point_id) const {
 }
 
 void BenefitIndex::rebuild(std::size_t threads) {
+  rebuild_counter().inc();
   // Thread spawn costs more than the whole rebuild on small fields; run
   // inline below ~1M point-pair visits. Same results either way (each
   // point's benefit lands in its own slot), so this changes nothing
@@ -159,6 +181,7 @@ void BenefitIndex::apply_deficit_delta(std::size_t q,
 void BenefitIndex::add_disc(geom::Point2 pos, double radius,
                             std::uint32_t mult) {
   if (mult == 0) return;
+  delta_sweep_counter().inc();
   ++epoch_;
   index_->for_each_in_disc(pos, radius, [&](std::size_t q) {
     const std::uint32_t old = counts_[q];
@@ -171,6 +194,7 @@ void BenefitIndex::add_disc(geom::Point2 pos, double radius,
 void BenefitIndex::remove_disc(geom::Point2 pos, double radius,
                                std::uint32_t mult) {
   if (mult == 0) return;
+  delta_sweep_counter().inc();
   ++epoch_;
   index_->for_each_in_disc(pos, radius, [&](std::size_t q) {
     const std::uint32_t old = counts_[q];
@@ -188,6 +212,7 @@ void BenefitIndex::remove_disc(geom::Point2 pos, double radius,
 std::size_t BenefitIndex::add_disc_owned(geom::Point2 pos, double radius,
                                          std::int64_t owner) {
   std::size_t newly_covered = 0;
+  delta_sweep_counter().inc();
   ++epoch_;
   for_each_owned_in_disc(owner, pos, radius, [&](std::size_t q) {
     const std::uint32_t old = counts_[q];
@@ -202,6 +227,7 @@ std::size_t BenefitIndex::add_disc_owned(geom::Point2 pos, double radius,
 void BenefitIndex::set_owner(std::size_t point_id, std::int64_t new_owner) {
   const std::int64_t old_owner = owner_[point_id];
   if (old_owner == new_owner) return;
+  delta_sweep_counter().inc();
   ++epoch_;
   const std::uint32_t c = counts_[point_id];
   const std::uint64_t d = c >= k_ ? 0 : k_ - c;
@@ -242,14 +268,21 @@ void BenefitIndex::set_owner(std::size_t point_id, std::int64_t new_owner) {
 }
 
 std::optional<BenefitIndex::Candidate> BenefitIndex::best() const {
+  std::uint64_t stale = 0;
+  std::optional<Candidate> found;
   while (!heap_.empty()) {
     const Candidate top = heap_.top();
     const bool candidate = owner_[top.point] != kNoOwner &&
                            counts_[top.point] < k_;
-    if (candidate && benefit_[top.point] == top.benefit) return top;
+    if (candidate && benefit_[top.point] == top.benefit) {
+      found = top;
+      break;
+    }
     heap_.pop();  // stale snapshot or no longer a candidate
+    ++stale;
   }
-  return std::nullopt;
+  if (stale > 0) stale_pop_counter().inc(stale);
+  return found;
 }
 
 std::optional<BenefitIndex::Candidate> BenefitIndex::best_believed(

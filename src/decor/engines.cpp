@@ -2,24 +2,51 @@
 
 #include <cmath>
 
+#include "common/metrics.hpp"
 #include "common/require.hpp"
 
 namespace decor::core {
 
+namespace {
+
+/// One counter update per engine run keeps the hot placement loops free
+/// of instrumentation; the run totals already live in the result.
+void publish_run_metrics(const DeploymentResult& result) {
+  if (!common::metrics_enabled()) return;
+  auto& m = common::metrics();
+  static common::Counter& runs = m.counter("engine.runs");
+  static common::Counter& placements = m.counter("engine.placements");
+  static common::Counter& messages = m.counter("engine.messages");
+  static common::Counter& rounds = m.counter("engine.rounds");
+  runs.inc();
+  placements.inc(result.placed_nodes);
+  messages.inc(result.messages);
+  rounds.inc(result.rounds);
+}
+
+}  // namespace
+
 DeploymentResult run_engine(Scheme scheme, Field& field, common::Rng& rng,
                             EngineLimits limits) {
+  DeploymentResult result;
   switch (scheme) {
     case Scheme::kCentralized:
-      return centralized_greedy(field, std::move(limits));
+      result = centralized_greedy(field, std::move(limits));
+      break;
     case Scheme::kRandom:
-      return random_placement(field, rng, std::move(limits));
+      result = random_placement(field, rng, std::move(limits));
+      break;
     case Scheme::kGrid:
-      return grid_decor(field, rng, std::move(limits));
+      result = grid_decor(field, rng, std::move(limits));
+      break;
     case Scheme::kVoronoi:
-      return voronoi_decor(field, rng, std::move(limits));
+      result = voronoi_decor(field, rng, std::move(limits));
+      break;
+    default:
+      DECOR_REQUIRE_MSG(false, "unknown scheme");
   }
-  DECOR_REQUIRE_MSG(false, "unknown scheme");
-  return {};
+  publish_run_metrics(result);
+  return result;
 }
 
 std::vector<NamedConfig> decor_configs(const DecorParams& base) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/metrics.hpp"
 #include "common/require.hpp"
 #include "coverage/benefit_index.hpp"
 #include "decor/point_field.hpp"
@@ -354,6 +355,11 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
       std::max(p.rc, 2.0 * p.cell_side * std::numbers::sqrt2);
   world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
                                         rc_protocol);
+  if (cfg_.trace_capacity > 0) {
+    world_->trace().set_capacity(cfg_.trace_capacity);
+  }
+  if (!cfg_.trace_jsonl.empty()) world_->trace().open_jsonl(cfg_.trace_jsonl);
+  if (cfg_.trace || !cfg_.trace_jsonl.empty()) world_->trace().enable(true);
   common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
   map_ = std::make_unique<coverage::CoverageMap>(
       p.field, make_points(p, point_rng), p.rs);
@@ -392,6 +398,7 @@ SimRunResult GridSimHarness::run() {
 
   SimRunResult result;
   result.initial_nodes = initial_nodes_;
+  const std::size_t placements_before = placements_.size();
 
   // Poll ground truth; stop as soon as the field is fully covered. The
   // closure owns its state through shared_ptrs so a poll left pending
@@ -425,6 +432,19 @@ SimRunResult GridSimHarness::run() {
   result.radio_tx = world_->radio().total_tx();
   result.radio_rx = world_->radio().total_rx();
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
+  // One update per run (placements made during *this* call, so repeated
+  // runs on one harness never double-count); the hot protocol path stays
+  // free of instrumentation.
+  if (common::metrics_enabled()) {
+    auto& m = common::metrics();
+    static common::Counter& runs = m.counter("protocol.grid.runs");
+    static common::Counter& placed = m.counter("protocol.grid.placements");
+    static common::Counter& covered =
+        m.counter("protocol.grid.covered_runs");
+    runs.inc();
+    placed.inc(placements_.size() - placements_before);
+    if (result.reached_full_coverage) covered.inc();
+  }
   return result;
 }
 

@@ -9,8 +9,10 @@
 // message accounting of the offline engine against real radio traffic.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
@@ -41,6 +43,14 @@ struct SimRunConfig {
   net::HeartbeatParams heartbeat{1.0, 3.5};
   net::ElectionParams election{60.0, 0.05, 0.01};
   sim::RadioParams radio{};
+
+  /// Tracing (applied to the world's Trace at construction): record
+  /// protocol events, optionally bounded to the `trace_capacity` most
+  /// recent records (0 = unbounded) and/or streamed to `trace_jsonl` as
+  /// one JSON object per line.
+  bool trace = false;
+  std::size_t trace_capacity = 0;
+  std::string trace_jsonl;
 };
 
 struct SimRunResult {

@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/metrics.hpp"
 #include "common/require.hpp"
 #include "coverage/benefit_index.hpp"
 #include "decor/point_field.hpp"
@@ -183,6 +184,11 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   const auto& p = cfg_.params;
   world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
                                         p.rc);
+  if (cfg_.trace_capacity > 0) {
+    world_->trace().set_capacity(cfg_.trace_capacity);
+  }
+  if (!cfg_.trace_jsonl.empty()) world_->trace().open_jsonl(cfg_.trace_jsonl);
+  if (cfg_.trace || !cfg_.trace_jsonl.empty()) world_->trace().enable(true);
   common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
   map_ = std::make_unique<coverage::CoverageMap>(
       p.field, make_points(p, point_rng), p.rs);
@@ -258,6 +264,8 @@ VoronoiSimResult VoronoiSimHarness::run() {
 
   VoronoiSimResult result;
   result.initial_nodes = initial_nodes_;
+  const std::size_t placements_before = placements_.size();
+  const std::size_t seeded_before = seeded_;
 
   struct PollState {
     double finish_time;
@@ -300,6 +308,22 @@ VoronoiSimResult VoronoiSimHarness::run() {
   result.radio_tx = world_->radio().total_tx();
   result.radio_rx = world_->radio().total_rx();
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
+  // One update per run (deltas since run() entry, so repeated runs on
+  // one harness never double-count); the hot protocol path stays free of
+  // instrumentation.
+  if (common::metrics_enabled()) {
+    auto& m = common::metrics();
+    static common::Counter& runs = m.counter("protocol.voronoi.runs");
+    static common::Counter& placed =
+        m.counter("protocol.voronoi.placements");
+    static common::Counter& seeded = m.counter("protocol.voronoi.seeded");
+    static common::Counter& covered =
+        m.counter("protocol.voronoi.covered_runs");
+    runs.inc();
+    placed.inc(placements_.size() - placements_before);
+    seeded.inc(seeded_ - seeded_before);
+    if (result.reached_full_coverage) covered.inc();
+  }
   return result;
 }
 

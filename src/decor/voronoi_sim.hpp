@@ -12,8 +12,10 @@
 // uncovered.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
@@ -41,6 +43,14 @@ struct VoronoiSimConfig {
 
   net::HeartbeatParams heartbeat{1.0, 3.5};
   sim::RadioParams radio{};
+
+  /// Tracing (applied to the world's Trace at construction): record
+  /// protocol events, optionally bounded to the `trace_capacity` most
+  /// recent records (0 = unbounded) and/or streamed to `trace_jsonl` as
+  /// one JSON object per line.
+  bool trace = false;
+  std::size_t trace_capacity = 0;
+  std::string trace_jsonl;
 };
 
 struct VoronoiSimResult {

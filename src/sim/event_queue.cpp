@@ -29,8 +29,11 @@ Time EventQueue::pop_and_run() {
   skip_cancelled();
   DECOR_REQUIRE_MSG(!heap_.empty(), "pop on empty event queue");
   // Move the entry out before running: the callback may schedule further
-  // events and mutate the heap.
-  Entry entry = heap_.top();
+  // events and mutate the heap. top() only exposes a const reference, so
+  // cast it away for the move — safe because the entry is popped before
+  // anything observes it, and the comparator used during pop() reads only
+  // the trivially-copyable at/seq fields, which moving leaves intact.
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
   entry.fn();
   return entry.at;

@@ -2,11 +2,40 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
 #include "geometry/point.hpp"
 #include "sim/node.hpp"
 #include "sim/world.hpp"
 
 namespace decor::sim {
+
+namespace {
+
+// Handles resolved once; each call site then costs one relaxed atomic
+// load (the enable flag) when metrics are off.
+common::Counter& tx_counter() {
+  static common::Counter& c = common::metrics().counter("sim.radio.tx");
+  return c;
+}
+common::Counter& rx_counter() {
+  static common::Counter& c = common::metrics().counter("sim.radio.rx");
+  return c;
+}
+common::Counter& drop_counter() {
+  static common::Counter& c = common::metrics().counter("sim.radio.drop");
+  return c;
+}
+common::Counter& collision_counter() {
+  static common::Counter& c =
+      common::metrics().counter("sim.radio.collision");
+  return c;
+}
+common::Gauge& in_flight_gauge() {
+  static common::Gauge& g = common::metrics().gauge("sim.radio.in_flight");
+  return g;
+}
+
+}  // namespace
 
 Radio::Radio(World& world, RadioParams params)
     : world_(world), params_(std::move(params)) {}
@@ -30,6 +59,7 @@ void Radio::charge_tx(NodeProcess& src, const Message& msg) {
   note_node(src.id());
   ++tx_[src.id()];
   ++total_tx_;
+  tx_counter().inc();
   world_.charge(src.id(),
                 src.budget_.tx_base_j +
                     src.budget_.tx_per_byte_j *
@@ -74,22 +104,31 @@ void Radio::deliver_later(std::uint32_t dst, const Message& msg) {
                   [now](const Pending& p) { return p.end < now; });
     for (auto& p : pending) {
       if (start < p.end && p.start < end) {
-        if (!*p.corrupted) ++collisions_;
+        if (!*p.corrupted) {
+          ++collisions_;
+          collision_counter().inc();
+        }
         *p.corrupted = true;
-        if (!*corrupted) ++collisions_;
+        if (!*corrupted) {
+          ++collisions_;
+          collision_counter().inc();
+        }
         *corrupted = true;
       }
     }
     pending.push_back(Pending{start, end, corrupted});
   }
 
+  in_flight_gauge().add(1.0);
   world_.sim().schedule_at(end, [this, dst, msg, corrupted] {
+    in_flight_gauge().add(-1.0);
     if (*corrupted) return;  // destroyed by a colliding frame
     NodeProcess& node = world_.node(dst);
     if (!node.alive()) return;  // died in flight
     note_node(dst);
     ++rx_[dst];
     ++total_rx_;
+    rx_counter().inc();
     world_.charge(dst, node.budget_.rx_base_j +
                            node.budget_.rx_per_byte_j *
                                static_cast<double>(msg.size_bytes));
@@ -110,6 +149,7 @@ void Radio::broadcast(NodeProcess& src, const Message& msg, double range) {
     if (dst == src.id()) continue;
     if (!frame_reaches(src, dst, range)) {
       ++total_dropped_;
+      drop_counter().inc();
       world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
                             "kind=" + std::to_string(msg.kind));
       continue;
@@ -131,6 +171,7 @@ bool Radio::unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
   }
   if (!frame_reaches(src, dst, range)) {
     ++total_dropped_;
+    drop_counter().inc();
     world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
                           "kind=" + std::to_string(msg.kind));
     return true;  // sent, lost in the air

@@ -1,16 +1,90 @@
 #include "sim/trace.hpp"
 
+#include "common/json.hpp"
+
 namespace decor::sim {
+
+const char* trace_kind_name(TraceKind kind) noexcept {
+  switch (kind) {
+    case TraceKind::kSpawn:
+      return "spawn";
+    case TraceKind::kKill:
+      return "kill";
+    case TraceKind::kTx:
+      return "tx";
+    case TraceKind::kRx:
+      return "rx";
+    case TraceKind::kDrop:
+      return "drop";
+    case TraceKind::kTimer:
+      return "timer";
+    case TraceKind::kProtocol:
+      return "protocol";
+  }
+  return "unknown";
+}
+
+void Trace::set_capacity(std::size_t cap) {
+  capacity_ = cap;
+  records_.clear();
+  records_.shrink_to_fit();
+  if (capacity_ > 0) records_.reserve(capacity_);
+  head_ = 0;
+  total_ = 0;
+}
+
+bool Trace::open_jsonl(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!out->is_open()) return false;
+  jsonl_ = std::move(out);
+  return true;
+}
+
+void Trace::close_jsonl() { jsonl_.reset(); }
 
 void Trace::record(Time at, TraceKind kind, std::uint32_t node,
                    std::string detail) {
   if (!enabled_) return;
-  records_.push_back(TraceRecord{at, kind, node, std::move(detail)});
+  ++total_;
+  if (jsonl_) {
+    *jsonl_ << "{\"t\":" << common::format_double(at) << ",\"kind\":\""
+            << trace_kind_name(kind) << "\",\"node\":" << node
+            << ",\"detail\":\"" << common::json_escape(detail) << "\"}\n";
+  }
+  if (capacity_ == 0 || records_.size() < capacity_) {
+    records_.push_back(TraceRecord{at, kind, node, std::move(detail)});
+    return;
+  }
+  // Ring mode, buffer full: overwrite the oldest record in place.
+  records_[head_] = TraceRecord{at, kind, node, std::move(detail)};
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::size_t Trace::slot(std::size_t i) const noexcept {
+  // head_ is only nonzero after a wrap, in which case records_[head_] is
+  // the oldest buffered record.
+  return (head_ + i) % records_.size();
+}
+
+std::vector<TraceRecord> Trace::chronological() const {
+  std::vector<TraceRecord> out;
+  out.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    out.push_back(records_[slot(i)]);
+  }
+  return out;
+}
+
+void Trace::clear() noexcept {
+  records_.clear();
+  head_ = 0;
+  total_ = 0;
 }
 
 std::vector<TraceRecord> Trace::filter(TraceKind kind) const {
   std::vector<TraceRecord> out;
-  for (const auto& r : records_) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[slot(i)];
     if (r.kind == kind) out.push_back(r);
   }
   return out;
@@ -18,7 +92,8 @@ std::vector<TraceRecord> Trace::filter(TraceKind kind) const {
 
 std::vector<TraceRecord> Trace::grep(const std::string& needle) const {
   std::vector<TraceRecord> out;
-  for (const auto& r : records_) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const auto& r = records_[slot(i)];
     if (r.detail.find(needle) != std::string::npos) out.push_back(r);
   }
   return out;

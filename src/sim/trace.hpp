@@ -2,9 +2,16 @@
 //
 // Tests and examples assert on traces (who detected which failure, when a
 // leader rotated) rather than scraping logs; benches leave tracing off.
+// Two memory regimes: the default unbounded vector (tests want every
+// record), and a bounded ring buffer (`set_capacity`) that keeps only the
+// most recent records — long protocol runs stay at a fixed footprint.
+// Independently of the in-memory buffer, `open_jsonl` streams every
+// record to disk as one JSON object per line.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +29,10 @@ enum class TraceKind : int {
   kProtocol,  // free-form protocol milestone
 };
 
+/// Stable lowercase name of a kind ("spawn", "tx", ...), used by the
+/// JSONL sink and anything else that serializes records.
+const char* trace_kind_name(TraceKind kind) noexcept;
+
 struct TraceRecord {
   Time at = 0.0;
   TraceKind kind = TraceKind::kProtocol;
@@ -36,21 +47,53 @@ class Trace {
   void enable(bool on) noexcept { enabled_ = on; }
   bool enabled() const noexcept { return enabled_; }
 
+  /// Bounds the in-memory buffer to the `cap` most recent records
+  /// (0 restores the unbounded default). Clears the current buffer.
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Records accepted since construction/clear(), including any that have
+  /// since been overwritten in ring mode.
+  std::uint64_t total_recorded() const noexcept { return total_; }
+  /// Records overwritten by the ring (0 when unbounded or not yet full).
+  std::uint64_t dropped() const noexcept {
+    return total_ - static_cast<std::uint64_t>(records_.size());
+  }
+
+  /// Streams every subsequent record to `path` as JSON lines
+  /// ({"t":...,"kind":"tx","node":3,"detail":"..."}); returns false if
+  /// the file cannot be opened. The sink sees records regardless of the
+  /// ring capacity, but only while recording is enabled.
+  bool open_jsonl(const std::string& path);
+  void close_jsonl();
+
   void record(Time at, TraceKind kind, std::uint32_t node,
               std::string detail);
 
+  /// Raw buffer. In ring mode after a wrap the storage order is rotated;
+  /// use chronological() (or filter/grep, which compensate) when order
+  /// matters.
   const std::vector<TraceRecord>& records() const noexcept { return records_; }
-  void clear() noexcept { records_.clear(); }
+  /// Buffered records, oldest first.
+  std::vector<TraceRecord> chronological() const;
+  void clear() noexcept;
 
-  /// Records matching a kind.
+  /// Records matching a kind, oldest first.
   std::vector<TraceRecord> filter(TraceKind kind) const;
 
-  /// Records whose detail contains `needle`.
+  /// Records whose detail contains `needle`, oldest first.
   std::vector<TraceRecord> grep(const std::string& needle) const;
 
  private:
+  /// Index into records_ of the i-th oldest buffered record.
+  std::size_t slot(std::size_t i) const noexcept;
+
   bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  // ring mode: next slot to overwrite once full
+  std::uint64_t total_ = 0;
   std::vector<TraceRecord> records_;
+  std::unique_ptr<std::ofstream> jsonl_;
 };
 
 }  // namespace decor::sim

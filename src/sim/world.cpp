@@ -1,8 +1,38 @@
 #include "sim/world.hpp"
 
+#include <cmath>
+
+#include "common/metrics.hpp"
 #include "common/require.hpp"
 
 namespace decor::sim {
+
+namespace {
+
+common::Counter& spawn_counter() {
+  static common::Counter& c = common::metrics().counter("sim.world.spawn");
+  return c;
+}
+common::Counter& kill_counter() {
+  static common::Counter& c = common::metrics().counter("sim.world.kill");
+  return c;
+}
+// Total charged energy in integer nanojoules: integer accumulation keeps
+// the snapshot deterministic under parallel trials (see metrics.hpp).
+common::Counter& energy_counter() {
+  static common::Counter& c =
+      common::metrics().counter("sim.world.energy_nj");
+  return c;
+}
+// Cumulative energy a node had drawn by the time it died.
+common::Histogram& node_energy_hist() {
+  static common::Histogram& h = common::metrics().histogram(
+      "sim.world.node_energy_j",
+      {1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0});
+  return h;
+}
+
+}  // namespace
 
 World::World(const geom::Rect& bounds, RadioParams radio_params,
              std::uint64_t seed, double index_cell)
@@ -23,6 +53,7 @@ std::uint32_t World::spawn(geom::Point2 pos,
   nodes_.push_back(std::move(proc));
   index_.insert(id, pos);
   ++alive_count_;
+  spawn_counter().inc();
   trace_.record(sim_.now(), TraceKind::kSpawn, id, "");
   sim_.schedule(0.0, [raw] {
     if (raw->alive()) raw->on_start();
@@ -37,6 +68,8 @@ void World::kill(std::uint32_t id) {
   n.alive_ = false;
   index_.remove(id);
   --alive_count_;
+  kill_counter().inc();
+  node_energy_hist().observe(n.energy_used_j_);
   trace_.record(sim_.now(), TraceKind::kKill, id, "");
   n.on_stop();
 }
@@ -85,6 +118,10 @@ std::vector<std::uint32_t> World::alive_ids() const {
 void World::charge(std::uint32_t id, double joules) {
   NodeProcess& n = node(id);
   if (!n.alive_) return;
+  if (common::metrics_enabled()) {
+    energy_counter().inc(
+        static_cast<std::uint64_t>(std::llround(joules * 1e9)));
+  }
   n.energy_used_j_ += joules;
   if (n.energy_used_j_ >= n.budget_.capacity_j) {
     trace_.record(sim_.now(), TraceKind::kProtocol, id, "battery-depleted");

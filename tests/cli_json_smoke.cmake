@@ -1,0 +1,29 @@
+# Smoke check for decor_cli --json: the run must succeed and produce a
+# non-empty decor.cli.v1 document at the requested path.
+#
+# Invoked by ctest as:
+#   cmake -DBIN=<decor_cli> -DOUT=<json path> -P cli_json_smoke.cmake
+if(NOT DEFINED BIN OR NOT DEFINED OUT)
+  message(FATAL_ERROR "cli_json_smoke.cmake needs -DBIN= and -DOUT=")
+endif()
+
+file(REMOVE ${OUT})
+execute_process(
+  COMMAND ${BIN} deploy --scheme=grid --side=30 --points=300 --initial=20
+          --k=1 --json=${OUT}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decor_cli deploy --json failed (rc=${rc})")
+endif()
+
+if(NOT EXISTS ${OUT})
+  message(FATAL_ERROR "decor_cli did not write ${OUT}")
+endif()
+file(READ ${OUT} doc)
+foreach(needle "\"schema\":\"decor.cli.v1\"" "\"report\"" "\"metrics\"")
+  string(FIND "${doc}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${OUT} is missing ${needle}")
+  endif()
+endforeach()

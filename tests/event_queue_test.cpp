@@ -72,6 +72,29 @@ TEST(EventQueue, EventsCanScheduleEvents) {
   EXPECT_EQ(fired, 5);
 }
 
+TEST(EventQueue, PopMovesCallbackOutOfHeap) {
+  // Regression: pop_and_run used to copy the heap top (const ref from
+  // priority_queue::top()), cloning every callback's capture state on
+  // dispatch. Count copies of a tracked callable through the full
+  // schedule -> pop -> run path: moves are fine, copies are not.
+  struct CopyCounter {
+    int* copies;
+    explicit CopyCounter(int* c) : copies(c) {}
+    CopyCounter(const CopyCounter& o) : copies(o.copies) { ++*copies; }
+    CopyCounter(CopyCounter&& o) noexcept : copies(o.copies) {}
+    CopyCounter& operator=(const CopyCounter&) = delete;
+    CopyCounter& operator=(CopyCounter&&) = delete;
+    void operator()() const {}
+  };
+  EventQueue q;
+  int copies = 0;
+  q.schedule(1.0, std::function<void()>(CopyCounter(&copies)));
+  const int copies_after_schedule = copies;
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(copies, copies_after_schedule)
+      << "pop_and_run must not copy the scheduled callable";
+}
+
 TEST(EventQueue, PopOnEmptyThrows) {
   EventQueue q;
   EXPECT_THROW(q.pop_and_run(), decor::common::RequireError);

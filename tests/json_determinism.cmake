@@ -1,0 +1,31 @@
+# Regression check for the --json determinism guarantee: running a figure
+# binary with different --threads must produce byte-identical artifacts
+# (bench/fig_common.hpp merges per-job results in job order and the
+# metrics registry only accumulates integers).
+#
+# Invoked by ctest as:
+#   cmake -DBIN=<figure binary> -DOUT=<path prefix> -P json_determinism.cmake
+if(NOT DEFINED BIN OR NOT DEFINED OUT)
+  message(FATAL_ERROR "json_determinism.cmake needs -DBIN= and -DOUT=")
+endif()
+
+set(args --trials=2 --points=300 --side=30 --initial=20 --k-max=2)
+
+foreach(threads 1 4)
+  execute_process(
+    COMMAND ${BIN} ${args} --threads=${threads}
+            --json=${OUT}_t${threads}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} --threads=${threads} failed (rc=${rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}_t1.json ${OUT}_t4.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR
+          "--json output differs between --threads=1 and --threads=4")
+endif()

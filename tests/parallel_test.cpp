@@ -1,8 +1,10 @@
 #include "common/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -55,20 +57,44 @@ TEST(ParallelFor, PropagatesFirstException) {
       std::runtime_error);
 }
 
-TEST(ParallelFor, OtherJobsStillRunDespiteException) {
+TEST(ParallelFor, FailsFastAfterException) {
+  // Regression: a thrown job must stop workers from claiming new
+  // indices. Index 0 is claimed first and throws immediately; with 10000
+  // remaining jobs of ~200us each, completing most of them would mean
+  // the abort flag is not honored.
   std::atomic<int> completed{0};
   try {
     parallel_for(
-        100,
+        10000,
         [&](std::size_t i) {
           if (i == 0) throw std::logic_error("boom");
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
           ++completed;
         },
         4);
     FAIL() << "should have thrown";
   } catch (const std::logic_error&) {
   }
-  EXPECT_EQ(completed.load(), 99);
+  EXPECT_LT(completed.load(), 9000);
+}
+
+TEST(ParallelFor, FailFastStillRethrowsFirstError) {
+  // The fail-fast path must preserve the contract: the first exception
+  // (by claim order under abort) is the one rethrown.
+  std::atomic<int> throws{0};
+  try {
+    parallel_for(
+        1000,
+        [&](std::size_t) {
+          ++throws;
+          throw std::runtime_error("every job throws");
+        },
+        4);
+    FAIL() << "should have thrown";
+  } catch (const std::runtime_error&) {
+  }
+  // At most one job per worker runs once the flag is up.
+  EXPECT_LE(throws.load(), 4);
 }
 
 TEST(ParallelFor, DefaultThreadCountPositive) {

@@ -1,6 +1,9 @@
 #include "common/stats.hpp"
 
 #include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -68,6 +71,27 @@ TEST(Accumulator, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(empty.mean(), mean);
 }
 
+TEST(Accumulator, SumIsExactForMixedMagnitudes) {
+  // Regression: sum() used to be reconstructed as mean() * count(), which
+  // loses the +100 entirely at this magnitude (1.0 is below the ulp of
+  // 1e16 after division). The compensated running sum keeps it exact.
+  Accumulator a;
+  a.add(1e16);
+  for (int i = 0; i < 100; ++i) a.add(1.0);
+  EXPECT_EQ(a.sum(), 1e16 + 100.0);
+}
+
+TEST(Accumulator, MergePreservesExactSum) {
+  Accumulator big, small;
+  big.add(1e16);
+  for (int i = 0; i < 100; ++i) small.add(1.0);
+  big.merge(small);
+  EXPECT_EQ(big.sum(), 1e16 + 100.0);
+  Accumulator other;
+  other.merge(big);
+  EXPECT_EQ(other.sum(), 1e16 + 100.0);
+}
+
 TEST(Percentile, Median) {
   EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0}, 50.0), 2.0);
   EXPECT_DOUBLE_EQ(percentile({4.0, 1.0, 3.0, 2.0}, 50.0), 2.5);
@@ -128,6 +152,37 @@ TEST(SeriesTable, TextAndCsvContainData) {
   const auto csv = t.to_csv();
   EXPECT_NE(csv.find("k,nodes,nodes_sd"), std::string::npos);
   EXPECT_NE(csv.find("250"), std::string::npos);
+}
+
+TEST(SeriesTable, CsvRoundTripsExactly) {
+  // to_csv writes shortest-round-trip doubles (shared with the JSON
+  // writer); strtod on every cell must reproduce the stored means and
+  // stddevs bit-for-bit, even for values with no finite decimal form.
+  SeriesTable t("x");
+  t.add(0.1, "s", 1.0 / 3.0);
+  t.add(0.1, "s", 2.0 / 7.0);
+  t.add(0.3, "s", 1e16 + 1.0);
+  std::istringstream in(t.to_csv());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,s,s_sd");
+  const auto parse = [](const std::string& row) {
+    std::vector<double> cells;
+    std::stringstream ss(row);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      cells.push_back(std::strtod(cell.c_str(), nullptr));
+    }
+    return cells;
+  };
+  for (double x : t.xs()) {
+    ASSERT_TRUE(std::getline(in, line)) << "missing row for x=" << x;
+    const auto cells = parse(line);
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0], x);
+    EXPECT_EQ(cells[1], t.mean(x, "s"));
+    EXPECT_EQ(cells[2], t.stddev(x, "s"));
+  }
 }
 
 TEST(SeriesTable, StddevOfTrials) {

@@ -12,9 +12,14 @@
 // Common flags: --k --rs --rc --side --points --initial --seed --cell
 // Run `decor <subcommand> --help` for the specifics; every flag has a
 // paper-default so bare invocations work.
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "common/options.hpp"
 #include "common/table.hpp"
 #include "coverage/area_estimate.hpp"
@@ -31,6 +36,79 @@
 namespace {
 
 using namespace decor;
+
+/// Ordered key/value report each subcommand fills; with --json it is
+/// serialized as {"schema":"decor.cli.v1","command":...,"report":{...},
+/// "metrics":{...}} (keys in insertion order, metrics snapshot appended).
+class CliReport {
+ public:
+  void add(std::string key, double v) {
+    entries_.push_back({std::move(key), Kind::kNum, v, 0, "", false});
+  }
+  void add(std::string key, std::uint64_t v) {
+    entries_.push_back({std::move(key), Kind::kUint, 0.0, v, "", false});
+  }
+  void add(std::string key, bool v) {
+    entries_.push_back({std::move(key), Kind::kBool, 0.0, 0, "", v});
+  }
+  void add(std::string key, std::string v) {
+    entries_.push_back(
+        {std::move(key), Kind::kStr, 0.0, 0, std::move(v), false});
+  }
+
+  bool write(const std::string& path, const std::string& command) const {
+    std::ostringstream out;
+    common::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema");
+    w.value("decor.cli.v1");
+    w.key("command");
+    w.value(command);
+    w.key("report");
+    w.begin_object();
+    for (const auto& e : entries_) {
+      w.key(e.key);
+      switch (e.kind) {
+        case Kind::kNum:
+          w.value(e.num);
+          break;
+        case Kind::kUint:
+          w.value(e.uint);
+          break;
+        case Kind::kStr:
+          w.value(e.str);
+          break;
+        case Kind::kBool:
+          w.value(e.b);
+          break;
+      }
+    }
+    w.end_object();
+    w.key("metrics");
+    common::metrics().write_json(w);
+    w.end_object();
+    std::ofstream f(path);
+    if (!f.is_open()) {
+      std::cerr << "error: cannot write " << path << "\n";
+      return false;
+    }
+    f << out.str() << "\n";
+    std::cout << "json report: " << path << "\n";
+    return true;
+  }
+
+ private:
+  enum class Kind { kNum, kUint, kStr, kBool };
+  struct Entry {
+    std::string key;
+    Kind kind;
+    double num;
+    std::uint64_t uint;
+    std::string str;
+    bool b;
+  };
+  std::vector<Entry> entries_;
+};
 
 core::DecorParams params_from(const common::Options& opts) {
   core::DecorParams p;
@@ -58,7 +136,8 @@ core::Scheme scheme_from(const common::Options& opts) {
 
 void report_deployment(const core::Field& field,
                        const core::DeploymentResult& result,
-                       std::uint32_t k) {
+                       std::uint32_t k, CliReport& rep,
+                       const std::string& prefix = "") {
   const auto metrics = coverage::compute_metrics(field.map, k + 1);
   const auto redundancy =
       coverage::find_redundant(field.map, field.sensors, k);
@@ -70,16 +149,28 @@ void report_deployment(const core::Field& field,
             << coverage::summarize(metrics, k) << "; redundant nodes: "
             << redundancy.redundant_ids.size() << " ("
             << static_cast<int>(redundancy.fraction() * 100) << "%)\n";
+  rep.add(prefix + "placed_nodes",
+          static_cast<std::uint64_t>(result.placed_nodes));
+  rep.add(prefix + "total_nodes",
+          static_cast<std::uint64_t>(result.total_nodes()));
+  rep.add(prefix + "rounds", static_cast<std::uint64_t>(result.rounds));
+  rep.add(prefix + "messages",
+          static_cast<std::uint64_t>(result.messages));
+  rep.add(prefix + "full_coverage", result.reached_full_coverage);
+  rep.add(prefix + "redundant_nodes",
+          static_cast<std::uint64_t>(redundancy.redundant_ids.size()));
+  rep.add(prefix + "covered_fraction", field.map.fraction_covered(k));
 }
 
-int cmd_deploy(const common::Options& opts) {
+int cmd_deploy(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   core::Field field(params, rng);
   field.deploy_random(
       static_cast<std::size_t>(opts.get_int("initial", 200)), rng);
   const auto result = core::run_engine(scheme_from(opts), field, rng);
-  report_deployment(field, result, params.k);
+  rep.add("scheme", opts.get("scheme", "grid"));
+  report_deployment(field, result, params.k, rep);
   if (opts.get_bool("map", false)) {
     std::cout << coverage::ascii_field(field.map, params.k) << '\n';
   }
@@ -92,7 +183,7 @@ int cmd_deploy(const common::Options& opts) {
   return result.reached_full_coverage ? 0 : 2;
 }
 
-int cmd_restore(const common::Options& opts) {
+int cmd_restore(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   const auto scheme = scheme_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
@@ -100,49 +191,71 @@ int cmd_restore(const common::Options& opts) {
   field.deploy_random(
       static_cast<std::size_t>(opts.get_int("initial", 200)), rng);
   std::cout << "== deployment ==\n";
-  report_deployment(field, core::run_engine(scheme, field, rng), params.k);
+  rep.add("scheme", opts.get("scheme", "grid"));
+  report_deployment(field, core::run_engine(scheme, field, rng), params.k,
+                    rep, "deploy_");
 
   const std::string type = opts.get("failure", "area");
+  rep.add("failure", type);
   if (type == "random") {
     const double fraction = opts.get_double("fraction", 0.3);
     const auto killed = core::fail_random_fraction(field, fraction, rng);
     std::cout << "\n== failure: " << killed.size()
               << " random nodes killed ==\n";
+    rep.add("killed_nodes", static_cast<std::uint64_t>(killed.size()));
   } else {
     const double radius = opts.get_double("radius", 24.0);
     const geom::Disc disc{field.params.field.center(), radius};
     const auto killed = core::fail_area(field, disc);
     std::cout << "\n== failure: disc radius " << radius << " killed "
               << killed.size() << " nodes ==\n";
+    rep.add("killed_nodes", static_cast<std::uint64_t>(killed.size()));
   }
   std::cout << coverage::summarize(
                    coverage::compute_metrics(field.map, params.k + 1),
                    params.k)
             << "\n\n== restoration ==\n";
   const auto restore = core::run_engine(scheme, field, rng);
-  report_deployment(field, restore, params.k);
+  report_deployment(field, restore, params.k, rep, "restore_");
   return restore.reached_full_coverage ? 0 : 2;
 }
 
-int cmd_sim(const common::Options& opts) {
+int cmd_sim(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   const auto initial = lds::random_points(
       params.field, static_cast<std::size_t>(opts.get_int("initial", 20)),
       rng);
   const double run_time = opts.get_double("run-time", 300.0);
+  // Trace plumbing shared by both schemes: --trace records protocol
+  // events in memory (bounded by --trace-cap), --trace-jsonl streams
+  // every record to a file.
+  const bool trace = opts.get_bool("trace", false);
+  const auto trace_cap =
+      static_cast<std::size_t>(opts.get_int("trace-cap", 0));
+  const std::string trace_jsonl = opts.get("trace-jsonl", "");
   const std::string s = opts.get("scheme", "grid");
+  rep.add("scheme", s);
   if (s == "voronoi") {
     core::VoronoiSimConfig cfg;
     cfg.params = params;
     cfg.initial_positions = initial;
     cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
     cfg.run_time = run_time;
+    cfg.trace = trace;
+    cfg.trace_capacity = trace_cap;
+    cfg.trace_jsonl = trace_jsonl;
     const auto r = core::run_voronoi_decor_sim(cfg);
     std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
               << r.seeded_nodes << " seeded), covered="
               << (r.reached_full_coverage ? "yes" : "no") << " at t="
               << r.finish_time << "s, radio tx=" << r.radio_tx << "\n";
+    rep.add("placed_nodes", static_cast<std::uint64_t>(r.placed_nodes));
+    rep.add("seeded_nodes", static_cast<std::uint64_t>(r.seeded_nodes));
+    rep.add("full_coverage", r.reached_full_coverage);
+    rep.add("finish_time", r.finish_time);
+    rep.add("radio_tx", r.radio_tx);
+    rep.add("radio_rx", r.radio_rx);
     return r.reached_full_coverage ? 0 : 2;
   }
   core::SimRunConfig cfg;
@@ -150,32 +263,48 @@ int cmd_sim(const common::Options& opts) {
   cfg.initial_positions = initial;
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   cfg.run_time = run_time;
+  cfg.trace = trace;
+  cfg.trace_capacity = trace_cap;
+  cfg.trace_jsonl = trace_jsonl;
   const auto r = core::run_grid_decor_sim(cfg);
   std::cout << "grid sim: placed " << r.placed_nodes << ", covered="
             << (r.reached_full_coverage ? "yes" : "no") << " at t="
             << r.finish_time << "s, radio tx=" << r.radio_tx << "\n";
+  rep.add("placed_nodes", static_cast<std::uint64_t>(r.placed_nodes));
+  rep.add("full_coverage", r.reached_full_coverage);
+  rep.add("finish_time", r.finish_time);
+  rep.add("radio_tx", r.radio_tx);
+  rep.add("radio_rx", r.radio_rx);
   return r.reached_full_coverage ? 0 : 2;
 }
 
-int cmd_discrepancy(const common::Options& opts) {
+int cmd_discrepancy(const common::Options& opts, CliReport& rep) {
   const auto n = static_cast<std::size_t>(opts.get_int("n", 2000));
   const geom::Rect unit = geom::make_rect(0, 0, 1, 1);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
+  const double d_halton =
+      lds::star_discrepancy(lds::halton_points(unit, n), unit);
+  const double d_ham =
+      lds::star_discrepancy(lds::hammersley_points(unit, n), unit);
+  const double d_jit =
+      lds::star_discrepancy(lds::jittered_points(unit, n, rng), unit);
+  const double d_rand =
+      lds::star_discrepancy(lds::random_points(unit, n, rng), unit);
   common::Table table({"generator", "star discrepancy"});
-  table.add_row({"halton", std::to_string(lds::star_discrepancy(
-                               lds::halton_points(unit, n), unit))});
-  table.add_row({"hammersley",
-                 std::to_string(lds::star_discrepancy(
-                     lds::hammersley_points(unit, n), unit))});
-  table.add_row({"jittered", std::to_string(lds::star_discrepancy(
-                                 lds::jittered_points(unit, n, rng), unit))});
-  table.add_row({"random", std::to_string(lds::star_discrepancy(
-                               lds::random_points(unit, n, rng), unit))});
+  table.add_row({"halton", std::to_string(d_halton)});
+  table.add_row({"hammersley", std::to_string(d_ham)});
+  table.add_row({"jittered", std::to_string(d_jit)});
+  table.add_row({"random", std::to_string(d_rand)});
   std::cout << "N = " << n << "\n" << table.to_text();
+  rep.add("n", static_cast<std::uint64_t>(n));
+  rep.add("halton", d_halton);
+  rep.add("hammersley", d_ham);
+  rep.add("jittered", d_jit);
+  rep.add("random", d_rand);
   return 0;
 }
 
-int cmd_lifetime(const common::Options& opts) {
+int cmd_lifetime(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   core::Field field(params, rng);
@@ -195,10 +324,15 @@ int cmd_lifetime(const common::Options& opts) {
             << ", mean awake set " << result.mean_awake << " nodes ("
             << 100.0 * result.mean_awake / static_cast<double>(nodes)
             << "% of the network)\n";
+  rep.add("nodes", static_cast<std::uint64_t>(nodes));
+  rep.add("full_coverage", deploy.reached_full_coverage);
+  rep.add("epochs", static_cast<std::uint64_t>(result.epochs));
+  rep.add("hit_epoch_limit", result.hit_epoch_limit);
+  rep.add("mean_awake", result.mean_awake);
   return 0;
 }
 
-int cmd_peas(const common::Options& opts) {
+int cmd_peas(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   common::Rng rng(seed);
@@ -227,10 +361,13 @@ int cmd_peas(const common::Options& opts) {
                    static_cast<double>(n)
             << "%), working-set 1-coverage "
             << 100.0 * awake.fraction_covered(1) << "% of the points\n";
+  rep.add("deployed_nodes", static_cast<std::uint64_t>(n));
+  rep.add("working_nodes", static_cast<std::uint64_t>(workers));
+  rep.add("working_coverage_fraction", awake.fraction_covered(1));
   return 0;
 }
 
-int cmd_connectivity(const common::Options& opts) {
+int cmd_connectivity(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   core::Field field(params, rng);
@@ -244,12 +381,19 @@ int cmd_connectivity(const common::Options& opts) {
             << "graph at rc=" << params.rc << ": " << g.num_edges()
             << " links, " << graph::num_components(g) << " component(s), "
             << "min degree " << graph::min_degree(g) << "\n";
+  rep.add("total_nodes", static_cast<std::uint64_t>(result.total_nodes()));
+  rep.add("full_coverage", result.reached_full_coverage);
+  rep.add("edges", static_cast<std::uint64_t>(g.num_edges()));
+  rep.add("components", static_cast<std::uint64_t>(graph::num_components(g)));
+  rep.add("min_degree", static_cast<std::uint64_t>(graph::min_degree(g)));
   if (opts.get_bool("kappa", true)) {
-    std::cout << "vertex connectivity kappa = "
-              << graph::vertex_connectivity(g) << " (paper corollary "
+    const auto kappa = graph::vertex_connectivity(g);
+    std::cout << "vertex connectivity kappa = " << kappa
+              << " (paper corollary "
               << (params.rc >= 2.0 * params.rs ? "applies: expect >= k"
                                                : "does not apply")
               << ")\n";
+    rep.add("kappa", static_cast<std::uint64_t>(kappa));
   }
   return 0;
 }
@@ -268,7 +412,10 @@ void usage() {
       "  peas          PEAS baseline working-set (--rp, --mean-sleep)\n"
       "  connectivity  communication-graph analysis (--kappa)\n\n"
       "common flags: --k --rs --rc --side --points --initial --seed "
-      "--cell --point-kind\n";
+      "--cell --point-kind\n"
+      "telemetry: --json[=path] writes a decor.cli.v1 report (metrics "
+      "snapshot included);\n"
+      "  sim also takes --trace --trace-cap=N --trace-jsonl=path\n";
 }
 
 }  // namespace
@@ -280,18 +427,33 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   const common::Options opts(argc - 1, argv + 1);
+  const bool want_json = opts.has("json");
+  if (want_json) {
+    common::metrics().reset();
+    common::metrics().enable(true);
+  }
+  CliReport rep;
+  int rc = -1;
   try {
-    if (cmd == "deploy") return cmd_deploy(opts);
-    if (cmd == "restore") return cmd_restore(opts);
-    if (cmd == "sim") return cmd_sim(opts);
-    if (cmd == "discrepancy") return cmd_discrepancy(opts);
-    if (cmd == "connectivity") return cmd_connectivity(opts);
-    if (cmd == "lifetime") return cmd_lifetime(opts);
-    if (cmd == "peas") return cmd_peas(opts);
+    if (cmd == "deploy") rc = cmd_deploy(opts, rep);
+    if (cmd == "restore") rc = cmd_restore(opts, rep);
+    if (cmd == "sim") rc = cmd_sim(opts, rep);
+    if (cmd == "discrepancy") rc = cmd_discrepancy(opts, rep);
+    if (cmd == "connectivity") rc = cmd_connectivity(opts, rep);
+    if (cmd == "lifetime") rc = cmd_lifetime(opts, rep);
+    if (cmd == "peas") rc = cmd_peas(opts, rep);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
   }
-  usage();
-  return cmd == "--help" || cmd == "help" ? 0 : 1;
+  if (rc < 0) {  // unknown subcommand
+    usage();
+    return cmd == "--help" || cmd == "help" ? 0 : 1;
+  }
+  if (want_json) {
+    std::string path = opts.get("json", "");
+    if (path.empty()) path = "decor-" + cmd + ".json";
+    rep.write(path, cmd);
+  }
+  return rc;
 }
