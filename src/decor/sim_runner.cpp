@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <numbers>
 #include <unordered_map>
 #include <unordered_set>
@@ -39,8 +40,18 @@ struct GridSimHarness::Shared {
   double silence_threshold = 5.0;
   net::HeartbeatParams heartbeat;
   net::ElectionParams election;
+  bool enable_arq = true;
+  net::ReliableLinkParams arq;
   GridSimHarness* harness = nullptr;
   const geom::PointGridIndex* points = nullptr;
+
+  /// Per-world ARQ accounting every node's link feeds (simulation is
+  /// single-threaded; surfaced through SimRunResult).
+  net::ArqStats arq_stats;
+  /// Cell -> id of the node that most recently became that cell's leader
+  /// (self-registration; used only for chaos targeting). Ordered so the
+  /// leader-kill picks deterministically.
+  std::map<std::uint32_t, std::uint32_t> cell_leader;
 
   // Per-cell point ids and the inverse maps (cell/slot of each point) —
   // static field knowledge every node shares (the point set is generated
@@ -58,7 +69,9 @@ struct GridSimHarness::Shared {
         silence_threshold(cfg.heartbeat.period * cfg.heartbeat.timeout_periods +
                           1.0),
         heartbeat(cfg.heartbeat),
-        election(cfg.election) {}
+        election(cfg.election),
+        enable_arq(cfg.enable_arq),
+        arq(cfg.arq) {}
 
   void index_points(const geom::PointGridIndex& index) {
     points = &index;
@@ -83,7 +96,9 @@ class DecorGridSimNode final : public net::SensorNode {
   using Shared = GridSimHarness::Shared;
 
   explicit DecorGridSimNode(std::shared_ptr<Shared> shared)
-      : net::SensorNode(make_node_params(*shared)), shared_(std::move(shared)) {}
+      : net::SensorNode(make_node_params(*shared)), shared_(std::move(shared)) {
+    set_arq_stats(&shared_->arq_stats);
+  }
 
   void on_start() override {
     cell_ = static_cast<std::uint32_t>(shared_->partition.cell_of(pos()));
@@ -92,14 +107,17 @@ class DecorGridSimNode final : public net::SensorNode {
                                                       shared_->election);
     election_->start(
         [this](const net::ElectPayload& p) {
+          // Bids stay best-effort: every member bids each term and a
+          // lost bid only biases one rotation, never correctness.
           broadcast(sim::Message::make(id(), net::kElect, p,
                                        net::wire_size(net::kElect)),
                     params_.rc);
         },
         [this](const net::LeaderPayload& p) {
-          broadcast(sim::Message::make(id(), net::kLeader, p,
-                                       net::wire_size(net::kLeader)),
-                    params_.rc);
+          // The winner announcement is control plane: a member that
+          // misses it self-elects and splits the cell, so it is ARQed.
+          broadcast_reliable(sim::Message::make(
+              id(), net::kLeader, p, net::wire_size(net::kLeader)));
         },
         [this](std::uint32_t, bool is_self) {
           if (is_self) became_leader();
@@ -136,11 +154,13 @@ class DecorGridSimNode final : public net::SensorNode {
           const geom::Point2 p{key.x, key.y};
           if (!target.intersects_disc(p, shared_->params.rs)) continue;
           for (std::uint32_t c = 0; c < count; ++c) {
-            unicast(msg.src,
-                    sim::Message::make(id(), net::kPlacement,
-                                       net::PlacementPayload{p, cell_},
-                                       net::wire_size(net::kPlacement)),
-                    params_.rc);
+            // The querier bootstraps its belief from these replays; a
+            // lost one would re-cover the point, so each is ARQed.
+            send_reliable(msg.src,
+                          sim::Message::make(
+                              id(), net::kPlacement,
+                              net::PlacementPayload{p, cell_},
+                              net::wire_size(net::kPlacement)));
           }
         }
         break;
@@ -163,10 +183,23 @@ class DecorGridSimNode final : public net::SensorNode {
 
   void on_neighbor_failed(std::uint32_t /*id*/,
                           geom::Point2 last_pos) override {
-    // A dead in-cell sensor may have opened a hole; the leader re-checks.
-    if (election_ && election_->is_leader() &&
-        shared_->partition.cell_of(last_pos) == cell_) {
-      ensure_loop();
+    // The device at last_pos is gone: retire one per-device claim there
+    // (an unheard deployment of ours for in-cell positions, a placement
+    // notice for cross-boundary ones). Claims outlive the neighbor
+    // table, so without this a sole-member cell — where leadership never
+    // rotates to a fresh belief — keeps the dead node's coverage as a
+    // phantom and the hole never heals.
+    const PosKey key{last_pos.x, last_pos.y};
+    if (shared_->partition.cell_of(last_pos) == cell_) {
+      if (auto it = my_placements_.find(key); it != my_placements_.end()) {
+        if (--it->second == 0) my_placements_.erase(it);
+      }
+      // A dead in-cell sensor may have opened a hole; the leader
+      // re-checks.
+      if (election_ && election_->is_leader()) ensure_loop();
+    } else if (auto it = notices_.find(key); it != notices_.end()) {
+      if (--it->second == 0) notices_.erase(it);
+      if (election_ && election_->is_leader()) ensure_loop();
     }
   }
 
@@ -175,6 +208,8 @@ class DecorGridSimNode final : public net::SensorNode {
     net::SensorNodeParams p;
     p.rc = shared.rc_protocol;
     p.heartbeat = shared.heartbeat;
+    p.enable_arq = shared.enable_arq;
+    p.arq = shared.arq;
     return p;
   }
 
@@ -186,16 +221,16 @@ class DecorGridSimNode final : public net::SensorNode {
   }
 
   void became_leader() {
+    shared_->cell_leader[cell_] = id();  // chaos-targeting registry
     // A fresh leader may have missed earlier cross-boundary placements
     // (it could have been deployed after they were announced): query the
     // neighborhood once; established leaders replay what they placed
     // into our area (Section 3.3's boundary-information exchange).
     if (!queried_neighbors_) {
       queried_neighbors_ = true;
-      broadcast(sim::Message::make(id(), net::kCoverageQuery,
-                                   net::CoverageQueryPayload{cell_},
-                                   net::wire_size(net::kCoverageQuery)),
-                params_.rc);
+      broadcast_reliable(sim::Message::make(
+          id(), net::kCoverageQuery, net::CoverageQueryPayload{cell_},
+          net::wire_size(net::kCoverageQuery)));
     }
     ensure_loop();
     if (!seed_loop_active_) {
@@ -286,11 +321,12 @@ class DecorGridSimNode final : public net::SensorNode {
     const geom::Point2 best_pos = shared_->points->point(best->point);
     ++my_placements_[PosKey{best_pos.x, best_pos.y}];
     shared_->harness->spawn_node(best_pos);
-    broadcast(sim::Message::make(
-                  id(), net::kPlacement,
-                  net::PlacementPayload{best_pos, cell_},
-                  net::wire_size(net::kPlacement)),
-              params_.rc);
+    // A lost placement notification makes adjacent leaders re-cover the
+    // boundary, so it is ARQed to every known neighbor; receiver-side
+    // dedup keeps retransmissions from inflating notice multiplicity.
+    broadcast_reliable(sim::Message::make(
+        id(), net::kPlacement, net::PlacementPayload{best_pos, cell_},
+        net::wire_size(net::kPlacement)));
     set_timer(shared_->placement_interval, [this] { placement_tick(); });
   }
 
@@ -325,10 +361,11 @@ class DecorGridSimNode final : public net::SensorNode {
       if (!found) continue;
       seeded_cells_.insert(c);
       shared_->harness->spawn_node(pos);
-      broadcast(sim::Message::make(
-                    id(), net::kPlacement, net::PlacementPayload{pos, c},
-                    net::wire_size(net::kPlacement)),
-                params_.rc);
+      // Cross-cell seed probe: peers must learn the cell was seeded or
+      // several leaders seed it concurrently — ARQed like placements.
+      broadcast_reliable(sim::Message::make(
+          id(), net::kPlacement, net::PlacementPayload{pos, c},
+          net::wire_size(net::kPlacement)));
     }
     set_timer(shared_->seed_check_interval, [this] { seed_check(); });
   }
@@ -389,6 +426,28 @@ void GridSimHarness::kill_node(std::uint32_t id) {
   map_->remove_disc(pos);
 }
 
+void GridSimHarness::schedule_leader_kill(double at) {
+  world_->sim().schedule_at(at, [this] {
+    for (const auto& [cell, id] : shared_->cell_leader) {
+      (void)cell;
+      if (world_->alive(id)) {
+        kill_node(id);
+        return;
+      }
+    }
+  });
+}
+
+void GridSimHarness::schedule_random_kills(double at, std::size_t count) {
+  world_->sim().schedule_at(at, [this, count] {
+    auto alive = world_->alive_ids();
+    const auto picks =
+        world_->rng().sample_indices(alive.size(),
+                                     std::min(count, alive.size()));
+    for (std::size_t idx : picks) kill_node(alive[idx]);
+  });
+}
+
 SimRunResult GridSimHarness::run() {
   if (!initial_deployed_) {
     for (const auto& pos : cfg_.initial_positions) spawn_node(pos);
@@ -431,6 +490,7 @@ SimRunResult GridSimHarness::run() {
   result.placements = placements_;
   result.radio_tx = world_->radio().total_tx();
   result.radio_rx = world_->radio().total_rx();
+  result.arq = shared_->arq_stats;
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
   // One update per run (placements made during *this* call, so repeated
   // runs on one harness never double-count); the hot protocol path stays

@@ -44,6 +44,12 @@ struct SimRunConfig {
   net::ElectionParams election{60.0, 0.05, 0.01};
   sim::RadioParams radio{};
 
+  /// ARQ (net::ReliableLink) under the control-plane messages (kLeader,
+  /// kPlacement, kCoverageQuery/Reply, seed probes); kHello/kHeartbeat
+  /// stay best-effort. Disable to reproduce the fire-and-forget stack.
+  bool enable_arq = true;
+  net::ReliableLinkParams arq{};
+
   /// Tracing (applied to the world's Trace at construction): record
   /// protocol events, optionally bounded to the `trace_capacity` most
   /// recent records (0 = unbounded) and/or streamed to `trace_jsonl` as
@@ -60,6 +66,9 @@ struct SimRunResult {
   double finish_time = 0.0;
   std::uint64_t radio_tx = 0;
   std::uint64_t radio_rx = 0;
+  /// ARQ accounting, cumulative over the harness lifetime (not reset
+  /// between repeated run() calls on one harness).
+  net::ArqStats arq;
   coverage::CoverageMetrics metrics;
   std::vector<geom::Point2> placements;
 };
@@ -86,6 +95,16 @@ class GridSimHarness {
 
   /// Kills a node and removes its coverage (failure injection).
   void kill_node(std::uint32_t id);
+
+  /// Chaos: at simulated time `at`, kills the node currently acting as a
+  /// cell leader (lowest cell id with an alive leader wins). Victims are
+  /// resolved when the event fires, so "whoever leads then" is targeted.
+  /// No-op if no leader is alive at `at`.
+  void schedule_leader_kill(double at);
+
+  /// Chaos: at simulated time `at`, kills `count` uniformly random alive
+  /// nodes (ground-truth map kept in sync, unlike raw World::kill).
+  void schedule_random_kills(double at, std::size_t count);
 
   /// Runs the simulation until full k-coverage or cfg.run_time.
   SimRunResult run();

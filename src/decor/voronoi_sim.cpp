@@ -31,6 +31,10 @@ struct VoronoiSimHarness::Shared {
   VoronoiSimHarness* harness = nullptr;
   const geom::PointGridIndex* points = nullptr;
   net::HeartbeatParams heartbeat;
+  bool enable_arq = true;
+  net::ReliableLinkParams arq;
+  /// Per-world ARQ accounting (single-threaded simulation).
+  net::ArqStats arq_stats;
 };
 
 namespace {
@@ -41,7 +45,9 @@ class DecorVoronoiSimNode final : public net::SensorNode {
 
   explicit DecorVoronoiSimNode(std::shared_ptr<Shared> shared)
       : net::SensorNode(make_node_params(*shared)),
-        shared_(std::move(shared)) {}
+        shared_(std::move(shared)) {
+    set_arq_stats(&shared_->arq_stats);
+  }
 
   void on_start() override {
     net::SensorNode::on_start();
@@ -55,6 +61,11 @@ class DecorVoronoiSimNode final : public net::SensorNode {
   void handle_message(const sim::Message& msg) override {
     if (msg.kind == net::kPlacement) {
       const auto& p = msg.as<net::PlacementPayload>();
+      // The announcement that deployed *this very node* is not an extra
+      // device — we already count ourselves, and crediting it deadlocks
+      // a k>1 point with a permanent phantom. A later co-located sibling
+      // is heard through its own HELLO/heartbeats instead.
+      if (p.pos == pos()) return;
       // Remember out-of-range-for-HELLO deployments whose discs can
       // still cover our points; in-range nodes arrive via HELLO.
       if (geom::distance(p.pos, pos()) <= params_.rc + shared_->params.rs) {
@@ -63,7 +74,17 @@ class DecorVoronoiSimNode final : public net::SensorNode {
     }
   }
 
-  void on_neighbor_failed(std::uint32_t, geom::Point2) override {
+  void on_neighbor_failed(std::uint32_t, geom::Point2 last_pos) override {
+    // The device at last_pos is gone: retire one per-device claim there
+    // (a deployment of ours, else a placement notice). Claims outlive
+    // the neighbor table, so without this the dead node's coverage
+    // lives on as a phantom and the hole never heals.
+    const PosKey key{last_pos.x, last_pos.y};
+    if (auto it = my_placements_.find(key); it != my_placements_.end()) {
+      if (--it->second == 0) my_placements_.erase(it);
+    } else if (auto it2 = notices_.find(key); it2 != notices_.end()) {
+      if (--it2->second == 0) notices_.erase(it2);
+    }
     // Ownership and coverage both changed; the next tick recomputes.
     idle_streak_ = 0;
   }
@@ -73,6 +94,8 @@ class DecorVoronoiSimNode final : public net::SensorNode {
     net::SensorNodeParams p;
     p.rc = shared.params.rc;
     p.heartbeat = shared.heartbeat;
+    p.enable_arq = shared.enable_arq;
+    p.arq = shared.arq;
     return p;
   }
 
@@ -156,11 +179,12 @@ class DecorVoronoiSimNode final : public net::SensorNode {
       idle_streak_ = 0;
       ++my_placements_[PosKey{best_pos.x, best_pos.y}];
       shared_->harness->spawn_node(best_pos);
-      broadcast(sim::Message::make(
-                    id(), net::kPlacement,
-                    net::PlacementPayload{best_pos, 0},
-                    net::wire_size(net::kPlacement)),
-                params_.rc);
+      // A neighbor that misses this places on top of the new node, so
+      // the announcement is ARQed; dedup keeps retransmissions from
+      // inflating notice multiplicity.
+      broadcast_reliable(sim::Message::make(
+          id(), net::kPlacement, net::PlacementPayload{best_pos, 0},
+          net::wire_size(net::kPlacement)));
     } else {
       ++idle_streak_;
     }
@@ -198,6 +222,8 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   shared_->harness = this;
   shared_->points = &map_->index();
   shared_->heartbeat = cfg_.heartbeat;
+  shared_->enable_arq = cfg_.enable_arq;
+  shared_->arq = cfg_.arq;
 }
 
 VoronoiSimHarness::~VoronoiSimHarness() = default;
@@ -215,6 +241,16 @@ void VoronoiSimHarness::kill_node(std::uint32_t id) {
   const auto pos = world_->position(id);
   world_->kill(id);
   map_->remove_disc(pos);
+}
+
+void VoronoiSimHarness::schedule_random_kills(double at, std::size_t count) {
+  world_->sim().schedule_at(at, [this, count] {
+    auto alive = world_->alive_ids();
+    const auto picks =
+        world_->rng().sample_indices(alive.size(),
+                                     std::min(count, alive.size()));
+    for (std::size_t idx : picks) kill_node(alive[idx]);
+  });
 }
 
 void VoronoiSimHarness::watchdog_seed() {
@@ -307,6 +343,7 @@ VoronoiSimResult VoronoiSimHarness::run() {
   result.placements = placements_;
   result.radio_tx = world_->radio().total_tx();
   result.radio_rx = world_->radio().total_rx();
+  result.arq = shared_->arq_stats;
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
   // One update per run (deltas since run() entry, so repeated runs on
   // one harness never double-count); the hot protocol path stays free of

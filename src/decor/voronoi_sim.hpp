@@ -44,6 +44,11 @@ struct VoronoiSimConfig {
   net::HeartbeatParams heartbeat{1.0, 3.5};
   sim::RadioParams radio{};
 
+  /// ARQ (net::ReliableLink) under kPlacement announcements;
+  /// kHello/kHeartbeat stay best-effort.
+  bool enable_arq = true;
+  net::ReliableLinkParams arq{};
+
   /// Tracing (applied to the world's Trace at construction): record
   /// protocol events, optionally bounded to the `trace_capacity` most
   /// recent records (0 = unbounded) and/or streamed to `trace_jsonl` as
@@ -62,6 +67,8 @@ struct VoronoiSimResult {
   double finish_time = 0.0;
   std::uint64_t radio_tx = 0;
   std::uint64_t radio_rx = 0;
+  /// ARQ accounting, cumulative over the harness lifetime.
+  net::ArqStats arq;
   coverage::CoverageMetrics metrics;
   std::vector<geom::Point2> placements;
 };
@@ -81,6 +88,10 @@ class VoronoiSimHarness {
 
   std::uint32_t spawn_node(geom::Point2 pos);
   void kill_node(std::uint32_t id);
+
+  /// Chaos: at simulated time `at`, kills `count` uniformly random alive
+  /// nodes (ground-truth map kept in sync, unlike raw World::kill).
+  void schedule_random_kills(double at, std::size_t count);
 
   /// Runs until full k-coverage or cfg.run_time; callable repeatedly
   /// (failure injection between calls resumes the protocol).

@@ -19,6 +19,7 @@ enum MsgKind : int {
   kCoverageQuery = 6,  // leader asks members for known sensors
   kCoverageReply = 7,  // member replies with its position
   kReport = 8,         // data/report toward the base station
+  kAck = 9,            // link-layer acknowledgement (ReliableLink)
 };
 
 struct HelloPayload {
@@ -61,6 +62,11 @@ struct ReportPayload {
   double value = 0.0;
 };
 
+struct AckPayload {
+  /// Sequence number of the frame being acknowledged.
+  std::uint32_t seq = 0;
+};
+
 /// Nominal wire sizes (bytes) used by the energy model; roughly two floats
 /// of position plus headers, matching mote-class packet sizes.
 inline std::size_t wire_size(MsgKind kind) {
@@ -78,6 +84,8 @@ inline std::size_t wire_size(MsgKind kind) {
       return 16;
     case kReport:
       return 32;
+    case kAck:
+      return 12;
   }
   return 32;
 }

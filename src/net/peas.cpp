@@ -40,12 +40,15 @@ void PeasNode::on_message(const sim::Message& msg) {
   switch (msg.kind) {
     case kProbe:
       // A sleeping node's radio is off: only working nodes answer. The
-      // reply is unicast back to the prober (classic PEAS).
+      // reply is unicast back to the prober (classic PEAS) and stays
+      // best-effort: a prober that misses every reply wakes as a
+      // redundant worker, which PEAS tolerates by design.
       if (state_ == State::kWorking) {
-        unicast(msg.src,
-                sim::Message::make(id(), kProbeReply, HelloPayload{pos()},
-                                   wire_size(kHello)),
-                params_.probing_range);
+        (void)unicast(msg.src,
+                      sim::Message::make(id(), kProbeReply,
+                                         HelloPayload{pos()},
+                                         wire_size(kHello)),
+                      params_.probing_range);
       }
       break;
     case kProbeReply:

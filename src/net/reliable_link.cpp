@@ -1,0 +1,164 @@
+#include "net/reliable_link.hpp"
+
+#include <algorithm>
+
+#include "common/metrics.hpp"
+#include "common/require.hpp"
+#include "net/messages.hpp"
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+namespace {
+
+// Handles resolved once; each call then costs one relaxed atomic load
+// when metrics are off (same pattern as sim/radio.cpp).
+common::Counter& retx_counter() {
+  static common::Counter& c = common::metrics().counter("net.arq.retx");
+  return c;
+}
+common::Counter& ack_counter() {
+  static common::Counter& c = common::metrics().counter("net.arq.acks");
+  return c;
+}
+common::Counter& dup_counter() {
+  static common::Counter& c = common::metrics().counter("net.arq.dup_drop");
+  return c;
+}
+common::Counter& gave_up_counter() {
+  static common::Counter& c = common::metrics().counter("net.arq.gave_up");
+  return c;
+}
+
+}  // namespace
+
+ReliableLink::ReliableLink(sim::NodeProcess& host, ReliableLinkParams params)
+    : host_(host), params_(params) {
+  DECOR_REQUIRE_MSG(params_.rto_initial > 0.0, "rto must be positive");
+  DECOR_REQUIRE_MSG(params_.rto_backoff >= 1.0,
+                    "backoff must not shrink the timeout");
+}
+
+void ReliableLink::start(UnicastFn unicast, BroadcastFn broadcast,
+                         DeadPeerFn on_dead_peer) {
+  unicast_ = std::move(unicast);
+  broadcast_ = std::move(broadcast);
+  on_dead_peer_ = std::move(on_dead_peer);
+}
+
+double ReliableLink::timeout_for(std::uint32_t attempt) {
+  double rto = params_.rto_initial;
+  for (std::uint32_t i = 0; i < attempt && rto < params_.rto_max; ++i) {
+    rto *= params_.rto_backoff;
+  }
+  rto = std::min(rto, params_.rto_max);
+  if (params_.rto_jitter_frac > 0.0) {
+    rto += host_.world().rng().uniform(0.0, params_.rto_jitter_frac * rto);
+  }
+  return rto;
+}
+
+void ReliableLink::send(std::uint32_t dst, sim::Message msg) {
+  const std::uint32_t seq = next_seq_++;
+  msg.seq = seq;
+  Outstanding o;
+  o.msg = msg;
+  o.waiting = {dst};
+  o.is_unicast = true;
+  transmit(o);
+  if (stats_) ++stats_->sent;
+  pending_.emplace(seq, std::move(o));
+  arm_timer(seq);
+}
+
+void ReliableLink::send_to_all(sim::Message msg,
+                               std::vector<std::uint32_t> expected) {
+  const std::uint32_t seq = next_seq_++;
+  msg.seq = seq;
+  // A peer cannot ack itself; drop self-entries defensively.
+  std::erase(expected, host_.id());
+  Outstanding o;
+  o.msg = std::move(msg);
+  o.waiting = std::move(expected);
+  o.is_unicast = false;
+  transmit(o);
+  if (stats_) ++stats_->sent;
+  if (o.waiting.empty()) return;  // nobody to wait for: best-effort tx
+  pending_.emplace(seq, std::move(o));
+  arm_timer(seq);
+}
+
+void ReliableLink::transmit(const Outstanding& o) {
+  if (o.is_unicast) {
+    // The radio's verdict (dead / out-of-range) is ground truth the
+    // protocol must not act on; delivery failures surface as missing
+    // acks and bounded retries instead.
+    (void)unicast_(o.waiting.front(), o.msg);
+  } else {
+    broadcast_(o.msg);
+  }
+}
+
+void ReliableLink::arm_timer(std::uint32_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  host_.world().sim().schedule(timeout_for(it->second.attempt),
+                               [this, seq] { on_timeout(seq); });
+}
+
+void ReliableLink::on_timeout(std::uint32_t seq) {
+  if (!host_.alive()) return;
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // fully acknowledged meanwhile
+  Outstanding& o = it->second;
+  if (o.attempt >= params_.max_retries) {
+    // Retry budget exhausted: every silent peer is presumed dead. Copy
+    // the list out first — the callback may re-enter the link.
+    const std::vector<std::uint32_t> dead = o.waiting;
+    pending_.erase(it);
+    for (std::uint32_t peer : dead) {
+      if (stats_) ++stats_->gave_up;
+      gave_up_counter().inc();
+      if (on_dead_peer_) on_dead_peer_(peer);
+    }
+    return;
+  }
+  ++o.attempt;
+  if (stats_) ++stats_->retx;
+  retx_counter().inc();
+  transmit(o);
+  arm_timer(seq);
+}
+
+void ReliableLink::on_ack(std::uint32_t from, std::uint32_t seq) {
+  const auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // stale ack (late duplicate)
+  auto& waiting = it->second.waiting;
+  const auto pos = std::find(waiting.begin(), waiting.end(), from);
+  if (pos == waiting.end()) return;  // duplicate ack from this peer
+  waiting.erase(pos);
+  if (stats_) ++stats_->acks_rx;
+  ack_counter().inc();
+  if (waiting.empty()) pending_.erase(it);
+}
+
+ReliableLink::RxAction ReliableLink::on_frame(const sim::Message& msg) {
+  if (msg.kind == kAck) {
+    on_ack(msg.src, msg.as<AckPayload>().seq);
+    return RxAction::kAckConsumed;
+  }
+  if (msg.seq == 0) return RxAction::kDeliver;  // best-effort frame
+  // Always acknowledge — the previous ack may have been the lost frame.
+  (void)unicast_(msg.src, sim::Message::make(host_.id(), kAck,
+                                             AckPayload{msg.seq},
+                                             wire_size(kAck)));
+  if (stats_) ++stats_->acks_sent;
+  if (!seen_[msg.src].insert(msg.seq).second) {
+    if (stats_) ++stats_->dup_drops;
+    dup_counter().inc();
+    return RxAction::kDuplicate;
+  }
+  return RxAction::kDeliver;
+}
+
+}  // namespace decor::net

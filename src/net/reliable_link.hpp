@@ -1,0 +1,131 @@
+// ReliableLink: a stop-and-wait-per-frame ARQ layer between the protocol
+// nodes and the lossy radio.
+//
+// The paper's restoration protocols assume that control messages (leader
+// announcements, placement notifications, coverage queries) eventually
+// reach every neighbor; the raw radio only offers fire-and-forget
+// delivery. This component earns the assumption: every reliable frame
+// carries a sequence number, receivers acknowledge with kAck and suppress
+// duplicates, and the sender retransmits with exponential backoff plus
+// jitter until every expected peer has acknowledged or the retry budget
+// is exhausted — at which point a dead-peer callback lets the host purge
+// its neighbor table. kHello/kHeartbeat stay best-effort (seq == 0), as
+// in real WSN stacks: they are periodic and self-healing by design.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/message.hpp"
+#include "sim/node.hpp"
+
+namespace decor::net {
+
+struct ReliableLinkParams {
+  /// Initial retransmission timeout; must cover one round trip
+  /// (latency_base + jitter each way) plus the receiver's turnaround.
+  double rto_initial = 0.05;
+  /// Backoff multiplier applied per retransmission.
+  double rto_backoff = 2.0;
+  /// Ceiling on the backed-off timeout.
+  double rto_max = 2.0;
+  /// Uniform random fraction of the timeout added per (re)arm so
+  /// synchronized losses do not produce synchronized retransmissions.
+  double rto_jitter_frac = 0.25;
+  /// Retransmissions before a silent peer is declared dead.
+  std::uint32_t max_retries = 8;
+};
+
+/// Per-world ARQ accounting the harnesses surface in their run results
+/// (the global common::metrics() counters aggregate across worlds, which
+/// is the wrong granularity for per-run overhead reporting). The
+/// simulator is single-threaded, so plain integers suffice.
+struct ArqStats {
+  std::uint64_t sent = 0;       // first transmissions of reliable frames
+  std::uint64_t retx = 0;       // retransmissions
+  std::uint64_t acks_sent = 0;  // kAck frames transmitted
+  std::uint64_t acks_rx = 0;    // useful (non-stale) acks received
+  std::uint64_t dup_drops = 0;  // duplicate frames suppressed at receivers
+  std::uint64_t gave_up = 0;    // peers abandoned after max_retries
+};
+
+class ReliableLink {
+ public:
+  /// Transmission hooks; the host owns addressing and ranges.
+  /// `unicast` returns the radio's delivery verdict (false = dead or
+  /// out-of-range destination, a hint the link uses to give up early is
+  /// deliberately NOT taken from it — the protocol must not peek at
+  /// ground truth, so the value is only surfaced to stats).
+  using UnicastFn =
+      std::function<bool(std::uint32_t dst, const sim::Message& msg)>;
+  using BroadcastFn = std::function<void(const sim::Message& msg)>;
+  using DeadPeerFn = std::function<void(std::uint32_t peer)>;
+
+  ReliableLink(sim::NodeProcess& host, ReliableLinkParams params);
+
+  void start(UnicastFn unicast, BroadcastFn broadcast,
+             DeadPeerFn on_dead_peer);
+
+  /// Optional per-world accounting sink (e.g. owned by a harness).
+  void set_stats(ArqStats* stats) noexcept { stats_ = stats; }
+
+  /// Reliable unicast: delivers `msg` to `dst` at-least-once, or reports
+  /// `dst` dead. The message's seq is assigned here.
+  void send(std::uint32_t dst, sim::Message msg);
+
+  /// Reliable broadcast: one transmission, acknowledged independently by
+  /// every peer in `expected` (usually the host's current neighbor set).
+  /// Retransmissions are broadcast again — duplicate suppression at the
+  /// receivers makes that idempotent. An empty `expected` degenerates to
+  /// a plain best-effort-observed broadcast (single tx, no retx).
+  void send_to_all(sim::Message msg, std::vector<std::uint32_t> expected);
+
+  /// Receiver-side verdict for one incoming frame.
+  enum class RxAction {
+    kDeliver,     // fresh frame; host should process it
+    kDuplicate,   // already delivered once; host must drop it
+    kAckConsumed  // it was a kAck for this link; host must drop it
+  };
+
+  /// Routes one received frame through the ARQ layer: consumes kAck,
+  /// acknowledges + dedupes sequenced frames, passes best-effort frames
+  /// through untouched.
+  RxAction on_frame(const sim::Message& msg);
+
+  /// Outstanding (not yet fully acknowledged) reliable sends.
+  std::size_t in_flight() const noexcept { return pending_.size(); }
+
+ private:
+  struct Outstanding {
+    sim::Message msg;
+    std::vector<std::uint32_t> waiting;  // peers yet to acknowledge
+    std::uint32_t attempt = 0;
+    bool is_unicast = false;
+  };
+
+  void transmit(const Outstanding& o);
+  void arm_timer(std::uint32_t seq);
+  void on_timeout(std::uint32_t seq);
+  void on_ack(std::uint32_t from, std::uint32_t seq);
+  double timeout_for(std::uint32_t attempt);
+
+  sim::NodeProcess& host_;
+  ReliableLinkParams params_;
+  UnicastFn unicast_;
+  BroadcastFn broadcast_;
+  DeadPeerFn on_dead_peer_;
+  ArqStats* stats_ = nullptr;
+
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<std::uint32_t, Outstanding> pending_;
+  // Receiver-side duplicate suppression, keyed by sender. Sequence
+  // numbers are per-sender unique (one link per node), so a seen-set per
+  // peer is exact; bounded in practice by the sender's send count.
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      seen_;
+};
+
+}  // namespace decor::net

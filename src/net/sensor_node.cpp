@@ -5,6 +5,24 @@
 namespace decor::net {
 
 void SensorNode::on_start() {
+  if (params_.enable_arq) {
+    link_ = std::make_unique<ReliableLink>(*this, params_.arq);
+    link_->start(
+        [this](std::uint32_t dst, const sim::Message& msg) {
+          return unicast(dst, msg, params_.rc);
+        },
+        [this](const sim::Message& msg) { broadcast(msg, params_.rc); },
+        [this](std::uint32_t peer) {
+          // A peer that never acks within the retry budget is gone (or
+          // out of range for good): purge it and report the failure just
+          // like a heartbeat timeout — much faster, since the ARQ
+          // timeout is a fraction of the detector's silence threshold.
+          const auto entry = table_.get(peer);
+          table_.forget(peer);
+          if (entry) on_neighbor_failed(peer, entry->pos);
+        });
+    if (arq_stats_) link_->set_stats(arq_stats_);
+  }
   // Announce ourselves and ask established neighbors to introduce
   // themselves back — a freshly deployed replacement node must learn the
   // neighborhood it landed in.
@@ -33,6 +51,31 @@ void SensorNode::send_heartbeat() {
             params_.rc);
 }
 
+void SensorNode::send_reliable(std::uint32_t dst, sim::Message msg) {
+  msg.src = id();
+  if (link_) {
+    link_->send(dst, std::move(msg));
+    return;
+  }
+  // ARQ disabled: best effort, and a dead/out-of-range destination has
+  // no recovery path by construction.
+  (void)unicast(dst, msg, params_.rc);
+}
+
+void SensorNode::broadcast_reliable(sim::Message msg) {
+  msg.src = id();
+  if (link_) {
+    std::vector<std::uint32_t> expected;
+    for (const auto& [nid, entry] : table_.snapshot()) {
+      (void)entry;
+      expected.push_back(nid);
+    }
+    link_->send_to_all(std::move(msg), std::move(expected));
+    return;
+  }
+  broadcast(msg, params_.rc);
+}
+
 void SensorNode::observe(std::uint32_t from, geom::Point2 p) {
   const bool fresh = !table_.knows(from);
   table_.observe(from, p, world().sim().now());
@@ -41,18 +84,28 @@ void SensorNode::observe(std::uint32_t from, geom::Point2 p) {
 }
 
 void SensorNode::on_message(const sim::Message& msg) {
+  if (link_) {
+    switch (link_->on_frame(msg)) {
+      case ReliableLink::RxAction::kAckConsumed:
+      case ReliableLink::RxAction::kDuplicate:
+        return;
+      case ReliableLink::RxAction::kDeliver:
+        break;
+    }
+  }
   switch (msg.kind) {
     case kHello: {
       const auto& p = msg.as<HelloExtPayload>();
       observe(msg.src, p.pos);
       if (p.solicit_reply) {
         // Introduce ourselves to the newcomer only (unicast keeps the
-        // O(neighbors^2) hello storm away).
-        unicast(msg.src,
-                sim::Message::make(id(), kHello,
-                                   HelloExtPayload{pos(), false},
-                                   wire_size(kHello)),
-                params_.rc);
+        // O(neighbors^2) hello storm away). Best-effort on purpose: a
+        // lost reply is repaired by the next heartbeat.
+        (void)unicast(msg.src,
+                      sim::Message::make(id(), kHello,
+                                         HelloExtPayload{pos(), false},
+                                         wire_size(kHello)),
+                      params_.rc);
       }
       break;
     }

@@ -12,6 +12,7 @@
 #include "net/heartbeat.hpp"
 #include "net/messages.hpp"
 #include "net/neighbor_table.hpp"
+#include "net/reliable_link.hpp"
 #include "sim/node.hpp"
 
 namespace decor::net {
@@ -23,6 +24,11 @@ struct SensorNodeParams {
   /// Heartbeats can be disabled for pure-deployment runs to keep the
   /// event count down.
   bool enable_heartbeat = true;
+  /// ARQ layer for control-plane traffic (send_reliable /
+  /// broadcast_reliable). Disabling it turns those helpers into plain
+  /// fire-and-forget sends.
+  bool enable_arq = true;
+  ReliableLinkParams arq;
 };
 
 class SensorNode : public sim::NodeProcess {
@@ -34,6 +40,16 @@ class SensorNode : public sim::NodeProcess {
 
   const NeighborTable& neighbors() const noexcept { return table_; }
   const SensorNodeParams& params() const noexcept { return params_; }
+
+  /// The ARQ layer; null when enable_arq is false or before on_start.
+  ReliableLink* link() noexcept { return link_.get(); }
+
+  /// Routes ARQ accounting into a harness-owned sink (must outlive the
+  /// node); no-op when the ARQ layer is disabled.
+  void set_arq_stats(ArqStats* stats) noexcept {
+    arq_stats_ = stats;
+    if (link_) link_->set_stats(stats);
+  }
 
  protected:
   /// Non-core message kinds are forwarded here.
@@ -57,12 +73,25 @@ class SensorNode : public sim::NodeProcess {
   void send_hello(bool solicit_reply);
   void send_heartbeat();
 
+  /// Reliable unicast of a control message to `dst` (falls back to a
+  /// best-effort unicast when the ARQ layer is disabled).
+  void send_reliable(std::uint32_t dst, sim::Message msg);
+
+  /// Reliable broadcast of a control message: transmitted once, then
+  /// retransmitted until every *currently known* neighbor acknowledged.
+  /// Peers not yet in the table hear it best-effort (and learn missed
+  /// state through the protocols' own recovery paths).
+  void broadcast_reliable(sim::Message msg);
+
   SensorNodeParams params_;
   NeighborTable table_;
   std::unique_ptr<HeartbeatDetector> detector_;
+  std::unique_ptr<ReliableLink> link_;
 
  private:
   void observe(std::uint32_t id, geom::Point2 pos);
+
+  ArqStats* arq_stats_ = nullptr;
 };
 
 /// Hello payload with the solicited-reply flag (kept out of messages.hpp

@@ -52,4 +52,31 @@ void schedule_exponential_failures(World& world, double mean_lifetime,
   }
 }
 
+void schedule_node_kill(World& world, std::uint32_t id, Time at) {
+  world.sim().schedule_at(at, [&world, id] {
+    if (id < world.num_nodes() && world.alive(id)) world.kill(id);
+  });
+}
+
+void schedule_pick_kill(World& world, Time at,
+                        std::function<std::vector<std::uint32_t>()> pick) {
+  world.sim().schedule_at(at, [&world, pick = std::move(pick)] {
+    for (std::uint32_t id : pick()) {
+      if (id < world.num_nodes() && world.alive(id)) world.kill(id);
+    }
+  });
+}
+
+void schedule_churn(World& world, Time start, Time period,
+                    std::size_t waves, std::size_t per_wave,
+                    std::uint64_t seed) {
+  auto rng = std::make_shared<common::Rng>(seed);
+  for (std::size_t wave = 0; wave < waves; ++wave) {
+    const Time at = start + static_cast<double>(wave) * period;
+    world.sim().schedule_at(at, [&world, rng, per_wave] {
+      inject_random_failures_count(world, per_wave, *rng);
+    });
+  }
+}
+
 }  // namespace decor::sim

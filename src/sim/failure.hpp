@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -37,5 +38,24 @@ void schedule_area_failure(World& world, const geom::Disc& area, Time at);
 /// drawn from an exponential distribution with the given mean lifetime.
 void schedule_exponential_failures(World& world, double mean_lifetime,
                                    common::Rng& rng);
+
+/// Schedules the death of one specific node at simulation time `at`
+/// (no-op if it is already dead by then).
+void schedule_node_kill(World& world, std::uint32_t id, Time at);
+
+/// Schedules a targeted kill whose victims are chosen only when the
+/// event fires: `pick` returns the ids to kill given the then-current
+/// world (already-dead ids are skipped). This is how protocol-aware
+/// chaos — "kill whoever is leader at t" — is expressed without the
+/// failure layer knowing about protocols.
+void schedule_pick_kill(World& world, Time at,
+                        std::function<std::vector<std::uint32_t>()> pick);
+
+/// Mid-restoration churn: starting at `start`, kills `per_wave`
+/// uniformly random alive nodes every `period` seconds, `waves` times.
+/// Deterministic given `seed` (the wave RNG is self-contained).
+void schedule_churn(World& world, Time start, Time period,
+                    std::size_t waves, std::size_t per_wave,
+                    std::uint64_t seed);
 
 }  // namespace decor::sim

@@ -15,6 +15,10 @@ namespace decor::sim {
 struct Message {
   std::uint32_t src = 0;
   int kind = 0;
+  /// Link-layer sequence number; 0 means best-effort (no ARQ). Assigned
+  /// by net::ReliableLink for frames that expect an acknowledgement —
+  /// the simulator core never interprets it beyond carrying it.
+  std::uint32_t seq = 0;
   std::size_t size_bytes = 32;
   std::shared_ptr<const std::any> payload;
 

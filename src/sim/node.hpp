@@ -57,7 +57,8 @@ class NodeProcess {
 
   /// Sends to `dst` if it is alive and within `range`; returns false (and
   /// still pays the tx energy) otherwise — radio silence is not free.
-  bool unicast(std::uint32_t dst, Message msg, double range);
+  /// The verdict must be consumed (see Radio::unicast).
+  [[nodiscard]] bool unicast(std::uint32_t dst, Message msg, double range);
 
   /// Schedules `fn` after `delay`; the callback is suppressed if the node
   /// has died in the meantime.

@@ -1,5 +1,6 @@
 #include "sim/propagation.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -11,6 +12,45 @@ bool UnitDiscModel::received(geom::Point2 src, geom::Point2 dst,
                              double range, common::Rng& rng) const {
   (void)rng;
   return geom::distance_sq(src, dst) <= range * range;
+}
+
+GilbertElliottModel::GilbertElliottModel(double p_gb, double p_bg,
+                                         double loss_good, double loss_bad)
+    : p_gb_(p_gb), p_bg_(p_bg), loss_good_(loss_good), loss_bad_(loss_bad) {
+  DECOR_REQUIRE_MSG(p_gb >= 0.0 && p_gb <= 1.0, "p_gb must be in [0,1]");
+  DECOR_REQUIRE_MSG(p_bg > 0.0 && p_bg <= 1.0, "p_bg must be in (0,1]");
+  DECOR_REQUIRE_MSG(loss_good >= 0.0 && loss_good <= 1.0,
+                    "loss_good must be a probability");
+  DECOR_REQUIRE_MSG(loss_bad >= 0.0 && loss_bad <= 1.0,
+                    "loss_bad must be a probability");
+}
+
+GilbertElliottModel GilbertElliottModel::from_loss_and_burst(
+    double stationary_loss, double mean_burst_frames) {
+  DECOR_REQUIRE_MSG(stationary_loss >= 0.0 && stationary_loss < 1.0,
+                    "stationary loss must be in [0,1)");
+  DECOR_REQUIRE_MSG(mean_burst_frames >= 1.0,
+                    "mean burst length is at least one frame");
+  // With loss_good=0, loss_bad=1: loss = pi_bad = p_gb/(p_gb+p_bg) and
+  // mean burst = 1/p_bg, so p_bg = 1/burst and p_gb solves the ratio.
+  const double p_bg = 1.0 / mean_burst_frames;
+  const double p_gb = p_bg * stationary_loss / (1.0 - stationary_loss);
+  return GilbertElliottModel(std::min(p_gb, 1.0), p_bg, 0.0, 1.0);
+}
+
+double GilbertElliottModel::stationary_loss() const noexcept {
+  const double denom = p_gb_ + p_bg_;
+  const double pi_bad = denom > 0.0 ? p_gb_ / denom : 0.0;
+  return (1.0 - pi_bad) * loss_good_ + pi_bad * loss_bad_;
+}
+
+bool GilbertElliottModel::received(geom::Point2 src, geom::Point2 dst,
+                                   double range, common::Rng& rng) const {
+  if (geom::distance_sq(src, dst) > range * range) return false;
+  // One chain step per frame, then the frame faces the new state's loss.
+  bad_ = bad_ ? !rng.bernoulli(p_bg_) : rng.bernoulli(p_gb_);
+  const double loss = bad_ ? loss_bad_ : loss_good_;
+  return !rng.bernoulli(loss);
 }
 
 LogNormalShadowingModel::LogNormalShadowingModel(double path_loss_exponent,

@@ -40,6 +40,48 @@ class UnitDiscModel final : public PropagationModel {
   }
 };
 
+/// Gilbert–Elliott bursty loss over the unit disc: the channel is a
+/// two-state Markov chain (Good/Bad) stepped once per frame; a frame
+/// within range is lost with `loss_good` or `loss_bad` depending on the
+/// state after the step. The chain is channel-wide — it models
+/// time-correlated interference (weather, jamming, a passing vehicle)
+/// that hits every link at once, which is the burst structure i.i.d.
+/// loss cannot produce. Stationary loss rate (closed form, pinned by the
+/// unit test):
+///   pi_bad  = p_gb / (p_gb + p_bg)
+///   loss    = (1 - pi_bad) * loss_good + pi_bad * loss_bad
+/// The state is per-instance and mutates on received(): share one
+/// instance per World and never across concurrently running worlds.
+class GilbertElliottModel final : public PropagationModel {
+ public:
+  /// `p_gb` / `p_bg` are the per-frame Good->Bad / Bad->Good transition
+  /// probabilities; mean burst length is 1/p_bg frames.
+  GilbertElliottModel(double p_gb, double p_bg, double loss_good = 0.0,
+                      double loss_bad = 1.0);
+
+  /// Convenience: the classic (loss_good=0, loss_bad=1) channel with the
+  /// given stationary loss rate and mean burst length in frames.
+  static GilbertElliottModel from_loss_and_burst(double stationary_loss,
+                                                 double mean_burst_frames);
+
+  bool received(geom::Point2 src, geom::Point2 dst, double range,
+                common::Rng& rng) const override;
+  double max_range(double nominal_range) const override {
+    return nominal_range;
+  }
+
+  /// Long-run loss rate of the chain (closed form above).
+  double stationary_loss() const noexcept;
+  bool in_bad_state() const noexcept { return bad_; }
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  double loss_good_;
+  double loss_bad_;
+  mutable bool bad_ = false;
+};
+
 /// Log-normal shadowing: path loss grows as 10*eta*log10(d) dB plus a
 /// zero-mean Gaussian with `sigma_db` standard deviation, drawn per
 /// frame. The link budget is calibrated so that reception probability is

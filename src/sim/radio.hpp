@@ -44,9 +44,11 @@ class Radio {
   void broadcast(NodeProcess& src, const Message& msg, double range);
 
   /// Delivers to `dst` only; returns false if dst is dead or out of range
-  /// (tx energy is charged regardless).
-  bool unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
-               double range);
+  /// (tx energy is charged regardless). Callers must consume the verdict:
+  /// route the send through net::ReliableLink, handle the failure, or
+  /// discard explicitly with a comment saying why best-effort is safe.
+  [[nodiscard]] bool unicast(NodeProcess& src, std::uint32_t dst,
+                             const Message& msg, double range);
 
   std::uint64_t total_tx() const noexcept { return total_tx_; }
   std::uint64_t total_rx() const noexcept { return total_rx_; }

@@ -1,0 +1,226 @@
+// Chaos-injection campaign: adversarial radios (i.i.d. and bursty loss)
+// and scheduled failures (leader kills, churn waves) against both
+// protocol runners. The ARQ layer is what makes these pass — under 30%
+// loss the fire-and-forget stack silently desynchronizes cell state and
+// only the watchdog papers over it.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "decor/decor.hpp"
+#include "decor/voronoi_sim.hpp"
+#include "lds/random_points.hpp"
+#include "sim/propagation.hpp"
+
+namespace {
+
+using namespace decor;
+using core::GridSimHarness;
+using core::SimRunConfig;
+using core::VoronoiSimConfig;
+using core::VoronoiSimHarness;
+
+// Lattice deployment with `spacing` <= rc * sqrt(2): every field point
+// starts within communication range of the network, so nothing is
+// unreachable and any watchdog seeding would mean the protocol stalled.
+std::vector<geom::Point2> lattice_positions(double side, double spacing) {
+  std::vector<geom::Point2> out;
+  for (double x = spacing / 2.0; x < side; x += spacing) {
+    for (double y = spacing / 2.0; y < side; y += spacing) {
+      out.push_back({x, y});
+    }
+  }
+  return out;
+}
+
+// The standard 50x50 / k=2 scenario from the acceptance criteria.
+SimRunConfig grid50(std::uint64_t seed) {
+  SimRunConfig cfg;
+  cfg.params.field = geom::make_rect(0, 0, 50, 50);
+  cfg.params.num_points = 1250;
+  cfg.params.k = 2;
+  cfg.params.rs = 4.0;
+  cfg.params.rc = 8.0;
+  cfg.params.cell_side = 5.0;
+  cfg.seed = seed;
+  cfg.run_time = 600.0;
+  cfg.placement_interval = 0.2;
+  cfg.seed_check_interval = 2.0;
+  cfg.election = net::ElectionParams{10.0, 0.05, 0.01};
+  cfg.initial_positions = lattice_positions(50.0, 10.0);
+  return cfg;
+}
+
+VoronoiSimConfig voronoi50(std::uint64_t seed) {
+  VoronoiSimConfig cfg;
+  cfg.params.field = geom::make_rect(0, 0, 50, 50);
+  cfg.params.num_points = 1250;
+  cfg.params.k = 2;
+  cfg.params.rs = 4.0;
+  cfg.params.rc = 8.0;
+  cfg.seed = seed;
+  cfg.run_time = 600.0;
+  cfg.check_interval = 0.3;
+  cfg.stall_timeout = 10.0;
+  cfg.initial_positions = lattice_positions(50.0, 10.0);
+  return cfg;
+}
+
+// Small 20x20 / k=1 scenario for the failure-injection cases.
+SimRunConfig grid_small(std::uint64_t seed) {
+  SimRunConfig cfg;
+  cfg.params.field = geom::make_rect(0, 0, 20, 20);
+  cfg.params.num_points = 200;
+  cfg.params.k = 1;
+  cfg.params.rs = 4.0;
+  cfg.params.rc = 8.0;
+  cfg.params.cell_side = 5.0;
+  cfg.seed = seed;
+  cfg.run_time = 200.0;
+  cfg.placement_interval = 0.2;
+  cfg.seed_check_interval = 2.0;
+  cfg.election = net::ElectionParams{10.0, 0.05, 0.01};
+  common::Rng rng(seed);
+  cfg.initial_positions = lds::random_points(cfg.params.field, 10, rng);
+  return cfg;
+}
+
+VoronoiSimConfig voronoi_small(std::uint64_t seed) {
+  VoronoiSimConfig cfg;
+  cfg.params.field = geom::make_rect(0, 0, 20, 20);
+  cfg.params.num_points = 200;
+  cfg.params.k = 1;
+  cfg.params.rs = 4.0;
+  cfg.params.rc = 8.0;
+  cfg.seed = seed;
+  cfg.run_time = 300.0;
+  cfg.check_interval = 0.2;
+  cfg.stall_timeout = 5.0;
+  common::Rng rng(seed);
+  cfg.initial_positions = lds::random_points(cfg.params.field, 10, rng);
+  return cfg;
+}
+
+std::shared_ptr<const sim::GilbertElliottModel> bursty(double loss,
+                                                      double burst) {
+  return std::make_shared<sim::GilbertElliottModel>(
+      sim::GilbertElliottModel::from_loss_and_burst(loss, burst));
+}
+
+// --- lossy radios -----------------------------------------------------------
+
+TEST(GridChaos, ThirtyPercentIidLossReachesKTwoCoverage) {
+  auto cfg = grid50(11);
+  cfg.radio.loss_prob = 0.3;
+  const auto r = core::run_grid_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(r.metrics.at_least(2), 1.0);
+  // Losses really happened and the ARQ layer really worked around them.
+  EXPECT_GT(r.arq.retx, 0u);
+  EXPECT_GT(r.arq.acks_rx, 0u);
+}
+
+TEST(GridChaos, ThirtyPercentBurstyLossReachesKTwoCoverage) {
+  auto cfg = grid50(12);
+  cfg.radio.propagation = bursty(0.3, 8.0);
+  const auto r = core::run_grid_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(r.metrics.at_least(2), 1.0);
+  EXPECT_GT(r.arq.retx, 0u);
+}
+
+TEST(VoronoiChaos, ThirtyPercentIidLossConvergesWithoutWatchdogSeeding) {
+  auto cfg = voronoi50(13);
+  cfg.radio.loss_prob = 0.3;
+  const auto r = core::run_voronoi_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(r.metrics.at_least(2), 1.0);
+  // Every point was reachable from the start; a seeded node would mean
+  // the protocol stalled under loss and the robot bailed it out.
+  EXPECT_EQ(r.seeded_nodes, 0u);
+  EXPECT_GT(r.arq.retx, 0u);
+}
+
+TEST(VoronoiChaos, ThirtyPercentBurstyLossConvergesWithoutWatchdogSeeding) {
+  auto cfg = voronoi50(14);
+  cfg.radio.propagation = bursty(0.3, 8.0);
+  const auto r = core::run_voronoi_decor_sim(cfg);
+  EXPECT_TRUE(r.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(r.metrics.at_least(2), 1.0);
+  EXPECT_EQ(r.seeded_nodes, 0u);
+  EXPECT_GT(r.arq.retx, 0u);
+}
+
+// --- scheduled failures -----------------------------------------------------
+
+TEST(GridChaos, LeaderKilledMidPlacementReelectsAndFinishes) {
+  GridSimHarness harness(grid_small(15));
+  harness.schedule_leader_kill(2.0);
+  harness.schedule_leader_kill(5.0);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.reached_full_coverage);
+  EXPECT_DOUBLE_EQ(r.metrics.at_least(1), 1.0);
+}
+
+TEST(GridChaos, LeaderKillUnderBurstyLossStillConverges) {
+  auto cfg = grid_small(16);
+  cfg.radio.propagation = bursty(0.3, 8.0);
+  GridSimHarness harness(cfg);
+  harness.schedule_leader_kill(3.0);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+TEST(GridChaos, ChurnMidRestorationStillConverges) {
+  GridSimHarness harness(grid_small(17));
+  harness.schedule_random_kills(2.0, 2);
+  harness.schedule_random_kills(6.0, 2);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+TEST(VoronoiChaos, ChurnMidRestorationStillConverges) {
+  VoronoiSimHarness harness(voronoi_small(18));
+  harness.schedule_random_kills(2.0, 2);
+  harness.schedule_random_kills(6.0, 2);
+  const auto r = harness.run();
+  EXPECT_TRUE(r.reached_full_coverage);
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(Chaos, SeededLossyGridRunsAreByteDeterministic) {
+  auto mk = [] {
+    auto cfg = grid_small(19);
+    cfg.radio.propagation = bursty(0.3, 4.0);
+    return cfg;
+  };
+  const auto a = core::run_grid_decor_sim(mk());
+  const auto b = core::run_grid_decor_sim(mk());
+  EXPECT_EQ(a.placements, b.placements);
+  EXPECT_EQ(a.radio_tx, b.radio_tx);
+  EXPECT_EQ(a.radio_rx, b.radio_rx);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.arq.retx, b.arq.retx);
+  EXPECT_EQ(a.arq.acks_sent, b.arq.acks_sent);
+  EXPECT_EQ(a.arq.dup_drops, b.arq.dup_drops);
+  EXPECT_EQ(a.arq.gave_up, b.arq.gave_up);
+}
+
+TEST(Chaos, SeededLossyVoronoiRunsAreByteDeterministic) {
+  auto mk = [] {
+    auto cfg = voronoi_small(20);
+    cfg.radio.propagation = bursty(0.3, 4.0);
+    return cfg;
+  };
+  const auto a = core::run_voronoi_decor_sim(mk());
+  const auto b = core::run_voronoi_decor_sim(mk());
+  EXPECT_EQ(a.placements, b.placements);
+  EXPECT_EQ(a.radio_tx, b.radio_tx);
+  EXPECT_DOUBLE_EQ(a.finish_time, b.finish_time);
+  EXPECT_EQ(a.arq.retx, b.arq.retx);
+  EXPECT_EQ(a.arq.acks_sent, b.arq.acks_sent);
+}
+
+}  // namespace

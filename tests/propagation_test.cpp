@@ -75,6 +75,76 @@ TEST(Shadowing, InvalidParamsRejected) {
   EXPECT_THROW(LogNormalShadowingModel(3.0, -1.0), common::RequireError);
 }
 
+// --- Gilbert–Elliott --------------------------------------------------------
+
+TEST(GilbertElliott, FromLossAndBurstMatchesRequestedStationaryLoss) {
+  for (double loss : {0.05, 0.1, 0.3, 0.5}) {
+    for (double burst : {1.5, 4.0, 16.0}) {
+      const auto model = GilbertElliottModel::from_loss_and_burst(loss, burst);
+      EXPECT_NEAR(model.stationary_loss(), loss, 1e-12)
+          << "loss=" << loss << " burst=" << burst;
+    }
+  }
+}
+
+TEST(GilbertElliott, EmpiricalLossMatchesClosedForm) {
+  // The chain's long-run loss rate must match the closed form
+  // pi_bad * loss_bad + (1 - pi_bad) * loss_good within Monte-Carlo
+  // tolerance. Bursty losses are positively correlated, so the effective
+  // sample count is ~n/burst; the tolerance accounts for that.
+  const GilbertElliottModel model(0.08, 0.25, 0.02, 0.9);
+  common::Rng rng(21);
+  const int n = 200000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i) {
+    lost += model.received({0, 0}, {4, 0}, 8.0, rng) ? 0 : 1;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, model.stationary_loss(), 0.01);
+}
+
+TEST(GilbertElliott, LossesAreBursty) {
+  // Mean run length of consecutive losses must track the configured mean
+  // burst length (1/p_bg for the classic loss_bad=1 channel), far above
+  // the i.i.d. value 1/(1-loss).
+  const auto model = GilbertElliottModel::from_loss_and_burst(0.3, 8.0);
+  common::Rng rng(22);
+  int runs = 0, lost_frames = 0;
+  bool in_run = false;
+  for (int i = 0; i < 200000; ++i) {
+    const bool ok = model.received({0, 0}, {4, 0}, 8.0, rng);
+    if (!ok) {
+      ++lost_frames;
+      if (!in_run) ++runs;
+      in_run = true;
+    } else {
+      in_run = false;
+    }
+  }
+  ASSERT_GT(runs, 0);
+  const double mean_burst = static_cast<double>(lost_frames) / runs;
+  EXPECT_GT(mean_burst, 6.0);
+  EXPECT_LT(mean_burst, 10.0);
+}
+
+TEST(GilbertElliott, OutOfRangeFramesNeverArrive) {
+  const GilbertElliottModel model(0.0, 1.0);  // never leaves Good
+  common::Rng rng(23);
+  EXPECT_TRUE(model.received({0, 0}, {8, 0}, 8.0, rng));
+  EXPECT_FALSE(model.received({0, 0}, {8.01, 0}, 8.0, rng));
+  EXPECT_DOUBLE_EQ(model.max_range(8.0), 8.0);
+}
+
+TEST(GilbertElliott, InvalidParamsRejected) {
+  EXPECT_THROW(GilbertElliottModel(-0.1, 0.5), common::RequireError);
+  EXPECT_THROW(GilbertElliottModel(0.5, 1.5), common::RequireError);
+  EXPECT_THROW(GilbertElliottModel(0.1, 0.5, -0.2, 1.0),
+               common::RequireError);
+  EXPECT_THROW(GilbertElliottModel::from_loss_and_burst(1.0, 4.0),
+               common::RequireError);
+  EXPECT_THROW(GilbertElliottModel::from_loss_and_burst(0.3, 0.5),
+               common::RequireError);
+}
+
 // --- radio integration ------------------------------------------------------
 
 class Probe : public NodeProcess {

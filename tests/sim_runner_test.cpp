@@ -134,11 +134,13 @@ TEST(SimRunner, NewLeadersQueryNeighborsOnce) {
 TEST(SimRunner, RadioTrafficScalesReasonably) {
   const auto result = core::run_grid_decor_sim(small_config(1, 7));
   // Heartbeats dominate: total tx must stay within a small multiple of
-  // nodes * sim-seconds (no broadcast storms).
+  // nodes * sim-seconds (no broadcast storms). The constant term absorbs
+  // the per-control-message ARQ acks (one per hearing neighbor), which
+  // scale with placements, not with runtime.
   const double node_seconds =
       static_cast<double>(result.initial_nodes + result.placed_nodes) *
       result.finish_time;
-  EXPECT_LT(static_cast<double>(result.radio_tx), 3.0 * node_seconds + 500.0);
+  EXPECT_LT(static_cast<double>(result.radio_tx), 3.0 * node_seconds + 800.0);
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 // paper-default so bare invocations work.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@
 #include "lds/discrepancy.hpp"
 #include "lds/hammersley.hpp"
 #include "net/peas.hpp"
+#include "sim/propagation.hpp"
 
 namespace {
 
@@ -234,14 +236,35 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   const auto trace_cap =
       static_cast<std::size_t>(opts.get_int("trace-cap", 0));
   const std::string trace_jsonl = opts.get("trace-jsonl", "");
+  // Chaos knobs: --loss (frame loss probability), --burst (mean loss-run
+  // length; > 1 switches from i.i.d. loss to a Gilbert–Elliott bursty
+  // channel), --kill-leader-at (grid only: kill the acting cell leader at
+  // that simulated time).
+  const double loss = opts.get_double("loss", 0.0);
+  const double burst = opts.get_double("burst", 0.0);
+  sim::RadioParams radio;
+  if (burst > 1.0) {
+    radio.propagation = std::make_shared<sim::GilbertElliottModel>(
+        sim::GilbertElliottModel::from_loss_and_burst(loss, burst));
+  } else {
+    radio.loss_prob = loss;
+  }
+  const double kill_leader_at = opts.get_double("kill-leader-at", -1.0);
   const std::string s = opts.get("scheme", "grid");
   rep.add("scheme", s);
+  rep.add("loss", loss);
+  rep.add("burst", burst);
   if (s == "voronoi") {
+    if (kill_leader_at >= 0.0) {
+      std::cerr << "warning: --kill-leader-at ignored (the voronoi "
+                   "scheme is leaderless)\n";
+    }
     core::VoronoiSimConfig cfg;
     cfg.params = params;
     cfg.initial_positions = initial;
     cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
     cfg.run_time = run_time;
+    cfg.radio = radio;
     cfg.trace = trace;
     cfg.trace_capacity = trace_cap;
     cfg.trace_jsonl = trace_jsonl;
@@ -249,13 +272,16 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
               << r.seeded_nodes << " seeded), covered="
               << (r.reached_full_coverage ? "yes" : "no") << " at t="
-              << r.finish_time << "s, radio tx=" << r.radio_tx << "\n";
+              << r.finish_time << "s, radio tx=" << r.radio_tx
+              << ", arq retx=" << r.arq.retx << "\n";
     rep.add("placed_nodes", static_cast<std::uint64_t>(r.placed_nodes));
     rep.add("seeded_nodes", static_cast<std::uint64_t>(r.seeded_nodes));
     rep.add("full_coverage", r.reached_full_coverage);
     rep.add("finish_time", r.finish_time);
     rep.add("radio_tx", r.radio_tx);
     rep.add("radio_rx", r.radio_rx);
+    rep.add("arq_retx", r.arq.retx);
+    rep.add("arq_gave_up", r.arq.gave_up);
     return r.reached_full_coverage ? 0 : 2;
   }
   core::SimRunConfig cfg;
@@ -263,18 +289,24 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   cfg.initial_positions = initial;
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   cfg.run_time = run_time;
+  cfg.radio = radio;
   cfg.trace = trace;
   cfg.trace_capacity = trace_cap;
   cfg.trace_jsonl = trace_jsonl;
-  const auto r = core::run_grid_decor_sim(cfg);
+  core::GridSimHarness harness(cfg);
+  if (kill_leader_at >= 0.0) harness.schedule_leader_kill(kill_leader_at);
+  const auto r = harness.run();
   std::cout << "grid sim: placed " << r.placed_nodes << ", covered="
             << (r.reached_full_coverage ? "yes" : "no") << " at t="
-            << r.finish_time << "s, radio tx=" << r.radio_tx << "\n";
+            << r.finish_time << "s, radio tx=" << r.radio_tx
+            << ", arq retx=" << r.arq.retx << "\n";
   rep.add("placed_nodes", static_cast<std::uint64_t>(r.placed_nodes));
   rep.add("full_coverage", r.reached_full_coverage);
   rep.add("finish_time", r.finish_time);
   rep.add("radio_tx", r.radio_tx);
   rep.add("radio_rx", r.radio_rx);
+  rep.add("arq_retx", r.arq.retx);
+  rep.add("arq_gave_up", r.arq.gave_up);
   return r.reached_full_coverage ? 0 : 2;
 }
 
@@ -415,7 +447,9 @@ void usage() {
       "--cell --point-kind\n"
       "telemetry: --json[=path] writes a decor.cli.v1 report (metrics "
       "snapshot included);\n"
-      "  sim also takes --trace --trace-cap=N --trace-jsonl=path\n";
+      "  sim also takes --trace --trace-cap=N --trace-jsonl=path\n"
+      "  sim chaos knobs: --loss=P --burst=B (B>1 = bursty channel)\n"
+      "                   --kill-leader-at=T (grid scheme only)\n";
 }
 
 }  // namespace
