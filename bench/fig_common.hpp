@@ -19,6 +19,7 @@
 #include "common/metrics.hpp"
 #include "common/options.hpp"
 #include "common/parallel.hpp"
+#include "common/provenance.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "decor/decor.hpp"
@@ -125,7 +126,7 @@ struct NamedTable {
 };
 
 /// Writes the machine-readable report for one figure run:
-///   {"schema":"decor.bench.v1","figure":...,"setup":{...},
+///   {"schema":"decor.bench.v1","figure":...,"meta":{...},"setup":{...},
 ///    "tables":{name: <series-table v1>...},"metrics":{...}}
 /// The whole document is rendered with the round-trippable formatter and
 /// integer-only metrics, so a fixed seed yields byte-identical files
@@ -142,6 +143,8 @@ inline bool write_json_report(const std::string& path,
   w.value("decor.bench.v1");
   w.key("figure");
   w.value(figure);
+  w.key("meta");
+  common::write_provenance(w);
   w.key("setup");
   w.begin_object();
   w.key("trials");

@@ -3,6 +3,7 @@
 
 #include <array>
 
+#include "common/profile.hpp"
 #include "lds/random_points.hpp"
 #include "net/sensor_node.hpp"
 #include "sim/node.hpp"
@@ -96,5 +97,33 @@ void BM_HeartbeatNetworkSecond(benchmark::State& state) {
       static_cast<std::int64_t>(world.radio().total_rx()));
 }
 BENCHMARK(BM_HeartbeatNetworkSecond);
+
+void BM_ProfileScopeDisabled(benchmark::State& state) {
+  // The disabled-profiling contract: constructing a ProfileScope must
+  // cost one relaxed atomic load (plus a null check in the destructor) so
+  // instrumented hot paths are free when --profile is off. Compare with
+  // BM_ProfileScopeEnabled to see the clock-read cost profiling adds.
+  common::set_profiling_enabled(false);
+  auto& hist = common::profile_histogram("profile.bench.scope_us");
+  for (auto _ : state) {
+    common::ProfileScope scope(hist);
+    benchmark::DoNotOptimize(&scope);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfileScopeDisabled);
+
+void BM_ProfileScopeEnabled(benchmark::State& state) {
+  common::set_profiling_enabled(true);
+  auto& hist = common::profile_histogram("profile.bench.scope_us");
+  for (auto _ : state) {
+    common::ProfileScope scope(hist);
+    benchmark::DoNotOptimize(&scope);
+  }
+  common::set_profiling_enabled(false);
+  common::metrics().enable(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfileScopeEnabled);
 
 }  // namespace

@@ -1,0 +1,22 @@
+#include "common/profile.hpp"
+
+namespace decor::common {
+
+namespace detail {
+std::atomic<bool> g_profiling_enabled{false};
+}  // namespace detail
+
+void set_profiling_enabled(bool on) noexcept {
+  detail::g_profiling_enabled.store(on, std::memory_order_relaxed);
+  // Timing samples only reach a histogram through the registry, and the
+  // registry drops observations while metrics are off; profiling implies
+  // collection so a bare --profile run still produces data.
+  if (on) metrics().enable(true);
+}
+
+Histogram& profile_histogram(const std::string& name) {
+  return metrics().histogram(
+      name, {1.0, 10.0, 50.0, 100.0, 500.0, 1e3, 5e3, 1e4, 1e5, 1e6});
+}
+
+}  // namespace decor::common

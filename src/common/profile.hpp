@@ -1,0 +1,61 @@
+// RAII wall-clock scope timers feeding the metrics histograms.
+//
+// Protocol runs are dominated by a handful of hot paths (BenefitIndex
+// maintenance, Voronoi ownership rebuilds, the event-queue drain); a
+// ProfileScope placed there records the elapsed microseconds into a named
+// histogram of the metrics registry, so one --profile run shows where the
+// time went without a external profiler. Profiling has its own enable
+// switch, separate from the metrics switch: wall-clock samples are
+// inherently nondeterministic, and folding them into the default metrics
+// snapshot would break the byte-identical --json guarantee the bench
+// harness relies on. When profiling is off a scope costs exactly one
+// relaxed atomic load and a null check — cheap enough for any hot path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "common/metrics.hpp"
+
+namespace decor::common {
+
+namespace detail {
+extern std::atomic<bool> g_profiling_enabled;
+}  // namespace detail
+
+/// Global profiling switch; off by default (independent of metrics —
+/// see the header comment for why timing samples are opt-in).
+inline bool profiling_enabled() noexcept {
+  return detail::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+void set_profiling_enabled(bool on) noexcept;
+
+/// Microsecond-bucket histogram for scope timings (1us .. 1s edges);
+/// same stable-handle contract as MetricsRegistry::histogram.
+Histogram& profile_histogram(const std::string& name);
+
+/// Times the enclosing scope into `hist` (microseconds) when profiling is
+/// enabled. Construction while disabled is one relaxed atomic load.
+class ProfileScope {
+ public:
+  explicit ProfileScope(Histogram& hist) noexcept
+      : hist_(profiling_enabled() ? &hist : nullptr) {
+    if (hist_) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ProfileScope() {
+    if (!hist_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_->observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace decor::common

@@ -1,0 +1,45 @@
+#include "common/provenance.hpp"
+
+#include "common/json.hpp"
+
+#ifndef DECOR_GIT_SHA
+#define DECOR_GIT_SHA "unknown"
+#endif
+#ifndef DECOR_BUILD_TYPE
+#define DECOR_BUILD_TYPE "unknown"
+#endif
+
+namespace decor::common {
+
+namespace {
+
+const char* compiler_string() noexcept {
+#if defined(__clang__)
+  return "Clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "GNU " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+const char* build_git_sha() noexcept { return DECOR_GIT_SHA; }
+
+const char* build_type() noexcept { return DECOR_BUILD_TYPE; }
+
+const char* build_compiler() noexcept { return compiler_string(); }
+
+void write_provenance(JsonWriter& w) {
+  w.begin_object();
+  w.key("git_sha");
+  w.value(build_git_sha());
+  w.key("build_type");
+  w.value(build_type());
+  w.key("compiler");
+  w.value(build_compiler());
+  w.end_object();
+}
+
+}  // namespace decor::common

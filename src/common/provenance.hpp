@@ -1,0 +1,28 @@
+// Build provenance for machine-readable artifacts.
+//
+// Every decor.bench.v1 / decor.cli.v1 document carries a `meta` object
+// (git SHA, build type, compiler) so a JSON file found on disk months
+// later can be traced back to the exact tree and toolchain that produced
+// it. The values are baked in at configure/compile time — querying git at
+// runtime would make artifacts depend on the invocation directory.
+#pragma once
+
+namespace decor::common {
+
+class JsonWriter;
+
+/// Abbreviated git commit SHA of the source tree at configure time
+/// ("unknown" outside a git checkout).
+const char* build_git_sha() noexcept;
+
+/// CMake build type ("RelWithDebInfo", "Debug", ...).
+const char* build_type() noexcept;
+
+/// Compiler id and version ("GNU 12.2.0", "Clang 16.0.6", ...).
+const char* build_compiler() noexcept;
+
+/// Writes {"git_sha":...,"build_type":...,"compiler":...} as the value
+/// at the writer's current position (callers emit the "meta" key).
+void write_provenance(JsonWriter& w);
+
+}  // namespace decor::common

@@ -4,6 +4,7 @@
 
 #include "common/metrics.hpp"
 #include "common/parallel.hpp"
+#include "common/profile.hpp"
 #include "common/require.hpp"
 
 namespace decor::coverage {
@@ -24,6 +25,16 @@ common::Counter& stale_pop_counter() {
 common::Counter& rebuild_counter() {
   static common::Counter& c = common::metrics().counter("benefit.rebuilds");
   return c;
+}
+common::Histogram& rebuild_hist() {
+  static common::Histogram& h =
+      common::profile_histogram("profile.benefit.rebuild_us");
+  return h;
+}
+common::Histogram& delta_sweep_hist() {
+  static common::Histogram& h =
+      common::profile_histogram("profile.benefit.delta_sweep_us");
+  return h;
 }
 
 }  // namespace
@@ -119,6 +130,7 @@ std::uint64_t BenefitIndex::recompute_one(std::size_t point_id) const {
 }
 
 void BenefitIndex::rebuild(std::size_t threads) {
+  common::ProfileScope profile(rebuild_hist());
   rebuild_counter().inc();
   // Thread spawn costs more than the whole rebuild on small fields; run
   // inline below ~1M point-pair visits. Same results either way (each
@@ -181,6 +193,7 @@ void BenefitIndex::apply_deficit_delta(std::size_t q,
 void BenefitIndex::add_disc(geom::Point2 pos, double radius,
                             std::uint32_t mult) {
   if (mult == 0) return;
+  common::ProfileScope profile(delta_sweep_hist());
   delta_sweep_counter().inc();
   ++epoch_;
   index_->for_each_in_disc(pos, radius, [&](std::size_t q) {
@@ -194,6 +207,7 @@ void BenefitIndex::add_disc(geom::Point2 pos, double radius,
 void BenefitIndex::remove_disc(geom::Point2 pos, double radius,
                                std::uint32_t mult) {
   if (mult == 0) return;
+  common::ProfileScope profile(delta_sweep_hist());
   delta_sweep_counter().inc();
   ++epoch_;
   index_->for_each_in_disc(pos, radius, [&](std::size_t q) {

@@ -13,6 +13,7 @@
 #include "decor/point_field.hpp"
 #include "net/leader_election.hpp"
 #include "net/messages.hpp"
+#include "sim/flight_recorder.hpp"
 
 namespace decor::core {
 
@@ -395,8 +396,17 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.trace_capacity > 0) {
     world_->trace().set_capacity(cfg_.trace_capacity);
   }
-  if (!cfg_.trace_jsonl.empty()) world_->trace().open_jsonl(cfg_.trace_jsonl);
+  if (!cfg_.trace_jsonl.empty()) {
+    // An unopenable sink is a fatal misconfiguration: silently running
+    // without the dump the caller asked for wastes the whole run.
+    DECOR_REQUIRE_MSG(world_->trace().open_jsonl(cfg_.trace_jsonl),
+                      "cannot open trace JSONL sink: " + cfg_.trace_jsonl);
+  }
   if (cfg_.trace || !cfg_.trace_jsonl.empty()) world_->trace().enable(true);
+  if (!cfg_.timeline_jsonl.empty()) {
+    DECOR_REQUIRE_MSG(timeline_.open_jsonl(cfg_.timeline_jsonl),
+                      "cannot open timeline JSONL sink: " + cfg_.timeline_jsonl);
+  }
   common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
   map_ = std::make_unique<coverage::CoverageMap>(
       p.field, make_points(p, point_rng), p.rs);
@@ -448,11 +458,52 @@ void GridSimHarness::schedule_random_kills(double at, std::size_t count) {
   });
 }
 
+sim::TimelineSample GridSimHarness::sample_timeline() {
+  sim::TimelineSample s;
+  s.t = world_->sim().now();
+  s.covered_fraction = map_->fraction_covered(cfg_.params.k);
+  s.uncovered_points = static_cast<std::uint64_t>(
+      map_->num_points() - map_->num_covered(cfg_.params.k));
+  s.alive_nodes = world_->alive_count();
+  std::uint64_t in_flight = 0;
+  for (std::uint32_t id : world_->alive_ids()) {
+    if (auto* sn = dynamic_cast<net::SensorNode*>(&world_->node(id))) {
+      if (auto* l = sn->link()) in_flight += l->in_flight();
+    }
+  }
+  s.arq_in_flight = in_flight;
+  std::string leaders;
+  for (const auto& [cell, id] : shared_->cell_leader) {
+    if (!world_->alive(id)) continue;
+    if (!leaders.empty()) leaders += ' ';
+    leaders += std::to_string(cell);
+    leaders += ':';
+    leaders += std::to_string(id);
+  }
+  s.leaders = std::move(leaders);
+  return s;
+}
+
+void GridSimHarness::dump_flight_bundle(const std::string& reason,
+                                        const std::string& detail) {
+  sim::FlightBundleInfo info;
+  info.reason = reason;
+  info.sim_time = world_->sim().now();
+  info.scheme = "grid";
+  info.detail = detail;
+  sim::write_flight_bundle(cfg_.flight_dir, info, world_->trace(),
+                           &timeline_);
+}
+
 SimRunResult GridSimHarness::run() {
   if (!initial_deployed_) {
     for (const auto& pos : cfg_.initial_positions) spawn_node(pos);
     initial_nodes_ = cfg_.initial_positions.size();
     initial_deployed_ = true;
+  }
+  if (cfg_.timeline_interval > 0.0 && !timeline_.active()) {
+    timeline_.start(world_->sim(), cfg_.timeline_interval,
+                    [this] { return sample_timeline(); });
   }
 
   SimRunResult result;
@@ -475,16 +526,36 @@ SimRunResult GridSimHarness::run() {
     if (map_->fully_covered(cfg_.params.k)) {
       state->covered = true;
       state->finish_time = world_->sim().now();
+      // The milestone lands in the trace so a dump alone (without the
+      // harness result) still yields the convergence time, and on the
+      // timeline so its convergence query sees a zero-uncovered sample.
+      world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
+                             0, "converged");
+      if (timeline_.active()) timeline_.sample_once();
       world_->sim().stop();
       return;
     }
     if (auto self = weak_poll.lock()) world_->sim().schedule(0.5, *self);
   };
   world_->sim().schedule(0.5, *poll);
-  world_->sim().run_until(cfg_.run_time);
+  try {
+    world_->sim().run_until(cfg_.run_time);
+  } catch (const std::exception& e) {
+    // Best-effort post-mortem before the error propagates: the in-memory
+    // trace/timeline/metrics are exactly what debugging needs.
+    if (!cfg_.flight_dir.empty()) dump_flight_bundle("exception", e.what());
+    throw;
+  }
 
   result.reached_full_coverage =
       state->covered || map_->fully_covered(cfg_.params.k);
+  if (!cfg_.flight_dir.empty() && !result.reached_full_coverage) {
+    dump_flight_bundle(
+        "non-convergence",
+        std::to_string(map_->num_points() -
+                       map_->num_covered(cfg_.params.k)) +
+            " points below k-coverage at run_time");
+  }
   result.finish_time = state->finish_time;
   result.placed_nodes = placements_.size();
   result.placements = placements_;

@@ -21,6 +21,7 @@
 #include "geometry/grid_partition.hpp"
 #include "net/leader_election.hpp"
 #include "net/sensor_node.hpp"
+#include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
 namespace decor::core {
@@ -57,6 +58,17 @@ struct SimRunConfig {
   bool trace = false;
   std::size_t trace_capacity = 0;
   std::string trace_jsonl;
+
+  /// Convergence timeline: sample coverage/liveness/ARQ state every
+  /// `timeline_interval` sim-seconds (0 = no timeline), optionally
+  /// streaming decor.timeline.v1 lines to `timeline_jsonl`.
+  double timeline_interval = 0.0;
+  std::string timeline_jsonl;
+
+  /// Flight recorder: when set, a run that ends without full coverage (or
+  /// aborts on an exception) dumps trace/timeline/metrics into this
+  /// directory (see sim/flight_recorder.hpp for the bundle layout).
+  std::string flight_dir;
 };
 
 struct SimRunResult {
@@ -87,6 +99,8 @@ class GridSimHarness {
 
   sim::World& world() noexcept { return *world_; }
   coverage::CoverageMap& map() noexcept { return *map_; }
+  /// The convergence timeline (empty unless cfg.timeline_interval > 0).
+  sim::Timeline& timeline() noexcept { return timeline_; }
   const geom::GridPartition& partition() const noexcept;
 
   /// Spawns a DECOR node at `pos` (used for initial deployment and by
@@ -110,10 +124,15 @@ class GridSimHarness {
   SimRunResult run();
 
  private:
+  sim::TimelineSample sample_timeline();
+  void dump_flight_bundle(const std::string& reason,
+                          const std::string& detail);
+
   SimRunConfig cfg_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;
+  sim::Timeline timeline_;
   std::vector<geom::Point2> placements_;
   std::size_t initial_nodes_ = 0;
   bool initial_deployed_ = false;

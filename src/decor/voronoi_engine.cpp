@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/profile.hpp"
 #include "common/require.hpp"
 #include "coverage/benefit_index.hpp"
 
@@ -15,6 +16,12 @@ namespace decor::core {
 namespace {
 
 constexpr std::int64_t kNoOwner = coverage::BenefitIndex::kNoOwner;
+
+common::Histogram& ownership_hist() {
+  static common::Histogram& h =
+      common::profile_histogram("profile.voronoi.build_ownership_us");
+  return h;
+}
 
 class VoronoiEngine {
  public:
@@ -48,6 +55,7 @@ class VoronoiEngine {
 };
 
 void VoronoiEngine::build_ownership() {
+  common::ProfileScope profile(ownership_hist());
   const auto& index = field_.map.index();
   std::vector<std::int64_t> owners(index.size(), kNoOwner);
   for (std::size_t pid = 0; pid < index.size(); ++pid) {

@@ -22,6 +22,7 @@
 #include "coverage/metrics.hpp"
 #include "decor/params.hpp"
 #include "net/sensor_node.hpp"
+#include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
 namespace decor::core {
@@ -56,6 +57,17 @@ struct VoronoiSimConfig {
   bool trace = false;
   std::size_t trace_capacity = 0;
   std::string trace_jsonl;
+
+  /// Convergence timeline: sample coverage/liveness/ARQ state every
+  /// `timeline_interval` sim-seconds (0 = no timeline), optionally
+  /// streaming decor.timeline.v1 lines to `timeline_jsonl`.
+  double timeline_interval = 0.0;
+  std::string timeline_jsonl;
+
+  /// Flight recorder: when set, a run that ends without full coverage,
+  /// needs the watchdog, or aborts on an exception dumps trace/timeline/
+  /// metrics into this directory (see sim/flight_recorder.hpp).
+  std::string flight_dir;
 };
 
 struct VoronoiSimResult {
@@ -85,6 +97,8 @@ class VoronoiSimHarness {
 
   sim::World& world() noexcept { return *world_; }
   coverage::CoverageMap& map() noexcept { return *map_; }
+  /// The convergence timeline (empty unless cfg.timeline_interval > 0).
+  sim::Timeline& timeline() noexcept { return timeline_; }
 
   std::uint32_t spawn_node(geom::Point2 pos);
   void kill_node(std::uint32_t id);
@@ -99,11 +113,15 @@ class VoronoiSimHarness {
 
  private:
   void watchdog_seed();
+  sim::TimelineSample sample_timeline();
+  void dump_flight_bundle(const std::string& reason,
+                          const std::string& detail);
 
   VoronoiSimConfig cfg_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;
+  sim::Timeline timeline_;
   std::vector<geom::Point2> placements_;
   std::size_t seeded_ = 0;
   std::size_t initial_nodes_ = 0;

@@ -16,11 +16,10 @@ std::uint32_t Flooder::originate(double value, geom::Point2 pos) {
   FloodPayload payload{host_.id(), seq, 0, value, pos};
   seen_before(host_.id(), seq);  // never re-forward our own flood
   if (deliver_) deliver_(payload);
-  host_.world().radio().broadcast(
-      host_,
-      sim::Message::make(host_.id(), msg_kind_, payload,
-                         wire_size(kReport)),
-      range_);
+  sim::Message m = sim::Message::make(host_.id(), msg_kind_, payload,
+                                      wire_size(kReport));
+  m.trace_id = host_.world().mint_trace_id();
+  host_.world().radio().broadcast(host_, m, range_);
   ++forwarded_;
   return seq;
 }
@@ -34,11 +33,12 @@ void Flooder::on_message(const sim::Message& msg) {
   }
   if (deliver_) deliver_(payload);
   ++payload.hops;
-  host_.world().radio().broadcast(
-      host_,
-      sim::Message::make(host_.id(), msg_kind_, payload,
-                         wire_size(kReport)),
-      range_);
+  // A forwarded flood frame is a later hop of the origin's exchange:
+  // it keeps the origin's causality id instead of minting a new one.
+  sim::Message fwd = sim::Message::make(host_.id(), msg_kind_, payload,
+                                        wire_size(kReport));
+  fwd.trace_id = msg.trace_id;
+  host_.world().radio().broadcast(host_, fwd, range_);
   ++forwarded_;
 }
 

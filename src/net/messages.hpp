@@ -67,6 +67,32 @@ struct AckPayload {
   std::uint32_t seq = 0;
 };
 
+/// Stable lowercase name of a protocol kind ("hello", "ack", ...), used
+/// by trace exports and reports; unknown kinds return nullptr.
+inline const char* msg_kind_name(int kind) noexcept {
+  switch (kind) {
+    case kHello:
+      return "hello";
+    case kHeartbeat:
+      return "heartbeat";
+    case kElect:
+      return "elect";
+    case kLeader:
+      return "leader";
+    case kPlacement:
+      return "placement";
+    case kCoverageQuery:
+      return "coverage_query";
+    case kCoverageReply:
+      return "coverage_reply";
+    case kReport:
+      return "report";
+    case kAck:
+      return "ack";
+  }
+  return nullptr;
+}
+
 /// Nominal wire sizes (bytes) used by the energy model; roughly two floats
 /// of position plus headers, matching mote-class packet sizes.
 inline std::size_t wire_size(MsgKind kind) {

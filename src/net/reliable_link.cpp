@@ -61,6 +61,10 @@ double ReliableLink::timeout_for(std::uint32_t attempt) {
 void ReliableLink::send(std::uint32_t dst, sim::Message msg) {
   const std::uint32_t seq = next_seq_++;
   msg.seq = seq;
+  // Mint the causality id before the frame is stored: every
+  // retransmission replays the stored copy, so the whole exchange
+  // (send, retransmits, acks) shares one trace_id.
+  if (msg.trace_id == 0) msg.trace_id = host_.world().mint_trace_id();
   Outstanding o;
   o.msg = msg;
   o.waiting = {dst};
@@ -75,6 +79,7 @@ void ReliableLink::send_to_all(sim::Message msg,
                                std::vector<std::uint32_t> expected) {
   const std::uint32_t seq = next_seq_++;
   msg.seq = seq;
+  if (msg.trace_id == 0) msg.trace_id = host_.world().mint_trace_id();
   // A peer cannot ack itself; drop self-entries defensively.
   std::erase(expected, host_.id());
   Outstanding o;
@@ -149,9 +154,13 @@ ReliableLink::RxAction ReliableLink::on_frame(const sim::Message& msg) {
   }
   if (msg.seq == 0) return RxAction::kDeliver;  // best-effort frame
   // Always acknowledge — the previous ack may have been the lost frame.
-  (void)unicast_(msg.src, sim::Message::make(host_.id(), kAck,
-                                             AckPayload{msg.seq},
-                                             wire_size(kAck)));
+  // The ack inherits the frame's causality id: it is the return leg of
+  // the same exchange, not a new one.
+  sim::Message ack = sim::Message::make(host_.id(), kAck,
+                                        AckPayload{msg.seq},
+                                        wire_size(kAck));
+  ack.trace_id = msg.trace_id;
+  (void)unicast_(msg.src, ack);
   if (stats_) ++stats_->acks_sent;
   if (!seen_[msg.src].insert(msg.seq).second) {
     if (stats_) ++stats_->dup_drops;

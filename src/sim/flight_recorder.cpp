@@ -1,0 +1,99 @@
+#include "sim/flight_recorder.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/metrics.hpp"
+#include "common/provenance.hpp"
+#include "sim/timeline.hpp"
+#include "sim/trace.hpp"
+
+namespace decor::sim {
+
+namespace {
+
+bool open_for_write(const std::filesystem::path& path, std::ofstream& out) {
+  out.open(path);
+  if (!out.is_open()) {
+    DECOR_LOG_ERROR("flight recorder: cannot write " << path.string());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
+                         const Trace& trace, const Timeline* timeline) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    DECOR_LOG_ERROR("flight recorder: cannot create bundle dir " << dir << ": "
+                                                                 << ec.message());
+    return false;
+  }
+  const fs::path root(dir);
+
+  const auto records = trace.chronological();
+  {
+    std::ofstream out;
+    if (!open_for_write(root / "trace.jsonl", out)) return false;
+    for (const auto& r : records) out << trace_record_json(r) << "\n";
+  }
+
+  std::size_t timeline_written = 0;
+  if (timeline != nullptr) {
+    std::ofstream out;
+    if (!open_for_write(root / "timeline.jsonl", out)) return false;
+    out << "{\"schema\":\"decor.timeline.v1\"}\n";
+    for (const auto& s : timeline->tail(info.timeline_tail)) {
+      out << timeline_sample_json(s) << "\n";
+      ++timeline_written;
+    }
+  }
+
+  {
+    std::ofstream out;
+    if (!open_for_write(root / "metrics.json", out)) return false;
+    out << common::metrics().to_json() << "\n";
+  }
+
+  {
+    std::ofstream out;
+    if (!open_for_write(root / "manifest.json", out)) return false;
+    common::JsonWriter w(out);
+    w.begin_object();
+    w.key("schema");
+    w.value("decor.flight.v1");
+    w.key("reason");
+    w.value(info.reason);
+    w.key("sim_time");
+    w.value(info.sim_time);
+    w.key("scheme");
+    w.value(info.scheme);
+    w.key("detail");
+    w.value(info.detail);
+    w.key("trace_records");
+    w.value(static_cast<std::uint64_t>(records.size()));
+    w.key("trace_total_recorded");
+    w.value(trace.total_recorded());
+    w.key("trace_dropped");
+    w.value(trace.dropped());
+    w.key("timeline_samples");
+    w.value(static_cast<std::uint64_t>(timeline_written));
+    w.key("meta");
+    common::write_provenance(w);
+    w.end_object();
+    out << "\n";
+  }
+
+  DECOR_LOG_WARN("flight recorder: wrote bundle to " << dir << " (reason: "
+                                                     << info.reason << ")");
+  return true;
+}
+
+}  // namespace decor::sim

@@ -1,0 +1,52 @@
+// Flight recorder: post-mortem bundles for runs that went wrong.
+//
+// When a harness detects non-convergence, a stall watchdog fires, or an
+// assertion escapes the run loop, the in-memory observability state (trace
+// ring buffer, timeline samples, metrics registry) still holds the last
+// moments before the failure — exactly what a log file written after the
+// fact cannot recover. write_flight_bundle() freezes that state into a
+// directory:
+//
+//   <dir>/manifest.json   decor.flight.v1 — reason, sim time, provenance,
+//                         record counts
+//   <dir>/trace.jsonl     buffered trace records, oldest first
+//   <dir>/timeline.jsonl  timeline tail (when a timeline was recording)
+//   <dir>/metrics.json    metrics registry snapshot
+//
+// The bundle is append-only evidence; nothing in it is consumed by the
+// simulator itself. `decor trace report` accepts the bundled trace.jsonl
+// like any live dump.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace decor::sim {
+
+class Trace;
+class Timeline;
+
+struct FlightBundleInfo {
+  /// Why the bundle exists: "non-convergence", "watchdog", "exception".
+  std::string reason;
+  /// Simulation time at which the trigger fired.
+  Time sim_time = 0.0;
+  /// Protocol scheme of the run ("grid", "voronoi", ...).
+  std::string scheme;
+  /// Free-form trigger detail (watchdog cell, exception message, ...).
+  std::string detail;
+  /// Most recent timeline samples to keep (the full trace buffer is
+  /// always dumped; the timeline can be much longer-lived).
+  std::size_t timeline_tail = 256;
+};
+
+/// Writes the bundle into `dir`, creating the directory (and parents) if
+/// needed. `timeline` may be null for timeline-less runs. Logs and
+/// returns false if the directory or any file cannot be created; a
+/// best-effort dump never throws past the caller's failure path.
+bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
+                         const Trace& trace, const Timeline* timeline);
+
+}  // namespace decor::sim

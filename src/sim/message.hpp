@@ -19,6 +19,12 @@ struct Message {
   /// by net::ReliableLink for frames that expect an acknowledgement —
   /// the simulator core never interprets it beyond carrying it.
   std::uint32_t seq = 0;
+  /// Causality id: minted (from World::mint_trace_id) when a message
+  /// first enters a send path with trace_id == 0, then preserved through
+  /// ARQ retransmissions, flooding forwards and acknowledgements, so one
+  /// logical exchange is reconstructable end-to-end across nodes. 0 means
+  /// "not yet stamped"; the simulator core only carries it.
+  std::uint64_t trace_id = 0;
   std::size_t size_bytes = 32;
   std::shared_ptr<const std::any> payload;
 

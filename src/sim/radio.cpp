@@ -64,8 +64,11 @@ void Radio::charge_tx(NodeProcess& src, const Message& msg) {
                 src.budget_.tx_base_j +
                     src.budget_.tx_per_byte_j *
                         static_cast<double>(msg.size_bytes));
-  world_.trace().record(world_.sim().now(), TraceKind::kTx, src.id(),
-                        "kind=" + std::to_string(msg.kind));
+  if (world_.trace().enabled()) {
+    world_.trace().record(world_.sim().now(), TraceKind::kTx, src.id(),
+                          "kind=" + std::to_string(msg.kind),
+                          msg.trace_id);
+  }
 }
 
 bool Radio::frame_reaches(const NodeProcess& src, std::uint32_t dst,
@@ -133,9 +136,12 @@ void Radio::deliver_later(std::uint32_t dst, const Message& msg) {
                            node.budget_.rx_per_byte_j *
                                static_cast<double>(msg.size_bytes));
     if (!node.alive()) return;  // the rx itself drained the battery
-    world_.trace().record(world_.sim().now(), TraceKind::kRx, dst,
-                          "kind=" + std::to_string(msg.kind) +
-                              " from=" + std::to_string(msg.src));
+    if (world_.trace().enabled()) {
+      world_.trace().record(world_.sim().now(), TraceKind::kRx, dst,
+                            "kind=" + std::to_string(msg.kind) +
+                                " from=" + std::to_string(msg.src),
+                            msg.trace_id);
+    }
     node.on_message(msg);
   });
 }
@@ -150,8 +156,11 @@ void Radio::broadcast(NodeProcess& src, const Message& msg, double range) {
     if (!frame_reaches(src, dst, range)) {
       ++total_dropped_;
       drop_counter().inc();
-      world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
-                            "kind=" + std::to_string(msg.kind));
+      if (world_.trace().enabled()) {
+        world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
+                              "kind=" + std::to_string(msg.kind),
+                              msg.trace_id);
+      }
       continue;
     }
     deliver_later(dst, msg);
@@ -172,8 +181,11 @@ bool Radio::unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
   if (!frame_reaches(src, dst, range)) {
     ++total_dropped_;
     drop_counter().inc();
-    world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
-                          "kind=" + std::to_string(msg.kind));
+    if (world_.trace().enabled()) {
+      world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
+                            "kind=" + std::to_string(msg.kind),
+                            msg.trace_id);
+    }
     return true;  // sent, lost in the air
   }
   deliver_later(dst, msg);

@@ -1,8 +1,17 @@
 #include "sim/simulator.hpp"
 
+#include "common/profile.hpp"
 #include "common/require.hpp"
 
 namespace decor::sim {
+
+namespace {
+common::Histogram& drain_hist() {
+  static common::Histogram& h =
+      common::profile_histogram("profile.sim.drain_us");
+  return h;
+}
+}  // namespace
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
@@ -17,6 +26,7 @@ EventHandle Simulator::schedule_at(Time at, std::function<void()> fn) {
 }
 
 void Simulator::run() {
+  common::ProfileScope profile(drain_hist());
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
     // Advance the clock before running the event so the callback observes
@@ -29,6 +39,7 @@ void Simulator::run() {
 
 void Simulator::run_until(Time until) {
   DECOR_REQUIRE_MSG(until >= now_, "run_until into the past");
+  common::ProfileScope profile(drain_hist());
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= until) {
     now_ = queue_.next_time();

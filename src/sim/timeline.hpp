@@ -1,0 +1,86 @@
+// Convergence timeline: periodic snapshots of protocol-level state.
+//
+// The trace answers "what happened to this message"; the timeline answers
+// "how was the run doing at time t". At a configurable sim-time cadence a
+// harness-provided probe samples coverage fraction, uncovered points,
+// live nodes, ARQ in-flight depth and (grid scheme) the per-cell leader
+// set. Samples accumulate in memory for tests and the flight recorder,
+// and optionally stream to a `decor.timeline.v1` JSONL file (one header
+// line with the schema, then one JSON object per sample).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace decor::sim {
+
+struct TimelineSample {
+  Time t = 0.0;
+  /// Ground-truth fraction of approximation points at >= k coverage.
+  double covered_fraction = 0.0;
+  std::uint64_t uncovered_points = 0;
+  std::uint64_t alive_nodes = 0;
+  /// Sum of outstanding reliable sends across alive nodes.
+  std::uint64_t arq_in_flight = 0;
+  /// Leader registry, "cell:node" pairs space-separated (grid scheme;
+  /// empty for leaderless schemes).
+  std::string leaders;
+};
+
+class Timeline {
+ public:
+  using Probe = std::function<TimelineSample()>;
+
+  /// Samples `probe` every `period` sim-seconds (first sample immediately)
+  /// until stop() or the simulation ends. The Timeline must outlive the
+  /// simulator events it schedules — harnesses own both.
+  void start(Simulator& sim, Time period, Probe probe);
+  void stop();
+
+  /// Takes one sample immediately, outside the periodic schedule. The
+  /// harnesses call this at the convergence instant so the final state
+  /// always lands on the timeline even when the run stops between ticks.
+  void sample_once();
+
+  bool active() const noexcept { return active_; }
+
+  /// Streams subsequent samples to `path`; logs and returns false if the
+  /// file cannot be opened. Emits the schema header line immediately.
+  bool open_jsonl(const std::string& path);
+  void close_jsonl();
+
+  const std::vector<TimelineSample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Time of the first sample with zero uncovered points, or a negative
+  /// value if coverage never converged within the sampled window.
+  Time convergence_time() const noexcept;
+
+  /// The most recent `n` samples, oldest first (flight-recorder tail).
+  std::vector<TimelineSample> tail(std::size_t n) const;
+
+ private:
+  void tick();
+  void write_sample(const TimelineSample& s);
+
+  Simulator* sim_ = nullptr;
+  Time period_ = 0.0;
+  Probe probe_;
+  bool active_ = false;
+  std::vector<TimelineSample> samples_;
+  std::unique_ptr<std::ofstream> jsonl_;
+};
+
+/// Serializes one sample as a decor.timeline.v1 JSON line (no trailing
+/// newline); shared by the JSONL sink and the flight recorder.
+std::string timeline_sample_json(const TimelineSample& s);
+
+}  // namespace decor::sim

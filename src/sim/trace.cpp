@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include "common/json.hpp"
+#include "common/log.hpp"
 
 namespace decor::sim {
 
@@ -35,28 +36,50 @@ void Trace::set_capacity(std::size_t cap) {
 
 bool Trace::open_jsonl(const std::string& path) {
   auto out = std::make_unique<std::ofstream>(path);
-  if (!out->is_open()) return false;
+  if (!out->is_open()) {
+    DECOR_LOG_ERROR("cannot open trace JSONL sink: " << path);
+    return false;
+  }
   jsonl_ = std::move(out);
   return true;
 }
 
 void Trace::close_jsonl() { jsonl_.reset(); }
 
+std::string trace_record_json(const TraceRecord& r) {
+  std::string out = "{\"seq\":";
+  out += std::to_string(r.seq);
+  out += ",\"t\":";
+  out += common::format_double(r.at);
+  out += ",\"kind\":\"";
+  out += trace_kind_name(r.kind);
+  out += "\",\"node\":";
+  out += std::to_string(r.node);
+  out += ",\"trace\":";
+  out += std::to_string(r.trace_id);
+  out += ",\"detail\":\"";
+  out += common::json_escape(r.detail);
+  out += "\"}";
+  return out;
+}
+
 void Trace::record(Time at, TraceKind kind, std::uint32_t node,
-                   std::string detail) {
+                   std::string detail, std::uint64_t trace_id) {
   if (!enabled_) return;
-  ++total_;
+  const std::uint64_t seq = ++total_;
   if (jsonl_) {
-    *jsonl_ << "{\"t\":" << common::format_double(at) << ",\"kind\":\""
-            << trace_kind_name(kind) << "\",\"node\":" << node
-            << ",\"detail\":\"" << common::json_escape(detail) << "\"}\n";
+    *jsonl_ << trace_record_json(
+                   TraceRecord{at, kind, node, detail, trace_id, seq})
+            << "\n";
   }
   if (capacity_ == 0 || records_.size() < capacity_) {
-    records_.push_back(TraceRecord{at, kind, node, std::move(detail)});
+    records_.push_back(
+        TraceRecord{at, kind, node, std::move(detail), trace_id, seq});
     return;
   }
   // Ring mode, buffer full: overwrite the oldest record in place.
-  records_[head_] = TraceRecord{at, kind, node, std::move(detail)};
+  records_[head_] =
+      TraceRecord{at, kind, node, std::move(detail), trace_id, seq};
   head_ = (head_ + 1) % capacity_;
 }
 

@@ -33,11 +33,23 @@ enum class TraceKind : int {
 /// JSONL sink and anything else that serializes records.
 const char* trace_kind_name(TraceKind kind) noexcept;
 
+struct TraceRecord;
+
+/// Serializes one record as a trace JSONL line (no trailing newline);
+/// shared by the live sink and the flight recorder.
+std::string trace_record_json(const TraceRecord& r);
+
 struct TraceRecord {
   Time at = 0.0;
   TraceKind kind = TraceKind::kProtocol;
   std::uint32_t node = 0;
   std::string detail;
+  /// Causality id of the message this record belongs to (0 = none).
+  std::uint64_t trace_id = 0;
+  /// Per-run monotonically increasing record number (1-based), assigned
+  /// on record(). Survives ring-buffer wraparound, so a JSONL dump or the
+  /// ring contents are order-verifiable after the fact.
+  std::uint64_t seq = 0;
 };
 
 /// In-memory trace with optional recording (disabled by default; recording
@@ -61,14 +73,16 @@ class Trace {
   }
 
   /// Streams every subsequent record to `path` as JSON lines
-  /// ({"t":...,"kind":"tx","node":3,"detail":"..."}); returns false if
-  /// the file cannot be opened. The sink sees records regardless of the
-  /// ring capacity, but only while recording is enabled.
+  /// ({"seq":1,"t":...,"kind":"tx","node":3,"trace":7,"detail":"..."});
+  /// on failure to open, logs the error via common::log and returns false
+  /// (callers that cannot proceed without the sink should treat false as
+  /// fatal). The sink sees records regardless of the ring capacity, but
+  /// only while recording is enabled.
   bool open_jsonl(const std::string& path);
   void close_jsonl();
 
   void record(Time at, TraceKind kind, std::uint32_t node,
-              std::string detail);
+              std::string detail, std::uint64_t trace_id = 0);
 
   /// Raw buffer. In ring mode after a wrap the storage order is rotated;
   /// use chronological() (or filter/grep, which compensate) when order

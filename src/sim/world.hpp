@@ -74,6 +74,12 @@ class World {
   /// Charges rx/tx energy and kills the node on depletion.
   void charge(std::uint32_t id, double joules);
 
+  /// Mints the next causality id (1-based; Message::trace_id == 0 means
+  /// unstamped). The send paths stamp fresh messages with this, and the
+  /// link/forwarding layers carry it unchanged, so every record of one
+  /// logical exchange shares the id.
+  std::uint64_t mint_trace_id() noexcept { return ++last_trace_id_; }
+
  private:
   geom::Rect bounds_;
   Simulator sim_;
@@ -82,6 +88,7 @@ class World {
   geom::DynamicSensorIndex index_;
   std::vector<std::unique_ptr<NodeProcess>> nodes_;
   std::size_t alive_count_ = 0;
+  std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace decor::sim

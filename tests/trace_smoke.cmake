@@ -1,0 +1,77 @@
+# Observability smoke: a lossy sim run with --trace-perfetto must emit a
+# Perfetto-loadable trace_event document, `decor trace report` must parse
+# both the Perfetto document and the raw trace JSONL, and an unopenable
+# --trace-jsonl sink must fail the run with a nonzero exit (not a silent
+# empty artifact).
+#
+# Invoked by ctest as:
+#   cmake -DBIN=<decor_cli> -DOUT=<scratch dir> -P trace_smoke.cmake
+if(NOT DEFINED BIN OR NOT DEFINED OUT)
+  message(FATAL_ERROR "trace_smoke.cmake needs -DBIN= and -DOUT=")
+endif()
+
+set(perfetto ${OUT}/trace_smoke.perfetto.json)
+set(jsonl ${OUT}/trace_smoke.trace.jsonl)
+set(timeline ${OUT}/trace_smoke.timeline.jsonl)
+file(MAKE_DIRECTORY ${OUT})
+file(REMOVE ${perfetto} ${jsonl} ${timeline})
+
+execute_process(
+  COMMAND ${BIN} sim --scheme=grid --side=20 --points=200 --initial=8
+          --k=1 --loss=0.3 --seed=7 --trace-perfetto=${perfetto}
+          --trace-jsonl=${jsonl} --timeline=1 --timeline-jsonl=${timeline}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decor_cli sim --trace-perfetto failed (rc=${rc})")
+endif()
+
+foreach(artifact ${perfetto} ${jsonl} ${timeline})
+  if(NOT EXISTS ${artifact})
+    message(FATAL_ERROR "decor_cli did not write ${artifact}")
+  endif()
+endforeach()
+
+# The Perfetto document must be non-empty trace_event JSON with real spans.
+file(READ ${perfetto} doc)
+foreach(needle "\"traceEvents\"" "\"ph\":\"b\"" "\"ph\":\"e\""
+        "process_name" "\"id2\"")
+  string(FIND "${doc}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "${perfetto} is missing ${needle}")
+  endif()
+endforeach()
+
+# The JSONL stream must carry seq/trace fields on every record line.
+file(READ ${jsonl} stream)
+string(FIND "${stream}" "\"seq\":" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "${jsonl} has no seq-stamped records")
+endif()
+
+# `trace report` must reconstruct the run from either artifact alone.
+foreach(dump ${perfetto} ${jsonl})
+  execute_process(
+    COMMAND ${BIN} trace report ${dump}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE report)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "decor_cli trace report ${dump} failed (rc=${rc})")
+  endif()
+  foreach(needle "records:" "retransmits:")
+    string(FIND "${report}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "trace report on ${dump} is missing '${needle}'")
+    endif()
+  endforeach()
+endforeach()
+
+# An unopenable sink is an error, not a silently traceless run.
+execute_process(
+  COMMAND ${BIN} sim --scheme=grid --side=20 --points=200 --initial=8
+          --k=1 --trace-jsonl=${OUT}/no-such-dir/x.jsonl
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sim with unopenable --trace-jsonl must exit nonzero")
+endif()

@@ -8,12 +8,16 @@
 //   connectivity  deploy and measure communication-graph connectivity
 //   lifetime      duty-cycled sleep scheduling on a k-covered network
 //   peas          PEAS baseline working-set formation
+//   trace report  summarize a trace dump (JSONL or Perfetto JSON)
 //
 // Common flags: --k --rs --rc --side --points --initial --seed --cell
 // Run `decor <subcommand> --help` for the specifics; every flag has a
 // paper-default so bare invocations work.
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -22,6 +26,8 @@
 #include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/options.hpp"
+#include "common/profile.hpp"
+#include "common/provenance.hpp"
 #include "common/table.hpp"
 #include "coverage/area_estimate.hpp"
 #include "decor/decor.hpp"
@@ -32,8 +38,10 @@
 #include "decor/sleep_scheduling.hpp"
 #include "lds/discrepancy.hpp"
 #include "lds/hammersley.hpp"
+#include "net/messages.hpp"
 #include "net/peas.hpp"
 #include "sim/propagation.hpp"
+#include "sim/trace_export.hpp"
 
 namespace {
 
@@ -66,6 +74,8 @@ class CliReport {
     w.value("decor.cli.v1");
     w.key("command");
     w.value(command);
+    w.key("meta");
+    common::write_provenance(w);
     w.key("report");
     w.begin_object();
     for (const auto& e : entries_) {
@@ -222,6 +232,38 @@ int cmd_restore(const common::Options& opts, CliReport& rep) {
   return restore.reached_full_coverage ? 0 : 2;
 }
 
+/// Renders the buffered trace as a Perfetto-loadable trace_event file
+/// with protocol-level span names; false (after a stderr line) when the
+/// output file cannot be created.
+bool export_perfetto(const std::string& path, const sim::Trace& trace) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return false;
+  }
+  sim::write_chrome_trace(
+      trace.chronological(), f,
+      [](int kind) -> std::string {
+        const char* n = net::msg_kind_name(kind);
+        return n ? n : "kind-" + std::to_string(kind);
+      },
+      net::kAck);
+  std::cout << "perfetto trace: " << path << "\n";
+  return true;
+}
+
+void report_timeline(const sim::Timeline& timeline, CliReport& rep) {
+  const double conv = timeline.convergence_time();
+  std::cout << "timeline: " << timeline.samples().size() << " samples, "
+            << (conv >= 0.0
+                    ? "converged at t=" + std::to_string(conv) + "s"
+                    : std::string("never fully covered while sampling"))
+            << "\n";
+  rep.add("timeline_samples",
+          static_cast<std::uint64_t>(timeline.samples().size()));
+  rep.add("timeline_convergence_time", conv);
+}
+
 int cmd_sim(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
@@ -231,11 +273,20 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   const double run_time = opts.get_double("run-time", 300.0);
   // Trace plumbing shared by both schemes: --trace records protocol
   // events in memory (bounded by --trace-cap), --trace-jsonl streams
-  // every record to a file.
-  const bool trace = opts.get_bool("trace", false);
+  // every record to a file, --trace-perfetto renders the buffer as a
+  // Perfetto/chrome://tracing file after the run (implies --trace).
+  const std::string trace_perfetto = opts.get("trace-perfetto", "");
+  const bool trace = opts.get_bool("trace", false) || !trace_perfetto.empty();
   const auto trace_cap =
       static_cast<std::size_t>(opts.get_int("trace-cap", 0));
   const std::string trace_jsonl = opts.get("trace-jsonl", "");
+  // Observability: --timeline=T samples the convergence timeline every T
+  // sim-seconds (--timeline-jsonl streams it), --flight-dir arms the
+  // flight recorder, --profile turns on the wall-clock scope timers.
+  const double timeline_interval = opts.get_double("timeline", 0.0);
+  const std::string timeline_jsonl = opts.get("timeline-jsonl", "");
+  const std::string flight_dir = opts.get("flight-dir", "");
+  if (opts.get_bool("profile", false)) common::set_profiling_enabled(true);
   // Chaos knobs: --loss (frame loss probability), --burst (mean loss-run
   // length; > 1 switches from i.i.d. loss to a Gilbert–Elliott bursty
   // channel), --kill-leader-at (grid only: kill the acting cell leader at
@@ -268,7 +319,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     cfg.trace = trace;
     cfg.trace_capacity = trace_cap;
     cfg.trace_jsonl = trace_jsonl;
-    const auto r = core::run_voronoi_decor_sim(cfg);
+    cfg.timeline_interval = timeline_interval;
+    cfg.timeline_jsonl = timeline_jsonl;
+    cfg.flight_dir = flight_dir;
+    core::VoronoiSimHarness harness(cfg);
+    const auto r = harness.run();
     std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
               << r.seeded_nodes << " seeded), covered="
               << (r.reached_full_coverage ? "yes" : "no") << " at t="
@@ -282,6 +337,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     rep.add("radio_rx", r.radio_rx);
     rep.add("arq_retx", r.arq.retx);
     rep.add("arq_gave_up", r.arq.gave_up);
+    if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
+    if (!trace_perfetto.empty() &&
+        !export_perfetto(trace_perfetto, harness.world().trace())) {
+      return 1;
+    }
     return r.reached_full_coverage ? 0 : 2;
   }
   core::SimRunConfig cfg;
@@ -293,6 +353,9 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   cfg.trace = trace;
   cfg.trace_capacity = trace_cap;
   cfg.trace_jsonl = trace_jsonl;
+  cfg.timeline_interval = timeline_interval;
+  cfg.timeline_jsonl = timeline_jsonl;
+  cfg.flight_dir = flight_dir;
   core::GridSimHarness harness(cfg);
   if (kill_leader_at >= 0.0) harness.schedule_leader_kill(kill_leader_at);
   const auto r = harness.run();
@@ -307,6 +370,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   rep.add("radio_rx", r.radio_rx);
   rep.add("arq_retx", r.arq.retx);
   rep.add("arq_gave_up", r.arq.gave_up);
+  if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
+  if (!trace_perfetto.empty() &&
+      !export_perfetto(trace_perfetto, harness.world().trace())) {
+    return 1;
+  }
   return r.reached_full_coverage ? 0 : 2;
 }
 
@@ -430,6 +498,231 @@ int cmd_connectivity(const common::Options& opts, CliReport& rep) {
   return 0;
 }
 
+/// Extracts the raw value of `"key":` from a single-line JSON object
+/// (strings are unquoted and unescaped, numbers returned verbatim). Good
+/// enough for the repo's own writers, which emit one object per line.
+bool json_field(const std::string& line, const std::string& key,
+                std::string& out) {
+  const std::string pat = "\"" + key + "\":";
+  const auto p = line.find(pat);
+  if (p == std::string::npos) return false;
+  std::size_t i = p + pat.size();
+  if (i >= line.size()) return false;
+  if (line[i] == '"') {
+    std::string s;
+    for (std::size_t j = i + 1; j < line.size() && line[j] != '"'; ++j) {
+      if (line[j] == '\\' && j + 1 < line.size()) ++j;
+      s += line[j];
+    }
+    out = std::move(s);
+    return true;
+  }
+  std::size_t j = i;
+  while (j < line.size() && line[j] != ',' && line[j] != '}') ++j;
+  out = line.substr(i, j - i);
+  return true;
+}
+
+/// `decor trace report <dump>` — reconstructs protocol-level statistics
+/// (per-kind send counts, retransmit ratio, convergence time, slowest
+/// exchanges) from a trace dump alone: either a decor trace JSONL file
+/// (--trace-jsonl / flight-recorder trace.jsonl) or a Perfetto export
+/// (--trace-perfetto). The format is sniffed from the first line.
+int cmd_trace_report(const common::Options& opts, CliReport& rep) {
+  std::string path = opts.get("in", "");
+  const auto& pos = opts.positional();
+  // Options drops the subcommand itself ("trace"), so positional()[0] is
+  // "report" and [1] the dump path.
+  if (path.empty() && pos.size() >= 2) path = pos[1];
+  if (path.empty()) {
+    std::cerr << "usage: decor trace report <dump.jsonl|trace.json> "
+                 "[--top=N]\n";
+    return 1;
+  }
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 1;
+  }
+
+  struct Span {
+    double first_t = 0.0;
+    double last_t = 0.0;
+    std::uint64_t origin = 0;
+    bool started = false;      // saw any record (anchors first_t)
+    bool have_origin = false;  // saw the originating tx
+    std::string name;
+    std::uint64_t retransmits = 0;
+  };
+  std::map<std::uint64_t, Span> spans;
+  std::map<std::string, std::uint64_t> kind_counts;
+  std::uint64_t records = 0, retransmits = 0, acks = 0, drops = 0;
+  double convergence = -1.0;
+  bool chrome = false;
+  bool first_line = true;
+  std::string line;
+
+  auto touch = [](Span& s, double t) {
+    if (!s.started) {
+      s.started = true;
+      s.first_t = t;
+      s.last_t = t;
+    }
+    s.last_t = std::max(s.last_t, t);
+  };
+
+  while (std::getline(f, line)) {
+    if (first_line) {
+      first_line = false;
+      chrome = line.find("\"traceEvents\"") != std::string::npos;
+      if (chrome) continue;
+    }
+    if (chrome) {
+      std::string ph;
+      if (!json_field(line, "ph", ph) || ph == "M") continue;
+      ++records;
+      std::string name, ts_s;
+      json_field(line, "name", name);
+      json_field(line, "ts", ts_s);
+      const double t = std::strtod(ts_s.c_str(), nullptr) / 1e6;
+      if (ph == "i") {
+        if (name == "converged" && convergence < 0.0) convergence = t;
+        continue;
+      }
+      std::string id_s;
+      if (!json_field(line, "global", id_s)) continue;
+      auto& s = spans[std::strtoull(id_s.c_str(), nullptr, 10)];
+      touch(s, t);
+      if (ph == "b") {
+        s.have_origin = true;
+        s.name = name;
+        ++kind_counts[name];
+      }
+      std::string leg;
+      json_field(line, "leg", leg);
+      if (leg == "retransmit") {
+        ++s.retransmits;
+        ++retransmits;
+      } else if (leg == "ack") {
+        ++acks;
+      } else if (leg == "drop") {
+        ++drops;
+      }
+    } else {
+      std::string kind_s;
+      if (!json_field(line, "kind", kind_s)) continue;  // schema header
+      ++records;
+      std::string t_s, node_s, trace_s, detail;
+      json_field(line, "t", t_s);
+      json_field(line, "node", node_s);
+      json_field(line, "trace", trace_s);
+      json_field(line, "detail", detail);
+      const double t = std::strtod(t_s.c_str(), nullptr);
+      if (kind_s == "protocol") {
+        if (detail == "converged" && convergence < 0.0) convergence = t;
+        continue;
+      }
+      const std::uint64_t tid = std::strtoull(trace_s.c_str(), nullptr, 10);
+      if (tid == 0) continue;  // pre-causality or unstamped record
+      auto& s = spans[tid];
+      touch(s, t);
+      if (kind_s == "drop") ++drops;
+      if (kind_s != "tx") continue;
+      const int mk = sim::parse_detail_kind(detail);
+      if (mk == net::kAck) {
+        ++acks;
+        continue;
+      }
+      const auto node = std::strtoull(node_s.c_str(), nullptr, 10);
+      if (!s.have_origin) {
+        s.have_origin = true;
+        s.origin = node;
+        const char* n = net::msg_kind_name(mk);
+        s.name = n ? n : "kind-" + std::to_string(mk);
+        ++kind_counts[s.name];
+      } else if (node == s.origin) {
+        // Same frame leaving the origin again: an ARQ retransmission.
+        ++s.retransmits;
+        ++retransmits;
+      }
+    }
+  }
+  if (records == 0) {
+    std::cerr << "error: no trace records in " << path << "\n";
+    return 1;
+  }
+
+  const auto originals = static_cast<std::uint64_t>(spans.size());
+  const double retx_ratio =
+      originals == 0
+          ? 0.0
+          : static_cast<double>(retransmits) / static_cast<double>(originals);
+  std::cout << "trace report: " << path << " ("
+            << (chrome ? "perfetto" : "jsonl") << ")\n"
+            << "records: " << records << ", exchanges: " << originals
+            << "\n";
+  if (!kind_counts.empty()) {
+    common::Table table({"kind", "originating sends"});
+    for (const auto& [name, n] : kind_counts) {
+      table.add_row({name, std::to_string(n)});
+    }
+    std::cout << table.to_text();
+  }
+  std::cout << "retransmits: " << retransmits << " (" << retx_ratio
+            << " per exchange), acks: " << acks << ", drops: " << drops
+            << "\n";
+  if (convergence >= 0.0) {
+    std::cout << "convergence time: " << convergence << " s\n";
+  } else {
+    std::cout << "convergence: not reached within the dump\n";
+  }
+
+  // End-to-end latency per exchange: first record (the send) to the last
+  // record sharing its causality id (final ack/rx/retransmit).
+  std::vector<std::pair<double, std::uint64_t>> durations;
+  durations.reserve(spans.size());
+  for (const auto& [tid, s] : spans) {
+    durations.emplace_back(s.last_t - s.first_t, tid);
+  }
+  std::sort(durations.begin(), durations.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const auto top =
+      std::min<std::size_t>(durations.size(),
+                            static_cast<std::size_t>(opts.get_int("top", 5)));
+  if (top > 0) {
+    std::cout << "slowest exchanges:\n";
+    for (std::size_t i = 0; i < top; ++i) {
+      const auto& s = spans[durations[i].second];
+      std::cout << "  trace " << durations[i].second << "  "
+                << (s.name.empty() ? "?" : s.name) << "  "
+                << durations[i].first << " s  (" << s.retransmits
+                << " retransmit" << (s.retransmits == 1 ? "" : "s")
+                << ")\n";
+    }
+  }
+
+  rep.add("format", std::string(chrome ? "perfetto" : "jsonl"));
+  rep.add("records", records);
+  rep.add("exchanges", originals);
+  rep.add("retransmits", retransmits);
+  rep.add("retransmit_ratio", retx_ratio);
+  rep.add("acks", acks);
+  rep.add("drops", drops);
+  rep.add("convergence_time", convergence);
+  rep.add("max_exchange_latency",
+          durations.empty() ? 0.0 : durations.front().first);
+  return 0;
+}
+
+int cmd_trace(const common::Options& opts, CliReport& rep) {
+  const auto& pos = opts.positional();
+  if (pos.empty() || pos[0] != "report") {
+    std::cerr << "usage: decor trace report <dump.jsonl|trace.json>\n";
+    return 1;
+  }
+  return cmd_trace_report(opts, rep);
+}
+
 void usage() {
   std::cout <<
       "usage: decor <subcommand> [--flag=value ...]\n\n"
@@ -442,12 +735,18 @@ void usage() {
       "  discrepancy   compare point generators (--n)\n"
       "  lifetime      duty-cycled sleep scheduling (--battery, --epochs)\n"
       "  peas          PEAS baseline working-set (--rp, --mean-sleep)\n"
-      "  connectivity  communication-graph analysis (--kappa)\n\n"
+      "  connectivity  communication-graph analysis (--kappa)\n"
+      "  trace report  summarize a trace dump (JSONL or Perfetto JSON;\n"
+      "                --in=path or positional, --top=N)\n\n"
       "common flags: --k --rs --rc --side --points --initial --seed "
       "--cell --point-kind\n"
       "telemetry: --json[=path] writes a decor.cli.v1 report (metrics "
       "snapshot included);\n"
       "  sim also takes --trace --trace-cap=N --trace-jsonl=path\n"
+      "  sim observability: --trace-perfetto=path (Perfetto export)\n"
+      "                     --timeline=T --timeline-jsonl=path\n"
+      "                     --flight-dir=dir (post-mortem bundle)\n"
+      "                     --profile (wall-clock scope timers)\n"
       "  sim chaos knobs: --loss=P --burst=B (B>1 = bursty channel)\n"
       "                   --kill-leader-at=T (grid scheme only)\n";
 }
@@ -476,6 +775,7 @@ int main(int argc, char** argv) {
     if (cmd == "connectivity") rc = cmd_connectivity(opts, rep);
     if (cmd == "lifetime") rc = cmd_lifetime(opts, rep);
     if (cmd == "peas") rc = cmd_peas(opts, rep);
+    if (cmd == "trace") rc = cmd_trace(opts, rep);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
