@@ -18,6 +18,7 @@
 #include "common/json.hpp"
 #include "common/metrics.hpp"
 #include "common/options.hpp"
+#include "common/require.hpp"
 #include "common/parallel.hpp"
 #include "common/provenance.hpp"
 #include "common/rng.hpp"
@@ -175,11 +176,11 @@ inline bool write_json_report(const std::string& path,
   common::metrics().write_json(w);
   w.end_object();
 
+  // Fail fast rather than return false: a bench binary that measured for
+  // minutes and then silently dropped its document is the worst outcome,
+  // and callers ignore this bool in practice.
   std::ofstream f(path);
-  if (!f.is_open()) {
-    std::cerr << "error: cannot write " << path << "\n";
-    return false;
-  }
+  DECOR_REQUIRE_MSG(f.is_open(), "cannot write bench report: " + path);
   f << out.str() << "\n";
   std::cout << "json report: " << path << "\n";
   return true;

@@ -9,9 +9,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace decor::common {
@@ -59,5 +62,82 @@ class JsonWriter {
   std::vector<Level> stack_;
   bool after_key_ = false;
 };
+
+/// Parsed JSON document tree: the reader counterpart of JsonWriter, used
+/// by the artifact consumers (`decor bench diff`, `decor report html`,
+/// `decor trace report`). Objects preserve key order (the writers emit
+/// keys in a deliberate order and the diff/report output should match).
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool(bool def = false) const noexcept {
+    return is_bool() ? bool_ : def;
+  }
+  double as_number(double def = 0.0) const noexcept {
+    return is_number() ? num_ : def;
+  }
+  /// String content; `def` for non-strings.
+  const std::string& as_string(const std::string& def = empty_string()) const
+      noexcept {
+    return is_string() ? str_ : def;
+  }
+
+  /// Array elements (empty for non-arrays).
+  const std::vector<JsonValue>& items() const noexcept { return arr_; }
+  /// Object members in document order (empty for non-objects).
+  const std::vector<Member>& members() const noexcept { return obj_; }
+
+  /// First member named `key`, or nullptr (also for non-objects).
+  const JsonValue* find(std::string_view key) const noexcept;
+  /// find() chained over a path of keys, e.g. get("setup", "seed").
+  template <typename... Keys>
+  const JsonValue* get(std::string_view key, Keys... rest) const noexcept {
+    const JsonValue* v = find(key);
+    if constexpr (sizeof...(rest) == 0) {
+      return v;
+    } else {
+      return v ? v->get(rest...) : nullptr;
+    }
+  }
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double v);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+ private:
+  static const std::string& empty_string() noexcept {
+    static const std::string kEmpty;
+    return kEmpty;
+  }
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parses one complete JSON document (leading/trailing whitespace
+/// allowed). Returns nullopt on any syntax error or trailing garbage —
+/// exactly what the skip-and-count consumers of possibly-truncated JSONL
+/// lines need. Depth is bounded (128) so corrupt input cannot blow the
+/// stack.
+std::optional<JsonValue> parse_json(std::string_view text);
 
 }  // namespace decor::common

@@ -304,7 +304,17 @@ std::optional<BenefitIndex::Candidate> BenefitIndex::best_believed(
     const std::vector<std::uint32_t>& candidates,
     const std::function<std::optional<std::uint32_t>(std::size_t)>&
         count_of) {
-  std::optional<Candidate> best;
+  const auto choice = choose_believed(points, rs, k, candidates, count_of);
+  if (!choice) return std::nullopt;
+  return choice->best;
+}
+
+std::optional<BenefitIndex::BelievedChoice> BenefitIndex::choose_believed(
+    const geom::PointGridIndex& points, double rs, std::uint32_t k,
+    const std::vector<std::uint32_t>& candidates,
+    const std::function<std::optional<std::uint32_t>(std::size_t)>&
+        count_of) {
+  std::optional<BelievedChoice> best;
   for (const std::uint32_t pid : candidates) {
     const auto c = count_of(pid);
     DECOR_ASSERT(c.has_value());
@@ -314,7 +324,15 @@ std::optional<BenefitIndex::Candidate> BenefitIndex::best_believed(
       const auto cq = count_of(q);
       if (cq && *cq < k) b += k - *cq;
     });
-    if (!best || b > best->benefit) best = Candidate{b, pid};
+    if (!best) {
+      best = BelievedChoice{Candidate{b, pid}, 0, 0};
+    } else if (b > best->best.benefit) {
+      best->runner_up = best->best.benefit;
+      best->best = Candidate{b, pid};
+    } else if (b > best->runner_up) {
+      best->runner_up = b;
+    }
+    ++best->scanned;
   }
   return best;
 }

@@ -138,6 +138,24 @@ class BenefitIndex {
       const std::function<std::optional<std::uint32_t>(std::size_t)>&
           count_of);
 
+  /// A best_believed decision with the context the placement audit log
+  /// records: the winning candidate, the runner-up benefit (second-best
+  /// eligible candidate; equals best.benefit on a tie, 0 when the winner
+  /// was unopposed) and how many eligible candidates were scanned.
+  struct BelievedChoice {
+    Candidate best;
+    std::uint64_t runner_up = 0;
+    std::size_t scanned = 0;
+  };
+
+  /// best_believed plus decision context. The winner (and its scan order)
+  /// is bit-identical to best_believed.
+  static std::optional<BelievedChoice> choose_believed(
+      const geom::PointGridIndex& points, double rs, std::uint32_t k,
+      const std::vector<std::uint32_t>& candidates,
+      const std::function<std::optional<std::uint32_t>(std::size_t)>&
+          count_of);
+
  private:
   struct Worse {
     bool operator()(const Candidate& a, const Candidate& b) const noexcept {

@@ -1,0 +1,56 @@
+// Metric-by-metric comparison of two decor.bench.v1 documents.
+//
+// A bench document (bench/fig_common.hpp) is a set of SeriesTables:
+// tables -> rows (one per x value) -> cells (one Summary per series).
+// bench_diff flattens both documents into metric ids of the form
+//
+//   <table>[<x_name>=<x>].<series>
+//
+// and compares the per-cell means. The result powers `decor bench diff`,
+// which turns the committed bench trajectory into an enforced perf gate:
+// a %-delta table for humans, a nonzero exit beyond --fail-over for CI.
+//
+// Provenance (`meta`: git sha, compiler) is deliberately ignored — two
+// documents diff by what they measured, not by who produced them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace decor::core {
+
+struct BenchDiffEntry {
+  /// Flattened metric id, e.g. "messages_per_cell[k=2].grid-small-cell".
+  std::string metric;
+  /// Mean of the metric in document A / document B.
+  double a = 0.0;
+  double b = 0.0;
+  /// (b - a) / |a| * 100. Both zero -> 0; a zero with b nonzero ->
+  /// +/-infinity (an appeared-from-nothing regression beats any finite
+  /// threshold).
+  double delta_pct = 0.0;
+};
+
+struct BenchDiffResult {
+  /// Metrics present in both documents, in document-A order.
+  std::vector<BenchDiffEntry> entries;
+  /// Metric ids present in only one document (document order).
+  std::vector<std::string> only_a;
+  std::vector<std::string> only_b;
+
+  /// Largest |delta_pct| over the common metrics (infinity when a metric
+  /// appeared from or collapsed to zero); 0 when there are none.
+  double max_abs_delta_pct() const noexcept;
+  /// True when any common metric moved by more than `pct` percent.
+  bool exceeds(double pct) const noexcept;
+};
+
+/// Diffs two parsed decor.bench.v1 documents. Returns nullopt when either
+/// document lacks the decor.bench.v1 schema tag or a `tables` object.
+std::optional<BenchDiffResult> bench_diff(const common::JsonValue& a,
+                                          const common::JsonValue& b);
+
+}  // namespace decor::core

@@ -1,0 +1,563 @@
+#include "decor/run_report.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/require.hpp"
+#include "net/messages.hpp"
+#include "sim/trace_export.hpp"
+
+namespace decor::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+using common::JsonValue;
+
+std::string html_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+/// Compact re-serialization of a parsed value (manifest display). Number
+/// formatting goes through format_double, so re-rendered bytes are
+/// deterministic even if they differ cosmetically from the source.
+void json_to_stream(const JsonValue& v, std::ostream& os) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      os << "null";
+      break;
+    case JsonValue::Type::kBool:
+      os << (v.as_bool() ? "true" : "false");
+      break;
+    case JsonValue::Type::kNumber:
+      os << common::format_double(v.as_number());
+      break;
+    case JsonValue::Type::kString:
+      os << '"' << common::json_escape(v.as_string()) << '"';
+      break;
+    case JsonValue::Type::kArray: {
+      os << '[';
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) os << ',';
+        first = false;
+        json_to_stream(item, os);
+      }
+      os << ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      os << '{';
+      bool first = true;
+      for (const auto& [k, mv] : v.members()) {
+        if (!first) os << ',';
+        first = false;
+        os << '"' << common::json_escape(k) << "\":";
+        json_to_stream(mv, os);
+      }
+      os << '}';
+      break;
+    }
+  }
+}
+
+std::string json_to_string(const JsonValue& v) {
+  std::ostringstream os;
+  json_to_stream(v, os);
+  return os.str();
+}
+
+/// One artifact file, classified by its first line: a "schema" member
+/// names the JSONL dialect; trace dumps (which carry no header) are
+/// recognized by their seq/kind record shape; whole-file JSON documents
+/// (manifest.json, metrics.json) are parsed in one piece.
+struct Artifact {
+  std::string rel;     // path relative to the scanned dir, generic form
+  std::string kind;    // "field", "timeline", "audit", "trace",
+                       // "manifest", "metrics", "other"
+  JsonValue header;    // schema line (field header) or the whole document
+  std::vector<JsonValue> records;  // parsed data lines, file order
+  std::size_t malformed = 0;       // unparseable lines, skipped
+};
+
+Artifact load_jsonl(const fs::path& path, const std::string& rel) {
+  Artifact a;
+  a.rel = rel;
+  a.kind = "other";
+  std::ifstream f(path);
+  std::string line;
+  bool first = true;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    auto parsed = common::parse_json(line);
+    if (!parsed) {
+      ++a.malformed;
+      continue;
+    }
+    if (first) {
+      first = false;
+      if (const auto* schema = parsed->find("schema");
+          schema != nullptr && schema->is_string()) {
+        const std::string& s = schema->as_string();
+        if (s == "decor.field.v1") a.kind = "field";
+        if (s == "decor.timeline.v1") a.kind = "timeline";
+        if (s == "decor.audit.v1") a.kind = "audit";
+        a.header = std::move(*parsed);
+        continue;
+      }
+      if (parsed->find("seq") != nullptr && parsed->find("kind") != nullptr) {
+        a.kind = "trace";
+      }
+    }
+    a.records.push_back(std::move(*parsed));
+  }
+  return a;
+}
+
+Artifact load_document(const fs::path& path, const std::string& rel,
+                       const std::string& kind) {
+  Artifact a;
+  a.rel = rel;
+  a.kind = kind;
+  std::ifstream f(path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  auto parsed = common::parse_json(buf.str());
+  if (parsed) {
+    a.header = std::move(*parsed);
+  } else {
+    a.malformed = 1;
+    a.kind = "other";
+  }
+  return a;
+}
+
+double num_at(const JsonValue& obj, std::string_view key, double def = 0.0) {
+  const auto* v = obj.find(key);
+  return v != nullptr ? v->as_number(def) : def;
+}
+
+std::string str_at(const JsonValue& obj, std::string_view key) {
+  const auto* v = obj.find(key);
+  return v != nullptr ? v->as_string() : std::string();
+}
+
+std::string fmt(double v) { return common::format_double(v); }
+
+// --- field heatmaps ------------------------------------------------------
+
+void render_heatmap_svg(std::ostream& os, const JsonValue& snap,
+                        std::size_t cols, std::size_t rows,
+                        std::uint64_t global_max) {
+  const std::size_t px =
+      std::clamp<std::size_t>(cols == 0 ? 8 : 320 / cols, 4, 16);
+  const std::size_t w = cols * px;
+  const std::size_t h = rows * px;
+  os << "<svg width=\"" << w << "\" height=\"" << h << "\" viewBox=\"0 0 "
+     << w << " " << h << "\" xmlns=\"http://www.w3.org/2000/svg\">";
+  os << "<rect width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>";
+  const auto* raster = snap.find("raster");
+  if (raster != nullptr && global_max > 0) {
+    const auto& cells = raster->items();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const auto d = static_cast<std::uint64_t>(cells[i].as_number());
+      if (d == 0) continue;
+      const std::size_t c = i % cols;
+      const std::size_t r = i / cols;
+      // Raster rows run bottom-up; SVG y runs down.
+      const std::size_t y = (rows - 1 - r) * px;
+      // White (deficit 1 barely visible would be wrong: scale so the
+      // smallest deficit is still clearly tinted) down to full red.
+      const std::uint64_t g = 200 - (200 * d) / global_max;
+      os << "<rect x=\"" << c * px << "\" y=\"" << y << "\" width=\"" << px
+         << "\" height=\"" << px << "\" fill=\"rgb(255," << g << "," << g
+         << ")\"/>";
+    }
+  }
+  os << "</svg>";
+}
+
+void render_field_section(std::ostream& os, const Artifact& a,
+                          const RunReportOptions& opts) {
+  const std::size_t cols =
+      static_cast<std::size_t>(num_at(a.header, "cols", 1));
+  const std::size_t rows =
+      static_cast<std::size_t>(num_at(a.header, "rows", 1));
+  os << "<h2>Field snapshots — " << html_escape(a.rel) << "</h2>\n";
+  os << "<p>raster " << cols << "×" << rows << ", k="
+     << fmt(num_at(a.header, "k")) << ", field " << fmt(num_at(a.header, "x0"))
+     << "," << fmt(num_at(a.header, "y0")) << " +"
+     << fmt(num_at(a.header, "width")) << "×"
+     << fmt(num_at(a.header, "height")) << "</p>\n";
+  if (a.records.empty()) {
+    os << "<p>no snapshots recorded</p>\n";
+    return;
+  }
+
+  // One color scale across the whole file, so a draining deficit fades
+  // visibly from snapshot to snapshot.
+  std::uint64_t global_max = 0;
+  for (const auto& s : a.records) {
+    if (const auto* raster = s.find("raster")) {
+      for (const auto& cell : raster->items()) {
+        global_max = std::max(
+            global_max, static_cast<std::uint64_t>(cell.as_number()));
+      }
+    }
+  }
+
+  // Even subsample (first and last always kept) when the run recorded
+  // more snapshots than the report should carry.
+  std::vector<std::size_t> picks;
+  const std::size_t n = a.records.size();
+  const std::size_t cap = std::max<std::size_t>(opts.max_heatmaps, 2);
+  if (n <= cap) {
+    for (std::size_t i = 0; i < n; ++i) picks.push_back(i);
+  } else {
+    for (std::size_t i = 0; i < cap; ++i) {
+      picks.push_back(i * (n - 1) / (cap - 1));
+    }
+    picks.erase(std::unique(picks.begin(), picks.end()), picks.end());
+    os << "<p>" << n << " snapshots recorded; showing " << picks.size()
+       << " (evenly subsampled)</p>\n";
+  }
+
+  os << "<div class=\"snaps\">\n";
+  for (const std::size_t i : picks) {
+    const auto& s = a.records[i];
+    os << "<figure>";
+    render_heatmap_svg(os, s, cols, rows, global_max);
+    os << "<figcaption>t=" << fmt(num_at(s, "t"))
+       << (s.find("forced") != nullptr && s.find("forced")->as_bool()
+               ? " (forced)"
+               : "")
+       << ", deficit " << fmt(num_at(s, "total_deficit")) << ", uncovered "
+       << fmt(num_at(s, "uncovered"));
+    if (const auto* holes = s.find("holes");
+        holes != nullptr && !holes->items().empty()) {
+      os << ", " << holes->items().size() << " hole"
+         << (holes->items().size() == 1 ? "" : "s");
+    }
+    os << "</figcaption></figure>\n";
+  }
+  os << "</div>\n";
+
+  // Hole inventory of the last rendered snapshot: the holes that still
+  // matter when the artifact ends.
+  const auto& last = a.records.back();
+  if (const auto* holes = last.find("holes");
+      holes != nullptr && !holes->items().empty()) {
+    os << "<h3>Holes at t=" << fmt(num_at(last, "t")) << "</h3>\n"
+       << "<table><tr><th>points</th><th>area</th><th>centroid</th>"
+          "<th>max deficit</th></tr>\n";
+    for (const auto& hole : holes->items()) {
+      os << "<tr><td>" << fmt(num_at(hole, "points")) << "</td><td>"
+         << fmt(num_at(hole, "area")) << "</td><td>"
+         << fmt(num_at(hole, "cx")) << "," << fmt(num_at(hole, "cy"))
+         << "</td><td>" << fmt(num_at(hole, "max_deficit"))
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+}
+
+// --- timeline charts -----------------------------------------------------
+
+void render_polyline_chart(std::ostream& os, const std::string& label,
+                           const std::vector<std::pair<double, double>>& pts,
+                           double y_max) {
+  const int w = 640, h = 140, pad = 4;
+  os << "<figure><svg width=\"" << w << "\" height=\"" << h
+     << "\" viewBox=\"0 0 " << w << " " << h
+     << "\" xmlns=\"http://www.w3.org/2000/svg\">"
+     << "<rect width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>";
+  if (!pts.empty() && y_max > 0.0) {
+    const double t0 = pts.front().first;
+    const double t1 = pts.back().first;
+    const double span = t1 > t0 ? t1 - t0 : 1.0;
+    os << "<polyline fill=\"none\" stroke=\"#06c\" stroke-width=\"1.5\" "
+          "points=\"";
+    bool first = true;
+    for (const auto& [t, v] : pts) {
+      const double x =
+          pad + (t - t0) / span * static_cast<double>(w - 2 * pad);
+      const double y = static_cast<double>(h - pad) -
+                       std::clamp(v / y_max, 0.0, 1.0) *
+                           static_cast<double>(h - 2 * pad);
+      if (!first) os << ' ';
+      first = false;
+      os << fmt(x) << ',' << fmt(y);
+    }
+    os << "\"/>";
+  }
+  os << "</svg><figcaption>" << html_escape(label);
+  if (!pts.empty()) {
+    os << " — t " << fmt(pts.front().first) << "…" << fmt(pts.back().first)
+       << " s, max " << fmt(y_max);
+  }
+  os << "</figcaption></figure>\n";
+}
+
+void render_timeline_section(std::ostream& os, const Artifact& a) {
+  os << "<h2>Timeline — " << html_escape(a.rel) << "</h2>\n";
+  if (a.records.empty()) {
+    os << "<p>no samples recorded</p>\n";
+    return;
+  }
+  std::vector<std::pair<double, double>> covered, arq, alive;
+  double arq_max = 0.0, alive_max = 0.0, convergence = -1.0;
+  for (const auto& s : a.records) {
+    const double t = num_at(s, "t");
+    covered.emplace_back(t, num_at(s, "covered"));
+    const double in_flight = num_at(s, "arq_in_flight");
+    arq.emplace_back(t, in_flight);
+    arq_max = std::max(arq_max, in_flight);
+    const double al = num_at(s, "alive");
+    alive.emplace_back(t, al);
+    alive_max = std::max(alive_max, al);
+    if (convergence < 0.0 && num_at(s, "uncovered", 1.0) == 0.0) {
+      convergence = t;
+    }
+  }
+  os << "<p>" << a.records.size() << " samples; "
+     << (convergence >= 0.0
+             ? "first fully covered sample at t=" + fmt(convergence) + " s"
+             : std::string("never fully covered while sampling"))
+     << "</p>\n";
+  render_polyline_chart(os, "covered fraction", covered, 1.0);
+  render_polyline_chart(os, "ARQ frames in flight", arq, arq_max);
+  render_polyline_chart(os, "alive nodes", alive, alive_max);
+}
+
+// --- audit table ---------------------------------------------------------
+
+void render_audit_section(std::ostream& os, const Artifact& a,
+                          const RunReportOptions& opts) {
+  os << "<h2>Placement audit — " << html_escape(a.rel) << "</h2>\n";
+  if (a.records.empty()) {
+    os << "<p>no decisions recorded</p>\n";
+    return;
+  }
+  std::map<std::string, std::size_t> reasons;
+  std::size_t near_ties = 0;
+  for (const auto& r : a.records) {
+    ++reasons[str_at(r, "reason")];
+    const double benefit = num_at(r, "benefit");
+    // A runner-up within 10% of the winner is a near-tie: the decision
+    // another belief state could plausibly have flipped.
+    if (benefit > 0.0 && num_at(r, "runner_up") >= 0.9 * benefit) {
+      ++near_ties;
+    }
+  }
+  os << "<p>" << a.records.size() << " decisions (";
+  bool first = true;
+  for (const auto& [reason, n] : reasons) {
+    if (!first) os << ", ";
+    first = false;
+    os << html_escape(reason.empty() ? "?" : reason) << ": " << n;
+  }
+  os << "), " << near_ties << " near-tie" << (near_ties == 1 ? "" : "s")
+     << " (runner-up within 10% of the winner)</p>\n";
+  os << "<table><tr><th>t</th><th>actor</th><th>cell</th><th>reason</th>"
+        "<th>point</th><th>pos</th><th>benefit</th><th>runner-up</th>"
+        "<th>cands</th><th>newly sat.</th><th>trace</th></tr>\n";
+  const std::size_t shown =
+      std::min(a.records.size(), opts.max_audit_rows);
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& r = a.records[i];
+    os << "<tr><td>" << fmt(num_at(r, "t")) << "</td><td>"
+       << fmt(num_at(r, "actor")) << "</td><td>" << fmt(num_at(r, "cell"))
+       << "</td><td>" << html_escape(str_at(r, "reason")) << "</td><td>"
+       << fmt(num_at(r, "point")) << "</td><td>" << fmt(num_at(r, "x"))
+       << "," << fmt(num_at(r, "y")) << "</td><td>"
+       << fmt(num_at(r, "benefit")) << "</td><td>"
+       << fmt(num_at(r, "runner_up")) << "</td><td>"
+       << fmt(num_at(r, "candidates")) << "</td><td>"
+       << fmt(num_at(r, "newly_satisfied")) << "</td><td>"
+       << fmt(num_at(r, "trace_id")) << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  if (shown < a.records.size()) {
+    os << "<p>" << (a.records.size() - shown)
+       << " further decisions omitted</p>\n";
+  }
+}
+
+// --- trace message stats -------------------------------------------------
+
+void render_trace_section(std::ostream& os, const Artifact& a) {
+  os << "<h2>Message stats — " << html_escape(a.rel) << "</h2>\n";
+  std::map<std::string, std::uint64_t> tx_by_kind;
+  std::uint64_t tx = 0, rx = 0, drops = 0, acks = 0;
+  double convergence = -1.0;
+  for (const auto& r : a.records) {
+    const std::string kind = str_at(r, "kind");
+    if (kind == "protocol") {
+      if (str_at(r, "detail") == "converged" && convergence < 0.0) {
+        convergence = num_at(r, "t");
+      }
+      continue;
+    }
+    if (kind == "rx") {
+      ++rx;
+      continue;
+    }
+    if (kind == "drop") {
+      ++drops;
+      continue;
+    }
+    if (kind != "tx") continue;
+    ++tx;
+    const int mk = sim::parse_detail_kind(str_at(r, "detail"));
+    if (mk == net::kAck) {
+      ++acks;
+      continue;
+    }
+    const char* name = net::msg_kind_name(mk);
+    ++tx_by_kind[name != nullptr ? name : "kind-" + std::to_string(mk)];
+  }
+  os << "<p>" << a.records.size() << " records: " << tx << " tx (" << acks
+     << " acks), " << rx << " rx, " << drops << " dropped";
+  if (convergence >= 0.0) {
+    os << "; converged at t=" << fmt(convergence) << " s";
+  }
+  os << "</p>\n";
+  if (!tx_by_kind.empty()) {
+    os << "<table><tr><th>kind</th><th>tx frames</th></tr>\n";
+    for (const auto& [name, n] : tx_by_kind) {
+      os << "<tr><td>" << html_escape(name) << "</td><td>" << n
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+}
+
+// --- manifest ------------------------------------------------------------
+
+void render_manifest_section(std::ostream& os, const Artifact& a) {
+  os << "<h2>Flight bundle — " << html_escape(a.rel) << "</h2>\n"
+     << "<table><tr><th>field</th><th>value</th></tr>\n";
+  for (const auto& [key, v] : a.header.members()) {
+    os << "<tr><td>" << html_escape(key) << "</td><td>";
+    if (v.is_string()) {
+      os << html_escape(v.as_string());
+    } else {
+      os << html_escape(json_to_string(v));
+    }
+    os << "</td></tr>\n";
+  }
+  os << "</table>\n";
+}
+
+}  // namespace
+
+std::string render_run_report_html(const std::string& dir,
+                                   const RunReportOptions& opts) {
+  std::error_code ec;
+  DECOR_REQUIRE_MSG(fs::is_directory(dir, ec),
+                    "report: not a readable directory: " + dir);
+
+  // Discover artifacts in sorted relative-path order: directory iteration
+  // order is filesystem-dependent, the report's byte layout must not be.
+  std::vector<fs::path> paths;
+  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file(ec)) paths.push_back(it->path());
+  }
+  std::vector<std::pair<std::string, fs::path>> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    files.emplace_back(fs::relative(p, dir, ec).generic_string(), p);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Artifact> artifacts;
+  for (const auto& [rel, path] : files) {
+    const std::string name = path.filename().string();
+    if (name.size() > 6 && name.ends_with(".jsonl")) {
+      artifacts.push_back(load_jsonl(path, rel));
+    } else if (name == "manifest.json") {
+      artifacts.push_back(load_document(path, rel, "manifest"));
+    } else if (name == "metrics.json") {
+      artifacts.push_back(load_document(path, rel, "metrics"));
+    }
+  }
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+     << "<title>DECOR run report</title>\n<style>\n"
+     << "body{font-family:sans-serif;margin:2em;max-width:72em}\n"
+     << "table{border-collapse:collapse;margin:0.5em 0}\n"
+     << "td,th{border:1px solid #bbb;padding:2px 8px;text-align:right}\n"
+     << "th{background:#eee}\ntd:first-child,th:first-child{text-align:left}\n"
+     << "figure{display:inline-block;margin:0.5em;vertical-align:top}\n"
+     << "figcaption{font-size:smaller;color:#444;max-width:24em}\n"
+     << ".snaps{display:flex;flex-wrap:wrap}\n"
+     << "</style></head><body>\n<h1>DECOR run report</h1>\n";
+
+  os << "<h2>Artifacts</h2>\n"
+     << "<table><tr><th>file</th><th>type</th><th>records</th>"
+        "<th>malformed lines</th></tr>\n";
+  for (const auto& a : artifacts) {
+    os << "<tr><td>" << html_escape(a.rel) << "</td><td>" << a.kind
+       << "</td><td>"
+       << (a.kind == "manifest" || a.kind == "metrics" ? 1
+                                                       : a.records.size())
+       << "</td><td>" << a.malformed << "</td></tr>\n";
+  }
+  os << "</table>\n";
+  if (artifacts.empty()) {
+    os << "<p>no recognized artifacts (*.jsonl, manifest.json, "
+          "metrics.json) found</p>\n";
+  }
+
+  for (const auto& a : artifacts) {
+    if (a.kind == "manifest") render_manifest_section(os, a);
+  }
+  for (const auto& a : artifacts) {
+    if (a.kind == "field") render_field_section(os, a, opts);
+  }
+  for (const auto& a : artifacts) {
+    if (a.kind == "timeline") render_timeline_section(os, a);
+  }
+  for (const auto& a : artifacts) {
+    if (a.kind == "audit") render_audit_section(os, a, opts);
+  }
+  for (const auto& a : artifacts) {
+    if (a.kind == "trace") render_trace_section(os, a);
+  }
+
+  os << "</body></html>\n";
+  return os.str();
+}
+
+}  // namespace decor::core

@@ -45,6 +45,10 @@ struct GridSimHarness::Shared {
   net::ReliableLinkParams arq;
   GridSimHarness* harness = nullptr;
   const geom::PointGridIndex* points = nullptr;
+  /// Placement audit sink, or nullptr when auditing is off. Nodes only
+  /// pre-mint kPlacement trace ids when auditing, so non-audited runs
+  /// keep their exact pre-audit trace-id sequences.
+  sim::AuditLog* audit = nullptr;
 
   /// Per-world ARQ accounting every node's link feeds (simulation is
   /// single-threaded; surfaced through SimRunResult).
@@ -309,25 +313,45 @@ class DecorGridSimNode final : public net::SensorNode {
 
     // Max-benefit uncovered point of this cell (Algorithm 1): Equation 1
     // over the leader's belief, restricted to the points it owns.
-    const auto best = coverage::BenefitIndex::best_believed(
+    const auto choice = coverage::BenefitIndex::choose_believed(
         *shared_->points, shared_->params.rs, shared_->params.k, cell_pts,
         [&](std::size_t pid) -> std::optional<std::uint32_t> {
           if (shared_->point_cell[pid] != cell_) return std::nullopt;
           return counts[shared_->point_slot[pid]];
         });
-    if (!best) {
+    if (!choice) {
       loop_active_ = false;  // cell satisfied; failures re-arm the loop
       return;
     }
-    const geom::Point2 best_pos = shared_->points->point(best->point);
+    const auto& best = choice->best;
+    const geom::Point2 best_pos = shared_->points->point(best.point);
     ++my_placements_[PosKey{best_pos.x, best_pos.y}];
     shared_->harness->spawn_node(best_pos);
     // A lost placement notification makes adjacent leaders re-cover the
     // boundary, so it is ARQed to every known neighbor; receiver-side
     // dedup keeps retransmissions from inflating notice multiplicity.
-    broadcast_reliable(sim::Message::make(
-        id(), net::kPlacement, net::PlacementPayload{best_pos, cell_},
-        net::wire_size(net::kPlacement)));
+    auto msg = sim::Message::make(id(), net::kPlacement,
+                                  net::PlacementPayload{best_pos, cell_},
+                                  net::wire_size(net::kPlacement));
+    if (shared_->audit != nullptr) {
+      // Pre-mint the exchange's trace id so the audit row joins onto the
+      // causal trace of its own announcement (send paths mint only when
+      // the id is still zero).
+      msg.trace_id = world().mint_trace_id();
+      std::uint64_t newly = 0;
+      shared_->points->for_each_in_disc(
+          best_pos, shared_->params.rs, [&](std::size_t pid) {
+            if (shared_->point_cell[pid] != cell_) return;
+            if (counts[shared_->point_slot[pid]] + 1 == shared_->params.k) {
+              ++newly;
+            }
+          });
+      shared_->audit->record({world().sim().now(), id(), cell_, "benefit",
+                              best.point, best_pos, best.benefit,
+                              choice->runner_up, choice->scanned, newly,
+                              msg.trace_id});
+    }
+    broadcast_reliable(msg);
     set_timer(shared_->placement_interval, [this] { placement_tick(); });
   }
 
@@ -349,6 +373,7 @@ class DecorGridSimNode final : public net::SensorNode {
       const geom::Point2 center = shared_->partition.rect_of(c).center();
       double best_d = 0.0;
       geom::Point2 pos{};
+      std::uint32_t best_pid = 0;
       bool found = false;
       for (std::uint32_t pid : shared_->cell_points[c]) {
         const auto p = shared_->points->point(pid);
@@ -356,6 +381,7 @@ class DecorGridSimNode final : public net::SensorNode {
         if (!found || d2 < best_d) {
           best_d = d2;
           pos = p;
+          best_pid = pid;
           found = true;
         }
       }
@@ -364,9 +390,19 @@ class DecorGridSimNode final : public net::SensorNode {
       shared_->harness->spawn_node(pos);
       // Cross-cell seed probe: peers must learn the cell was seeded or
       // several leaders seed it concurrently — ARQed like placements.
-      broadcast_reliable(sim::Message::make(
-          id(), net::kPlacement, net::PlacementPayload{pos, c},
-          net::wire_size(net::kPlacement)));
+      auto msg = sim::Message::make(id(), net::kPlacement,
+                                    net::PlacementPayload{pos, c},
+                                    net::wire_size(net::kPlacement));
+      if (shared_->audit != nullptr) {
+        msg.trace_id = world().mint_trace_id();
+        // No benefit scan backs a seed and the seeding leader holds no
+        // belief about the silent cell, so the decision-context fields
+        // stay zero.
+        shared_->audit->record({now, id(), static_cast<std::int64_t>(c),
+                                "seed", best_pid, pos, 0, 0, 0, 0,
+                                msg.trace_id});
+      }
+      broadcast_reliable(msg);
     }
     set_timer(shared_->seed_check_interval, [this] { seed_check(); });
   }
@@ -407,11 +443,35 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
     DECOR_REQUIRE_MSG(timeline_.open_jsonl(cfg_.timeline_jsonl),
                       "cannot open timeline JSONL sink: " + cfg_.timeline_jsonl);
   }
+  if (!cfg_.flight_dir.empty()) {
+    // Same fail-fast contract as the JSONL sinks: discovering at dump
+    // time that the post-mortem directory is unwritable loses the
+    // evidence the caller asked to keep.
+    DECOR_REQUIRE_MSG(sim::prepare_flight_dir(cfg_.flight_dir),
+                      "cannot write flight dir: " + cfg_.flight_dir);
+  }
   common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
   map_ = std::make_unique<coverage::CoverageMap>(
       p.field, make_points(p, point_rng), p.rs);
+  if (cfg_.field_interval > 0.0 || !cfg_.field_jsonl.empty()) {
+    const std::size_t side =
+        cfg_.field_raster > 0
+            ? cfg_.field_raster
+            : coverage::FieldRecorder::default_raster(p.field, p.rs);
+    field_ = std::make_unique<coverage::FieldRecorder>(p.field, p.k, side,
+                                                       side);
+    if (!cfg_.field_jsonl.empty()) {
+      DECOR_REQUIRE_MSG(field_->open_jsonl(cfg_.field_jsonl),
+                        "cannot open field JSONL sink: " + cfg_.field_jsonl);
+    }
+  }
+  if (!cfg_.audit_jsonl.empty()) {
+    DECOR_REQUIRE_MSG(audit_.open_jsonl(cfg_.audit_jsonl),
+                      "cannot open audit JSONL sink: " + cfg_.audit_jsonl);
+  }
   shared_ = std::make_shared<Shared>(p, rc_protocol, cfg_);
   shared_->harness = this;
+  if (cfg_.audit || !cfg_.audit_jsonl.empty()) shared_->audit = &audit_;
   shared_->index_points(map_->index());
 }
 
@@ -491,6 +551,12 @@ void GridSimHarness::dump_flight_bundle(const std::string& reason,
   info.sim_time = world_->sim().now();
   info.scheme = "grid";
   info.detail = detail;
+  if (field_ != nullptr) {
+    info.field_jsonl = field_->header_json() + "\n";
+    if (const auto* s = field_->latest()) {
+      info.field_jsonl += coverage::FieldRecorder::snapshot_json(*s) + "\n";
+    }
+  }
   sim::write_flight_bundle(cfg_.flight_dir, info, world_->trace(),
                            &timeline_);
 }
@@ -532,12 +598,29 @@ SimRunResult GridSimHarness::run() {
       world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
                              0, "converged");
       if (timeline_.active()) timeline_.sample_once();
+      // Forced snapshot at the convergence instant: the final (hole-free)
+      // field always lands on the recorder even between cadence ticks.
+      if (field_) field_->snapshot(world_->sim().now(), *map_, true);
       world_->sim().stop();
       return;
     }
     if (auto self = weak_poll.lock()) world_->sim().schedule(0.5, *self);
   };
   world_->sim().schedule(0.5, *poll);
+  // Periodic field snapshots ride their own weak self-scheduling chain
+  // (same lifetime contract as the poll); the first fires immediately so
+  // the pre-restoration deficit field is always recorded.
+  auto field_tick = std::make_shared<std::function<void()>>();
+  if (field_) {
+    const double every =
+        cfg_.field_interval > 0.0 ? cfg_.field_interval : 1.0;
+    std::weak_ptr<std::function<void()>> weak_field = field_tick;
+    *field_tick = [this, every, weak_field] {
+      field_->snapshot(world_->sim().now(), *map_);
+      if (auto self = weak_field.lock()) world_->sim().schedule(every, *self);
+    };
+    world_->sim().schedule(0.0, *field_tick);
+  }
   try {
     world_->sim().run_until(cfg_.run_time);
   } catch (const std::exception& e) {

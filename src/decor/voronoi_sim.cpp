@@ -36,6 +36,10 @@ struct VoronoiSimHarness::Shared {
   net::ReliableLinkParams arq;
   /// Per-world ARQ accounting (single-threaded simulation).
   net::ArqStats arq_stats;
+  /// Placement audit sink, or nullptr when auditing is off. Nodes only
+  /// pre-mint kPlacement trace ids when auditing, so non-audited runs
+  /// keep their exact pre-audit trace-id sequences.
+  sim::AuditLog* audit = nullptr;
 };
 
 namespace {
@@ -167,7 +171,7 @@ class DecorVoronoiSimNode final : public net::SensorNode {
 
     // Max-benefit uncovered owned point (Equation 1 over my cell; points
     // outside the cell neither contribute nor qualify).
-    const auto best = coverage::BenefitIndex::best_believed(
+    const auto choice = coverage::BenefitIndex::choose_believed(
         *shared_->points, shared_->params.rs, shared_->params.k, mine,
         [&](std::size_t pid) -> std::optional<std::uint32_t> {
           const auto it = counts.find(pid);
@@ -175,17 +179,36 @@ class DecorVoronoiSimNode final : public net::SensorNode {
           return it->second;
         });
 
-    if (best) {
-      const geom::Point2 best_pos = shared_->points->point(best->point);
+    if (choice) {
+      const auto& best = choice->best;
+      const geom::Point2 best_pos = shared_->points->point(best.point);
       idle_streak_ = 0;
       ++my_placements_[PosKey{best_pos.x, best_pos.y}];
       shared_->harness->spawn_node(best_pos);
       // A neighbor that misses this places on top of the new node, so
       // the announcement is ARQed; dedup keeps retransmissions from
       // inflating notice multiplicity.
-      broadcast_reliable(sim::Message::make(
-          id(), net::kPlacement, net::PlacementPayload{best_pos, 0},
-          net::wire_size(net::kPlacement)));
+      auto msg = sim::Message::make(id(), net::kPlacement,
+                                    net::PlacementPayload{best_pos, 0},
+                                    net::wire_size(net::kPlacement));
+      if (shared_->audit != nullptr) {
+        // Pre-mint the exchange's trace id so the audit row joins onto
+        // the causal trace of its own announcement.
+        msg.trace_id = world().mint_trace_id();
+        std::uint64_t newly = 0;
+        for (const auto& [pid, c] : counts) {
+          if (c + 1 != shared_->params.k) continue;
+          if (geom::distance_sq(shared_->points->point(pid), best_pos) <=
+              shared_->params.rs * shared_->params.rs) {
+            ++newly;
+          }
+        }
+        shared_->audit->record({world().sim().now(), id(), -1, "benefit",
+                                best.point, best_pos, best.benefit,
+                                choice->runner_up, choice->scanned, newly,
+                                msg.trace_id});
+      }
+      broadcast_reliable(msg);
     } else {
       ++idle_streak_;
     }
@@ -223,9 +246,32 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
     DECOR_REQUIRE_MSG(timeline_.open_jsonl(cfg_.timeline_jsonl),
                       "cannot open timeline JSONL sink: " + cfg_.timeline_jsonl);
   }
+  if (!cfg_.flight_dir.empty()) {
+    // Same fail-fast contract as the JSONL sinks: discovering at dump
+    // time that the post-mortem directory is unwritable loses the
+    // evidence the caller asked to keep.
+    DECOR_REQUIRE_MSG(sim::prepare_flight_dir(cfg_.flight_dir),
+                      "cannot write flight dir: " + cfg_.flight_dir);
+  }
   common::Rng point_rng(cfg_.seed ^ 0x5eedbeefULL);
   map_ = std::make_unique<coverage::CoverageMap>(
       p.field, make_points(p, point_rng), p.rs);
+  if (cfg_.field_interval > 0.0 || !cfg_.field_jsonl.empty()) {
+    const std::size_t side =
+        cfg_.field_raster > 0
+            ? cfg_.field_raster
+            : coverage::FieldRecorder::default_raster(p.field, p.rs);
+    field_ = std::make_unique<coverage::FieldRecorder>(p.field, p.k, side,
+                                                       side);
+    if (!cfg_.field_jsonl.empty()) {
+      DECOR_REQUIRE_MSG(field_->open_jsonl(cfg_.field_jsonl),
+                        "cannot open field JSONL sink: " + cfg_.field_jsonl);
+    }
+  }
+  if (!cfg_.audit_jsonl.empty()) {
+    DECOR_REQUIRE_MSG(audit_.open_jsonl(cfg_.audit_jsonl),
+                      "cannot open audit JSONL sink: " + cfg_.audit_jsonl);
+  }
   shared_ = std::make_shared<Shared>();
   shared_->params = p;
   shared_->check_interval = cfg_.check_interval;
@@ -234,6 +280,7 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   shared_->heartbeat = cfg_.heartbeat;
   shared_->enable_arq = cfg_.enable_arq;
   shared_->arq = cfg_.arq;
+  if (cfg_.audit || !cfg_.audit_jsonl.empty()) shared_->audit = &audit_;
 }
 
 VoronoiSimHarness::~VoronoiSimHarness() = default;
@@ -288,6 +335,12 @@ void VoronoiSimHarness::dump_flight_bundle(const std::string& reason,
   info.sim_time = world_->sim().now();
   info.scheme = "voronoi";
   info.detail = detail;
+  if (field_ != nullptr) {
+    info.field_jsonl = field_->header_json() + "\n";
+    if (const auto* s = field_->latest()) {
+      info.field_jsonl += coverage::FieldRecorder::snapshot_json(*s) + "\n";
+    }
+  }
   sim::write_flight_bundle(cfg_.flight_dir, info, world_->trace(),
                            &timeline_);
 }
@@ -298,6 +351,7 @@ void VoronoiSimHarness::watchdog_seed() {
   // uncovered point when the field is empty).
   const auto& index = map_->index();
   geom::Point2 best_pos{};
+  std::uint64_t best_pid = 0;
   double best_d = std::numeric_limits<double>::infinity();
   bool found = false;
   for (std::size_t pid = 0; pid < index.size(); ++pid) {
@@ -321,6 +375,7 @@ void VoronoiSimHarness::watchdog_seed() {
     if (!found || d < best_d) {
       best_d = d;
       best_pos = p;
+      best_pid = pid;
       found = true;
     }
   }
@@ -331,6 +386,12 @@ void VoronoiSimHarness::watchdog_seed() {
     // state that forced manual (robot) intervention.
     if (!cfg_.flight_dir.empty()) {
       dump_flight_bundle("watchdog", "stalled; seeding frontier");
+    }
+    if (shared_->audit != nullptr) {
+      // The watchdog is the harness (the paper's robot), not a node: no
+      // actor id, no benefit scan, no announcement to trace.
+      shared_->audit->record({world_->sim().now(), 0, -1, "watchdog",
+                              best_pid, best_pos, 0, 0, 0, 0, 0});
     }
     spawn_node(best_pos);
     ++seeded_;
@@ -375,6 +436,9 @@ VoronoiSimResult VoronoiSimHarness::run() {
       world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
                              0, "converged");
       if (timeline_.active()) timeline_.sample_once();
+      // Forced snapshot at the convergence instant: the final (hole-free)
+      // field always lands on the recorder even between cadence ticks.
+      if (field_) field_->snapshot(world_->sim().now(), *map_, true);
       world_->sim().stop();
       return;
     }
@@ -390,6 +454,20 @@ VoronoiSimResult VoronoiSimHarness::run() {
     if (auto self = weak_poll.lock()) world_->sim().schedule(0.5, *self);
   };
   world_->sim().schedule(0.5, *poll);
+  // Periodic field snapshots ride their own weak self-scheduling chain
+  // (same lifetime contract as the poll); the first fires immediately so
+  // the pre-restoration deficit field is always recorded.
+  auto field_tick = std::make_shared<std::function<void()>>();
+  if (field_) {
+    const double every =
+        cfg_.field_interval > 0.0 ? cfg_.field_interval : 1.0;
+    std::weak_ptr<std::function<void()>> weak_field = field_tick;
+    *field_tick = [this, every, weak_field] {
+      field_->snapshot(world_->sim().now(), *map_);
+      if (auto self = weak_field.lock()) world_->sim().schedule(every, *self);
+    };
+    world_->sim().schedule(0.0, *field_tick);
+  }
   try {
     world_->sim().run_until(cfg_.run_time);
   } catch (const std::exception& e) {

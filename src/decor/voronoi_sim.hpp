@@ -19,9 +19,11 @@
 #include <vector>
 
 #include "coverage/coverage_map.hpp"
+#include "coverage/field_recorder.hpp"
 #include "coverage/metrics.hpp"
 #include "decor/params.hpp"
 #include "net/sensor_node.hpp"
+#include "sim/audit_log.hpp"
 #include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
@@ -64,6 +66,22 @@ struct VoronoiSimConfig {
   double timeline_interval = 0.0;
   std::string timeline_jsonl;
 
+  /// Spatial field recorder: rasterized k-deficit snapshots every
+  /// `field_interval` sim-seconds (decor.field.v1), with a forced
+  /// snapshot at the convergence instant. Recording is on when either
+  /// field_interval > 0 or `field_jsonl` is set (the interval then
+  /// defaults to 1s); `field_raster` overrides the rs-derived raster
+  /// side (0 = FieldRecorder::default_raster).
+  double field_interval = 0.0;
+  std::string field_jsonl;
+  std::size_t field_raster = 0;
+
+  /// Placement audit log: record every placement decision (in memory;
+  /// tests and reports). `audit_jsonl` additionally streams each record
+  /// as a decor.audit.v1 line and implies `audit`.
+  bool audit = false;
+  std::string audit_jsonl;
+
   /// Flight recorder: when set, a run that ends without full coverage,
   /// needs the watchdog, or aborts on an exception dumps trace/timeline/
   /// metrics into this directory (see sim/flight_recorder.hpp).
@@ -99,6 +117,10 @@ class VoronoiSimHarness {
   coverage::CoverageMap& map() noexcept { return *map_; }
   /// The convergence timeline (empty unless cfg.timeline_interval > 0).
   sim::Timeline& timeline() noexcept { return timeline_; }
+  /// The field recorder, or nullptr when field recording is off.
+  coverage::FieldRecorder* field() noexcept { return field_.get(); }
+  /// The placement audit log (empty unless cfg.audit / cfg.audit_jsonl).
+  sim::AuditLog& audit() noexcept { return audit_; }
 
   std::uint32_t spawn_node(geom::Point2 pos);
   void kill_node(std::uint32_t id);
@@ -122,6 +144,8 @@ class VoronoiSimHarness {
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;
   sim::Timeline timeline_;
+  std::unique_ptr<coverage::FieldRecorder> field_;
+  sim::AuditLog audit_;
   std::vector<geom::Point2> placements_;
   std::size_t seeded_ = 0;
   std::size_t initial_nodes_ = 0;

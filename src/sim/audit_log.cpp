@@ -1,0 +1,42 @@
+#include "sim/audit_log.hpp"
+
+#include <sstream>
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+
+namespace decor::sim {
+
+bool AuditLog::open_jsonl(const std::string& path) {
+  auto out = std::make_unique<std::ofstream>(path);
+  if (!out->is_open()) {
+    DECOR_LOG_ERROR("cannot open audit JSONL sink: " << path);
+    return false;
+  }
+  *out << "{\"schema\":\"decor.audit.v1\"}\n";
+  jsonl_ = std::move(out);
+  return true;
+}
+
+void AuditLog::close_jsonl() { jsonl_.reset(); }
+
+void AuditLog::record(AuditRecord r) {
+  if (jsonl_) *jsonl_ << record_json(r) << "\n";
+  records_.push_back(std::move(r));
+}
+
+std::string AuditLog::record_json(const AuditRecord& r) {
+  std::ostringstream os;
+  os << "{\"t\":" << common::format_double(r.t) << ",\"actor\":" << r.actor
+     << ",\"cell\":" << r.cell << ",\"reason\":\""
+     << common::json_escape(r.reason) << "\",\"point\":" << r.point
+     << ",\"x\":" << common::format_double(r.pos.x)
+     << ",\"y\":" << common::format_double(r.pos.y)
+     << ",\"benefit\":" << r.benefit << ",\"runner_up\":" << r.runner_up
+     << ",\"candidates\":" << r.candidates
+     << ",\"newly_satisfied\":" << r.newly_satisfied
+     << ",\"trace_id\":" << r.trace_id << "}";
+  return os.str();
+}
+
+}  // namespace decor::sim

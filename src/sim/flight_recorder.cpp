@@ -56,6 +56,16 @@ bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
     }
   }
 
+  std::size_t field_lines = 0;
+  if (!info.field_jsonl.empty()) {
+    std::ofstream out;
+    if (!open_for_write(root / "field.jsonl", out)) return false;
+    out << info.field_jsonl;
+    for (const char c : info.field_jsonl) {
+      if (c == '\n') ++field_lines;
+    }
+  }
+
   {
     std::ofstream out;
     if (!open_for_write(root / "metrics.json", out)) return false;
@@ -85,6 +95,9 @@ bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
     w.value(trace.dropped());
     w.key("timeline_samples");
     w.value(static_cast<std::uint64_t>(timeline_written));
+    // Schema header included; 0 means no field recorder was active.
+    w.key("field_lines");
+    w.value(static_cast<std::uint64_t>(field_lines));
     w.key("meta");
     common::write_provenance(w);
     w.end_object();
@@ -93,6 +106,27 @@ bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
 
   DECOR_LOG_WARN("flight recorder: wrote bundle to " << dir << " (reason: "
                                                      << info.reason << ")");
+  return true;
+}
+
+bool prepare_flight_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    DECOR_LOG_ERROR("flight recorder: cannot create bundle dir " << dir << ": "
+                                                                 << ec.message());
+    return false;
+  }
+  const fs::path probe = fs::path(dir) / ".flight_probe";
+  {
+    std::ofstream out(probe);
+    if (!out.is_open()) {
+      DECOR_LOG_ERROR("flight recorder: bundle dir not writable: " << dir);
+      return false;
+    }
+  }
+  fs::remove(probe, ec);  // best-effort cleanup; the probe did its job
   return true;
 }
 

@@ -11,6 +11,8 @@
 //                         record counts
 //   <dir>/trace.jsonl     buffered trace records, oldest first
 //   <dir>/timeline.jsonl  timeline tail (when a timeline was recording)
+//   <dir>/field.jsonl     latest field snapshot (when a field recorder
+//                         was recording; decor.field.v1)
 //   <dir>/metrics.json    metrics registry snapshot
 //
 // The bundle is append-only evidence; nothing in it is consumed by the
@@ -40,6 +42,12 @@ struct FlightBundleInfo {
   /// Most recent timeline samples to keep (the full trace buffer is
   /// always dumped; the timeline can be much longer-lived).
   std::size_t timeline_tail = 256;
+  /// Pre-rendered decor.field.v1 lines (schema header plus the latest
+  /// snapshot), newline-terminated; empty when no field recorder was
+  /// active. Pre-rendered because the simulator layer does not link the
+  /// coverage library — the harness owns the FieldRecorder and hands the
+  /// bytes down.
+  std::string field_jsonl;
 };
 
 /// Writes the bundle into `dir`, creating the directory (and parents) if
@@ -48,5 +56,11 @@ struct FlightBundleInfo {
 /// best-effort dump never throws past the caller's failure path.
 bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
                          const Trace& trace, const Timeline* timeline);
+
+/// Creates `dir` (and parents) and probes it with a throwaway file, so a
+/// harness can fail fast at startup on an unwritable --flight-dir instead
+/// of silently losing the post-mortem at dump time. Logs and returns
+/// false when the directory cannot be created or written.
+bool prepare_flight_dir(const std::string& dir);
 
 }  // namespace decor::sim

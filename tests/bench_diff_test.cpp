@@ -1,0 +1,105 @@
+// core::bench_diff: flattening decor.bench.v1 documents and gating on
+// per-metric percentage deltas.
+#include "decor/bench_diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace {
+
+using namespace decor;
+
+common::JsonValue doc(const std::string& tables) {
+  const std::string text =
+      "{\"schema\":\"decor.bench.v1\",\"figure\":\"t\",\"meta\":{},"
+      "\"tables\":" +
+      tables + "}";
+  auto parsed = common::parse_json(text);
+  EXPECT_TRUE(parsed.has_value()) << text;
+  return parsed ? *parsed : common::JsonValue();
+}
+
+const char* kBase =
+    "{\"nodes\":{\"x_name\":\"k\",\"series\":[\"grid\"],\"rows\":["
+    "{\"x\":1,\"cells\":{\"grid\":{\"count\":5,\"mean\":100}}},"
+    "{\"x\":2,\"cells\":{\"grid\":{\"count\":5,\"mean\":200}}}]}}";
+
+TEST(BenchDiffTest, SelfDiffIsAllZero) {
+  const auto a = doc(kBase);
+  const auto d = core::bench_diff(a, a);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->entries.size(), 2u);
+  EXPECT_EQ(d->entries[0].metric, "nodes[k=1].grid");
+  EXPECT_EQ(d->entries[1].metric, "nodes[k=2].grid");
+  for (const auto& e : d->entries) EXPECT_DOUBLE_EQ(e.delta_pct, 0.0);
+  EXPECT_DOUBLE_EQ(d->max_abs_delta_pct(), 0.0);
+  EXPECT_FALSE(d->exceeds(0.0));
+  EXPECT_TRUE(d->only_a.empty());
+  EXPECT_TRUE(d->only_b.empty());
+}
+
+TEST(BenchDiffTest, DeltaIsSignedPercentOfA) {
+  const auto a = doc(kBase);
+  const auto b = doc(
+      "{\"nodes\":{\"x_name\":\"k\",\"series\":[\"grid\"],\"rows\":["
+      "{\"x\":1,\"cells\":{\"grid\":{\"count\":5,\"mean\":125}}},"
+      "{\"x\":2,\"cells\":{\"grid\":{\"count\":5,\"mean\":150}}}]}}");
+  const auto d = core::bench_diff(a, b);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(d->entries[0].delta_pct, 25.0);
+  EXPECT_DOUBLE_EQ(d->entries[1].delta_pct, -25.0);
+  EXPECT_DOUBLE_EQ(d->max_abs_delta_pct(), 25.0);
+  EXPECT_TRUE(d->exceeds(10.0));
+  EXPECT_FALSE(d->exceeds(25.0));  // strict: exactly-at-threshold passes
+}
+
+TEST(BenchDiffTest, UnmatchedMetricsLandInOnlyLists) {
+  const auto a = doc(kBase);
+  const auto b = doc(
+      "{\"nodes\":{\"x_name\":\"k\",\"series\":[\"grid\"],\"rows\":["
+      "{\"x\":1,\"cells\":{\"grid\":{\"count\":5,\"mean\":100},"
+      "\"voronoi\":{\"count\":5,\"mean\":90}}}]}}");
+  const auto d = core::bench_diff(a, b);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->entries.size(), 1u);
+  ASSERT_EQ(d->only_a.size(), 1u);
+  EXPECT_EQ(d->only_a[0], "nodes[k=2].grid");
+  ASSERT_EQ(d->only_b.size(), 1u);
+  EXPECT_EQ(d->only_b[0], "nodes[k=1].voronoi");
+  // Unmatched metrics do not trip the gate on their own.
+  EXPECT_FALSE(d->exceeds(1000.0));
+}
+
+TEST(BenchDiffTest, ZeroBaselineBecomesInfiniteDelta) {
+  const auto a = doc(
+      "{\"nodes\":{\"x_name\":\"k\",\"series\":[\"grid\"],\"rows\":["
+      "{\"x\":1,\"cells\":{\"grid\":{\"count\":5,\"mean\":0}}}]}}");
+  const auto b = doc(
+      "{\"nodes\":{\"x_name\":\"k\",\"series\":[\"grid\"],\"rows\":["
+      "{\"x\":1,\"cells\":{\"grid\":{\"count\":5,\"mean\":3}}}]}}");
+  const auto d = core::bench_diff(a, b);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->entries.size(), 1u);
+  EXPECT_TRUE(std::isinf(d->entries[0].delta_pct));
+  EXPECT_TRUE(d->exceeds(1e12));  // beats any finite threshold
+}
+
+TEST(BenchDiffTest, RejectsNonBenchDocuments) {
+  const auto a = doc(kBase);
+  const auto other = common::parse_json(
+      "{\"schema\":\"decor.cli.v1\",\"tables\":{}}");
+  ASSERT_TRUE(other.has_value());
+  EXPECT_FALSE(core::bench_diff(a, *other).has_value());
+  EXPECT_FALSE(core::bench_diff(*other, a).has_value());
+  const auto no_tables =
+      common::parse_json("{\"schema\":\"decor.bench.v1\"}");
+  ASSERT_TRUE(no_tables.has_value());
+  EXPECT_FALSE(core::bench_diff(a, *no_tables).has_value());
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/json.hpp"
 #include "common/log.hpp"
 #include "common/options.hpp"
 #include "common/require.hpp"
@@ -111,6 +112,61 @@ TEST(Log, MacroCompilesAndFilters) {
   // Should be filtered (no crash, no output assertion needed).
   DECOR_LOG_DEBUG("invisible " << 42);
   decor::common::set_log_level(prev);
+}
+
+TEST(ParseJson, ScalarsAndContainers) {
+  const auto v = decor::common::parse_json(
+      "{\"a\":1.5,\"b\":\"hi\",\"c\":[true,false,null],\"d\":{\"e\":-2}}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->find("a")->as_number(), 1.5);
+  EXPECT_EQ(v->find("b")->as_string(), "hi");
+  const auto* c = v->find("c");
+  ASSERT_TRUE(c != nullptr && c->is_array());
+  ASSERT_EQ(c->items().size(), 3u);
+  EXPECT_TRUE(c->items()[0].as_bool());
+  EXPECT_TRUE(c->items()[2].is_null());
+  EXPECT_DOUBLE_EQ(v->get("d", "e")->as_number(), -2.0);
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(ParseJson, MemberOrderIsDocumentOrder) {
+  const auto v =
+      decor::common::parse_json("{\"z\":1,\"a\":2,\"m\":3}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_EQ(v->members().size(), 3u);
+  EXPECT_EQ(v->members()[0].first, "z");
+  EXPECT_EQ(v->members()[1].first, "a");
+  EXPECT_EQ(v->members()[2].first, "m");
+}
+
+TEST(ParseJson, StringEscapes) {
+  const auto v = decor::common::parse_json(
+      "\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "a\"b\\c\n\tA\xc3\xa9");
+}
+
+TEST(ParseJson, RejectsMalformedInput) {
+  using decor::common::parse_json;
+  EXPECT_FALSE(parse_json("").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1,}").has_value());
+  EXPECT_FALSE(parse_json("[1 2]").has_value());
+  EXPECT_FALSE(parse_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(parse_json("nul").has_value());
+  EXPECT_FALSE(parse_json("\"unterminated").has_value());
+}
+
+TEST(ParseJson, RoundTripsOwnWriters) {
+  // The repo's own JSONL lines must parse back: this is what the robust
+  // trace report and the HTML renderer rely on.
+  const auto v = decor::common::parse_json(
+      "{\"seq\":12,\"t\":3.25,\"kind\":\"tx\",\"node\":4,\"trace\":9,"
+      "\"detail\":\"kind=2 to=7\"}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->find("seq")->as_number(), 12.0);
+  EXPECT_EQ(v->find("detail")->as_string(), "kind=2 to=7");
 }
 
 }  // namespace

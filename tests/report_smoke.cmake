@@ -1,0 +1,143 @@
+# Spatial-observability smoke: a lossy chaos run with every JSONL sink
+# armed must render via `decor report html` into byte-identical HTML —
+# twice from the same artifacts AND from a fresh same-seed run — and
+# `decor bench diff` must exit 0 on identical documents, 3 beyond
+# --fail-over, and 1 on garbage input.
+#
+# Invoked by ctest as:
+#   cmake -DBIN=<decor_cli> -DBENCH=<BENCH_fig10.json> -DOUT=<scratch dir>
+#         -P report_smoke.cmake
+if(NOT DEFINED BIN OR NOT DEFINED BENCH OR NOT DEFINED OUT)
+  message(FATAL_ERROR "report_smoke.cmake needs -DBIN=, -DBENCH= and -DOUT=")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+
+function(chaos_run dir)
+  file(MAKE_DIRECTORY ${dir})
+  execute_process(
+    COMMAND ${BIN} sim --scheme=grid --side=20 --points=200 --initial=8
+            --k=1 --loss=0.3 --burst=3 --seed=7
+            --trace-jsonl=${dir}/trace.jsonl
+            --timeline=1 --timeline-jsonl=${dir}/timeline.jsonl
+            --field=2 --field-jsonl=${dir}/field.jsonl
+            --audit-jsonl=${dir}/audit.jsonl
+            --flight-dir=${dir}/flight
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "chaos sim into ${dir} failed (rc=${rc})")
+  endif()
+  foreach(artifact trace.jsonl timeline.jsonl field.jsonl audit.jsonl)
+    if(NOT EXISTS ${dir}/${artifact})
+      message(FATAL_ERROR "sim did not write ${dir}/${artifact}")
+    endif()
+  endforeach()
+endfunction()
+
+chaos_run(${OUT}/run1)
+chaos_run(${OUT}/run2)
+
+# Render run1 twice: rendering must be a pure function of the artifacts.
+foreach(pass a b)
+  execute_process(
+    COMMAND ${BIN} report html ${OUT}/run1 --out=${OUT}/run1-${pass}.html
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "decor report html pass ${pass} failed (rc=${rc})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/run1-a.html
+          ${OUT}/run1-b.html
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "two renders of the same run directory differ")
+endif()
+
+# A fresh same-seed run must produce the same bytes end to end: sim
+# determinism plus renderer determinism.
+execute_process(
+  COMMAND ${BIN} report html ${OUT}/run2 --out=${OUT}/run2-a.html
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "decor report html on run2 failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/run1-a.html
+          ${OUT}/run2-a.html
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "same-seed runs rendered different reports")
+endif()
+
+# The report must actually carry the sections, not just be stable bytes.
+file(READ ${OUT}/run1-a.html html)
+foreach(needle "<svg" "Field snapshots" "Placement audit" "Message stats"
+        "Timeline")
+  string(FIND "${html}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "report is missing '${needle}'")
+  endif()
+endforeach()
+
+# An unreadable directory is an error, not an empty report.
+execute_process(
+  COMMAND ${BIN} report html ${OUT}/no-such-dir
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "report html on a missing directory must fail")
+endif()
+
+# --- bench diff gate -----------------------------------------------------
+
+# Identical documents: exit 0 even with a tight threshold.
+execute_process(
+  COMMAND ${BIN} bench diff ${BENCH} ${BENCH} --fail-over=0
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench diff of identical docs must exit 0 (rc=${rc})")
+endif()
+
+# Inject a >10% regression into the first mean and expect exit 3.
+file(READ ${BENCH} bench_doc)
+string(REGEX REPLACE "\"mean\":[0-9.eE+-]+" "\"mean\":999999" regressed
+       "${bench_doc}")
+file(WRITE ${OUT}/regressed.json "${regressed}")
+execute_process(
+  COMMAND ${BIN} bench diff ${BENCH} ${OUT}/regressed.json --fail-over=10
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 3)
+  message(FATAL_ERROR "bench diff must exit 3 on a >10% regression "
+                      "(rc=${rc})")
+endif()
+string(FIND "${out}" "FAIL" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "bench diff gate did not announce the failure")
+endif()
+
+# Without --fail-over the same comparison is report-only: exit 0.
+execute_process(
+  COMMAND ${BIN} bench diff ${BENCH} ${OUT}/regressed.json
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench diff without --fail-over must exit 0 "
+                      "(rc=${rc})")
+endif()
+
+# Garbage input: exit 1.
+file(WRITE ${OUT}/garbage.json "not json at all {")
+execute_process(
+  COMMAND ${BIN} bench diff ${BENCH} ${OUT}/garbage.json
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "bench diff on garbage must exit 1 (rc=${rc})")
+endif()

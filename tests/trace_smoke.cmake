@@ -66,6 +66,24 @@ foreach(dump ${perfetto} ${jsonl})
   endforeach()
 endforeach()
 
+# A truncated tail (crash mid-write) must be skipped and counted, never
+# fatal: append a garbled line and expect a clean report that says so.
+set(damaged ${OUT}/trace_smoke.damaged.jsonl)
+file(READ ${jsonl} stream)
+file(WRITE ${damaged} "${stream}{\"seq\":999999,\"t\":1.5,\"kind\"")
+execute_process(
+  COMMAND ${BIN} trace report ${damaged}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE report)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "trace report must survive a malformed line "
+                      "(rc=${rc})")
+endif()
+string(FIND "${report}" "malformed lines skipped: 1" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "trace report did not count the malformed line")
+endif()
+
 # An unopenable sink is an error, not a silently traceless run.
 execute_process(
   COMMAND ${BIN} sim --scheme=grid --side=20 --points=200 --initial=8

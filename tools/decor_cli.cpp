@@ -9,16 +9,20 @@
 //   lifetime      duty-cycled sleep scheduling on a k-covered network
 //   peas          PEAS baseline working-set formation
 //   trace report  summarize a trace dump (JSONL or Perfetto JSON)
+//   report html   render a run directory's artifacts as one HTML file
+//   bench diff    compare two decor.bench.v1 documents (perf gate)
 //
 // Common flags: --k --rs --rc --side --points --initial --seed --cell
 // Run `decor <subcommand> --help` for the specifics; every flag has a
 // paper-default so bare invocations work.
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,9 +32,13 @@
 #include "common/options.hpp"
 #include "common/profile.hpp"
 #include "common/provenance.hpp"
+#include "common/require.hpp"
 #include "common/table.hpp"
 #include "coverage/area_estimate.hpp"
+#include "coverage/field_recorder.hpp"
+#include "decor/bench_diff.hpp"
 #include "decor/decor.hpp"
+#include "decor/run_report.hpp"
 #include "decor/voronoi_sim.hpp"
 #include "graph/comm_graph.hpp"
 #include "graph/connectivity.hpp"
@@ -174,13 +182,60 @@ void report_deployment(const core::Field& field,
   rep.add(prefix + "covered_fraction", field.map.fraction_covered(k));
 }
 
+/// --field-jsonl for the offline engines: a FieldRecorder over the field
+/// whose snapshots the EngineLimits::on_place hook takes every
+/// --field-every placements. `t` in the emitted decor.field.v1 lines is
+/// the placement count, not simulated time (the engines run outside the
+/// event clock).
+std::unique_ptr<coverage::FieldRecorder> make_field_recorder(
+    const common::Options& opts, const core::DecorParams& params) {
+  const std::string path = opts.get("field-jsonl", "");
+  if (path.empty()) return nullptr;
+  const auto raster =
+      static_cast<std::size_t>(opts.get_int("field-raster", 0));
+  const std::size_t side =
+      raster > 0 ? raster
+                 : coverage::FieldRecorder::default_raster(params.field,
+                                                           params.rs);
+  auto rec = std::make_unique<coverage::FieldRecorder>(params.field,
+                                                       params.k, side, side);
+  DECOR_REQUIRE_MSG(rec->open_jsonl(path),
+                    "cannot write field jsonl: " + path);
+  return rec;
+}
+
+core::EngineLimits field_limits(coverage::FieldRecorder* rec,
+                                std::size_t every) {
+  core::EngineLimits limits;
+  if (rec != nullptr) {
+    limits.on_place = [rec, every](std::size_t placed,
+                                   const coverage::CoverageMap& map) {
+      if (every <= 1 || placed % every == 0) {
+        rec->snapshot(static_cast<double>(placed), map, false);
+      }
+    };
+  }
+  return limits;
+}
+
 int cmd_deploy(const common::Options& opts, CliReport& rep) {
   const auto params = params_from(opts);
   common::Rng rng(static_cast<std::uint64_t>(opts.get_int("seed", 1)));
   core::Field field(params, rng);
   field.deploy_random(
       static_cast<std::size_t>(opts.get_int("initial", 200)), rng);
-  const auto result = core::run_engine(scheme_from(opts), field, rng);
+  auto field_rec = make_field_recorder(opts, params);
+  if (field_rec) field_rec->snapshot(0.0, field.map, false);
+  const auto every =
+      static_cast<std::size_t>(opts.get_int("field-every", 25));
+  const auto result = core::run_engine(scheme_from(opts), field, rng,
+                                       field_limits(field_rec.get(), every));
+  if (field_rec) {
+    field_rec->snapshot(static_cast<double>(result.placed_nodes), field.map,
+                        true);
+    rep.add("field_snapshots",
+            static_cast<std::uint64_t>(field_rec->snapshots().size()));
+  }
   rep.add("scheme", opts.get("scheme", "grid"));
   report_deployment(field, result, params.k, rep);
   if (opts.get_bool("map", false)) {
@@ -227,7 +282,20 @@ int cmd_restore(const common::Options& opts, CliReport& rep) {
                    coverage::compute_metrics(field.map, params.k + 1),
                    params.k)
             << "\n\n== restoration ==\n";
-  const auto restore = core::run_engine(scheme, field, rng);
+  // Field snapshots cover the restoration half: the first snapshot is the
+  // post-failure deficit field, the rest trace its repair.
+  auto field_rec = make_field_recorder(opts, params);
+  if (field_rec) field_rec->snapshot(0.0, field.map, false);
+  const auto every =
+      static_cast<std::size_t>(opts.get_int("field-every", 25));
+  const auto restore = core::run_engine(scheme, field, rng,
+                                        field_limits(field_rec.get(), every));
+  if (field_rec) {
+    field_rec->snapshot(static_cast<double>(restore.placed_nodes), field.map,
+                        true);
+    rep.add("field_snapshots",
+            static_cast<std::uint64_t>(field_rec->snapshots().size()));
+  }
   report_deployment(field, restore, params.k, rep, "restore_");
   return restore.reached_full_coverage ? 0 : 2;
 }
@@ -286,6 +354,16 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   const double timeline_interval = opts.get_double("timeline", 0.0);
   const std::string timeline_jsonl = opts.get("timeline-jsonl", "");
   const std::string flight_dir = opts.get("flight-dir", "");
+  // Spatial observability: --field=T snapshots the k-deficit raster every
+  // T sim-seconds (--field-jsonl streams decor.field.v1, --field-raster
+  // overrides the cell count), --audit-jsonl streams every placement
+  // decision as decor.audit.v1 (--audit records them in memory only).
+  const double field_interval = opts.get_double("field", 0.0);
+  const std::string field_jsonl = opts.get("field-jsonl", "");
+  const auto field_raster =
+      static_cast<std::size_t>(opts.get_int("field-raster", 0));
+  const bool audit_on = opts.get_bool("audit", false);
+  const std::string audit_jsonl = opts.get("audit-jsonl", "");
   if (opts.get_bool("profile", false)) common::set_profiling_enabled(true);
   // Chaos knobs: --loss (frame loss probability), --burst (mean loss-run
   // length; > 1 switches from i.i.d. loss to a Gilbert–Elliott bursty
@@ -322,6 +400,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     cfg.timeline_interval = timeline_interval;
     cfg.timeline_jsonl = timeline_jsonl;
     cfg.flight_dir = flight_dir;
+    cfg.field_interval = field_interval;
+    cfg.field_jsonl = field_jsonl;
+    cfg.field_raster = field_raster;
+    cfg.audit = audit_on;
+    cfg.audit_jsonl = audit_jsonl;
     core::VoronoiSimHarness harness(cfg);
     const auto r = harness.run();
     std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
@@ -338,6 +421,14 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     rep.add("arq_retx", r.arq.retx);
     rep.add("arq_gave_up", r.arq.gave_up);
     if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
+    if (harness.field() != nullptr) {
+      rep.add("field_snapshots", static_cast<std::uint64_t>(
+                                     harness.field()->snapshots().size()));
+    }
+    if (audit_on || !audit_jsonl.empty()) {
+      rep.add("audit_records", static_cast<std::uint64_t>(
+                                   harness.audit().records().size()));
+    }
     if (!trace_perfetto.empty() &&
         !export_perfetto(trace_perfetto, harness.world().trace())) {
       return 1;
@@ -356,6 +447,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   cfg.timeline_interval = timeline_interval;
   cfg.timeline_jsonl = timeline_jsonl;
   cfg.flight_dir = flight_dir;
+  cfg.field_interval = field_interval;
+  cfg.field_jsonl = field_jsonl;
+  cfg.field_raster = field_raster;
+  cfg.audit = audit_on;
+  cfg.audit_jsonl = audit_jsonl;
   core::GridSimHarness harness(cfg);
   if (kill_leader_at >= 0.0) harness.schedule_leader_kill(kill_leader_at);
   const auto r = harness.run();
@@ -371,6 +467,14 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   rep.add("arq_retx", r.arq.retx);
   rep.add("arq_gave_up", r.arq.gave_up);
   if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
+  if (harness.field() != nullptr) {
+    rep.add("field_snapshots", static_cast<std::uint64_t>(
+                                   harness.field()->snapshots().size()));
+  }
+  if (audit_on || !audit_jsonl.empty()) {
+    rep.add("audit_records", static_cast<std::uint64_t>(
+                                 harness.audit().records().size()));
+  }
   if (!trace_perfetto.empty() &&
       !export_perfetto(trace_perfetto, harness.world().trace())) {
     return 1;
@@ -557,6 +661,7 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
   std::map<std::uint64_t, Span> spans;
   std::map<std::string, std::uint64_t> kind_counts;
   std::uint64_t records = 0, retransmits = 0, acks = 0, drops = 0;
+  std::uint64_t malformed = 0;
   double convergence = -1.0;
   bool chrome = false;
   bool first_line = true;
@@ -609,20 +714,32 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
         ++drops;
       }
     } else {
-      std::string kind_s;
-      if (!json_field(line, "kind", kind_s)) continue;  // schema header
+      // A trace dump survives crashes and kills, so its tail can hold a
+      // truncated or garbled line. Parse each line for real; whatever
+      // does not parse is skipped and counted, never fatal.
+      const auto parsed = common::parse_json(line);
+      if (!parsed) {
+        ++malformed;
+        continue;
+      }
+      const auto* kind_v = parsed->find("kind");
+      if (kind_v == nullptr || !kind_v->is_string()) {
+        continue;  // schema-less header or foreign record
+      }
       ++records;
-      std::string t_s, node_s, trace_s, detail;
-      json_field(line, "t", t_s);
-      json_field(line, "node", node_s);
-      json_field(line, "trace", trace_s);
-      json_field(line, "detail", detail);
-      const double t = std::strtod(t_s.c_str(), nullptr);
+      const std::string& kind_s = kind_v->as_string();
+      const auto* t_v = parsed->find("t");
+      const double t = t_v != nullptr ? t_v->as_number() : 0.0;
+      const auto* detail_v = parsed->find("detail");
+      const std::string detail =
+          detail_v != nullptr ? detail_v->as_string() : std::string();
       if (kind_s == "protocol") {
         if (detail == "converged" && convergence < 0.0) convergence = t;
         continue;
       }
-      const std::uint64_t tid = std::strtoull(trace_s.c_str(), nullptr, 10);
+      const auto* trace_v = parsed->find("trace");
+      const auto tid = static_cast<std::uint64_t>(
+          trace_v != nullptr ? trace_v->as_number() : 0.0);
       if (tid == 0) continue;  // pre-causality or unstamped record
       auto& s = spans[tid];
       touch(s, t);
@@ -633,7 +750,9 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
         ++acks;
         continue;
       }
-      const auto node = std::strtoull(node_s.c_str(), nullptr, 10);
+      const auto* node_v = parsed->find("node");
+      const auto node = static_cast<std::uint64_t>(
+          node_v != nullptr ? node_v->as_number() : 0.0);
       if (!s.have_origin) {
         s.have_origin = true;
         s.origin = node;
@@ -671,6 +790,9 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
   std::cout << "retransmits: " << retransmits << " (" << retx_ratio
             << " per exchange), acks: " << acks << ", drops: " << drops
             << "\n";
+  if (malformed > 0) {
+    std::cout << "malformed lines skipped: " << malformed << "\n";
+  }
   if (convergence >= 0.0) {
     std::cout << "convergence time: " << convergence << " s\n";
   } else {
@@ -703,6 +825,7 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
 
   rep.add("format", std::string(chrome ? "perfetto" : "jsonl"));
   rep.add("records", records);
+  rep.add("malformed_lines", malformed);
   rep.add("exchanges", originals);
   rep.add("retransmits", retransmits);
   rep.add("retransmit_ratio", retx_ratio);
@@ -723,6 +846,104 @@ int cmd_trace(const common::Options& opts, CliReport& rep) {
   return cmd_trace_report(opts, rep);
 }
 
+/// `decor report html <run-dir>` — renders every recognized artifact in
+/// the directory (recursively) into one self-contained HTML file,
+/// <run-dir>/report.html unless --out says otherwise.
+int cmd_report(const common::Options& opts, CliReport& rep) {
+  const auto& pos = opts.positional();
+  if (pos.size() < 2 || pos[0] != "html") {
+    std::cerr << "usage: decor report html <run-dir> [--out=path] "
+                 "[--max-heatmaps=N] [--max-audit-rows=N]\n";
+    return 1;
+  }
+  const std::string dir = pos[1];
+  core::RunReportOptions ropts;
+  ropts.max_heatmaps =
+      static_cast<std::size_t>(opts.get_int("max-heatmaps", 10));
+  ropts.max_audit_rows =
+      static_cast<std::size_t>(opts.get_int("max-audit-rows", 200));
+  const std::string html = core::render_run_report_html(dir, ropts);
+  std::string out = opts.get("out", "");
+  if (out.empty()) {
+    out = (std::filesystem::path(dir) / "report.html").string();
+  }
+  std::ofstream f(out, std::ios::binary);
+  if (!f.is_open()) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  f << html;
+  std::cout << "report: " << out << " (" << html.size() << " bytes)\n";
+  rep.add("out", out);
+  rep.add("bytes", static_cast<std::uint64_t>(html.size()));
+  return 0;
+}
+
+/// `decor bench diff A.json B.json [--fail-over=PCT]` — metric-by-metric
+/// comparison of two decor.bench.v1 documents. Report-only by default;
+/// with --fail-over it is a gate: exit 3 when any common metric moved by
+/// more than PCT percent. Exit 1 on unreadable or non-bench inputs.
+int cmd_bench(const common::Options& opts, CliReport& rep) {
+  const auto& pos = opts.positional();
+  if (pos.size() < 3 || pos[0] != "diff") {
+    std::cerr << "usage: decor bench diff <A.json> <B.json> "
+                 "[--fail-over=PCT]\n";
+    return 1;
+  }
+  const auto load =
+      [](const std::string& path) -> std::optional<common::JsonValue> {
+    std::ifstream f(path);
+    if (!f.is_open()) return std::nullopt;
+    std::stringstream buf;
+    buf << f.rdbuf();
+    return common::parse_json(buf.str());
+  };
+  const auto a = load(pos[1]);
+  const auto b = load(pos[2]);
+  if (!a || !b) {
+    std::cerr << "error: cannot read or parse " << (!a ? pos[1] : pos[2])
+              << "\n";
+    return 1;
+  }
+  const auto diff = core::bench_diff(*a, *b);
+  if (!diff) {
+    std::cerr << "error: both inputs must be decor.bench.v1 documents "
+                 "with a tables object\n";
+    return 1;
+  }
+  if (!diff->entries.empty()) {
+    common::Table table({"metric", "A", "B", "delta %"});
+    for (const auto& e : diff->entries) {
+      table.add_row({e.metric, common::format_double(e.a),
+                     common::format_double(e.b),
+                     common::format_double(e.delta_pct)});
+    }
+    std::cout << table.to_text();
+  }
+  for (const auto& id : diff->only_a) {
+    std::cout << "only in A: " << id << "\n";
+  }
+  for (const auto& id : diff->only_b) {
+    std::cout << "only in B: " << id << "\n";
+  }
+  const double worst = diff->max_abs_delta_pct();
+  std::cout << diff->entries.size() << " metrics compared, max |delta| "
+            << common::format_double(worst) << "%\n";
+  rep.add("metrics_compared",
+          static_cast<std::uint64_t>(diff->entries.size()));
+  rep.add("only_a", static_cast<std::uint64_t>(diff->only_a.size()));
+  rep.add("only_b", static_cast<std::uint64_t>(diff->only_b.size()));
+  rep.add("max_abs_delta_pct", worst);
+  const double fail_over = opts.get_double("fail-over", -1.0);
+  rep.add("fail_over", fail_over);
+  if (fail_over >= 0.0 && diff->exceeds(fail_over)) {
+    std::cout << "FAIL: at least one metric moved by more than "
+              << common::format_double(fail_over) << "%\n";
+    return 3;
+  }
+  return 0;
+}
+
 void usage() {
   std::cout <<
       "usage: decor <subcommand> [--flag=value ...]\n\n"
@@ -737,7 +958,12 @@ void usage() {
       "  peas          PEAS baseline working-set (--rp, --mean-sleep)\n"
       "  connectivity  communication-graph analysis (--kappa)\n"
       "  trace report  summarize a trace dump (JSONL or Perfetto JSON;\n"
-      "                --in=path or positional, --top=N)\n\n"
+      "                --in=path or positional, --top=N)\n"
+      "  report html   render a run directory's JSONL artifacts into one\n"
+      "                self-contained HTML file (--out, --max-heatmaps,\n"
+      "                --max-audit-rows)\n"
+      "  bench diff    compare two decor.bench.v1 docs; --fail-over=PCT\n"
+      "                exits 3 when any metric moved more than PCT%\n\n"
       "common flags: --k --rs --rc --side --points --initial --seed "
       "--cell --point-kind\n"
       "telemetry: --json[=path] writes a decor.cli.v1 report (metrics "
@@ -748,7 +974,12 @@ void usage() {
       "                     --flight-dir=dir (post-mortem bundle)\n"
       "                     --profile (wall-clock scope timers)\n"
       "  sim chaos knobs: --loss=P --burst=B (B>1 = bursty channel)\n"
-      "                   --kill-leader-at=T (grid scheme only)\n";
+      "                   --kill-leader-at=T (grid scheme only)\n"
+      "  spatial observability (sim, deploy, restore):\n"
+      "    --field-jsonl=path (decor.field.v1 deficit snapshots)\n"
+      "    --field=T (sim: snapshot cadence) --field-every=N (engines)\n"
+      "    --field-raster=N (cells per side)\n"
+      "    --audit-jsonl=path --audit (decor.audit.v1 placement log)\n";
 }
 
 }  // namespace
@@ -776,6 +1007,8 @@ int main(int argc, char** argv) {
     if (cmd == "lifetime") rc = cmd_lifetime(opts, rep);
     if (cmd == "peas") rc = cmd_peas(opts, rep);
     if (cmd == "trace") rc = cmd_trace(opts, rep);
+    if (cmd == "report") rc = cmd_report(opts, rep);
+    if (cmd == "bench") rc = cmd_bench(opts, rep);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
