@@ -67,12 +67,12 @@ int main(int argc, char** argv) {
       sim::World world(params.field, sim::RadioParams{1e-3, 1e-4, 0.0},
                        setup.seed + job.trial);
       std::vector<std::uint32_t> ids;
-      for (const auto& s : field.sensors.all()) {
+      field.sensors.for_each([&](const coverage::Sensor& s) {
         if (s.alive) {
           ids.push_back(world.spawn(s.pos,
                                     std::make_unique<net::PeasNode>(pp)));
         }
-      }
+      });
       world.sim().run_until(150.0);
       coverage::CoverageMap awake(
           params.field,

@@ -1,0 +1,105 @@
+// Scale sweep: sharded-placement throughput across field size, point
+// count and shard count.
+//
+// For every field configuration (side x points) the sweep runs the
+// centralized greedy engine once per shard count and reports
+// placements/second — shard count is the x axis, so the committed
+// BENCH_scale.json records the machine's actual scaling curve and
+// `decor bench diff` can gate it. placed_nodes rides along as a
+// determinism witness: the sharded engine must place exactly the same
+// number of nodes for every shard count, so that table's columns are
+// constant in x with zero stddev.
+//
+// Runs are timed sequentially (one engine at a time, no run_jobs
+// overlap): concurrent trials would contend with the sharded engine's
+// own parallel_for workers and corrupt the throughput measurement.
+//
+// Defaults are CI-sized (seconds). The paper-scale acceptance run is
+//   scale_sweep --side=1000 --points=100000 --initial=2000
+//               --max-shards=$(nproc)    (one command line)
+// On a single-core host the curve is honestly flat: shards still change
+// the work layout, but there are no extra workers to engage.
+#include <chrono>
+#include <iostream>
+
+#include "fig_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace decor;
+  const common::Options opts(argc, argv);
+  bench::FigSetup setup(opts);
+  bench::print_header("Scale sweep",
+                      "centralized placements/sec vs shard count", setup);
+
+  struct Config {
+    double side;
+    std::size_t points;
+    std::size_t initial;
+  };
+  std::vector<Config> configs;
+  if (opts.has("side") || opts.has("points")) {
+    // Explicit flags collapse the sweep to that one configuration.
+    configs.push_back({setup.base.field.width(), setup.base.num_points,
+                       setup.initial_nodes});
+  } else {
+    configs.push_back({64.0, 1000, 50});
+    configs.push_back({100.0, 2000, 100});
+    configs.push_back({160.0, 5000, 200});
+  }
+
+  std::vector<std::size_t> shard_counts{1, 2, 4};
+  const auto max_shards = static_cast<std::size_t>(opts.get_int(
+      "max-shards",
+      static_cast<std::int64_t>(common::default_thread_count())));
+  while (shard_counts.back() * 2 <= max_shards) {
+    shard_counts.push_back(shard_counts.back() * 2);
+  }
+  if (shard_counts.back() < max_shards) shard_counts.push_back(max_shards);
+
+  common::SeriesTable throughput("shards");
+  common::SeriesTable placed("shards");
+  for (const auto& cfg : configs) {
+    std::ostringstream name;
+    name << "s" << cfg.side << "_p" << cfg.points;
+    for (const std::size_t shards : shard_counts) {
+      for (std::size_t trial = 0; trial < setup.trials; ++trial) {
+        auto params = setup.base;
+        params.field = geom::make_rect(0.0, 0.0, cfg.side, cfg.side);
+        params.num_points = cfg.points;
+        params.shards = shards;
+        common::Rng rng = setup.trial_rng(trial, 5000 + cfg.points);
+        core::Field field(params, rng);
+        field.deploy_random(cfg.initial, rng);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto result = core::centralized_greedy(field, {});
+        const auto t1 = std::chrono::steady_clock::now();
+        const double secs =
+            std::chrono::duration<double>(t1 - t0).count();
+        const auto x = static_cast<double>(shards);
+        throughput.add(x, name.str(),
+                       static_cast<double>(result.placed_nodes) /
+                           (secs > 0.0 ? secs : 1e-9));
+        placed.add(x, name.str(),
+                   static_cast<double>(result.placed_nodes));
+      }
+    }
+  }
+
+  std::cout << "placements per second (rows: shard count):\n"
+            << throughput.to_text() << '\n'
+            << "placed nodes (must be constant per column):\n"
+            << placed.to_text() << '\n';
+  for (const auto& series : throughput.series_names()) {
+    const double base = throughput.mean(1.0, series);
+    const double top =
+        throughput.mean(static_cast<double>(shard_counts.back()), series);
+    std::cout << "speedup " << series << " @" << shard_counts.back()
+              << " shards: " << (base > 0.0 ? top / base : 0.0) << "x\n";
+  }
+  if (opts.get_bool("csv", false)) std::cout << throughput.to_csv();
+  bench::write_json_report(bench::json_path(opts, "scale_sweep"),
+                           "Scale sweep", setup,
+                           {{"placements_per_sec", &throughput},
+                            {"placed_nodes", &placed}});
+  return 0;
+}

@@ -1,5 +1,5 @@
 // Minimal data-parallel helper for the benchmark harnesses and the
-// coverage::BenefitIndex cold-start rebuild.
+// coverage::BenefitIndex cold-start rebuild and sharded batch sweeps.
 //
 // Experiment sweeps are embarrassingly parallel over (configuration,
 // trial) jobs: every job owns an independent seeded RNG and field, so
@@ -10,6 +10,14 @@
 // bit-identical for any thread count (guarded by a differential test in
 // tests/benefit_index_test.cpp), so callers must not weaken it to
 // slot-free accumulation.
+//
+// Workers come from one process-wide lazily-grown pool instead of being
+// spawned per call: the sharded BenefitIndex issues a parallel sweep per
+// placement *batch*, whose work (a few hundred microseconds) would
+// otherwise be dwarfed by thread creation. Nested parallel_for calls from
+// inside a running job execute inline on the calling worker — the pool
+// never deadlocks waiting on itself — and concurrent calls from unrelated
+// threads fall back to inline execution rather than queueing.
 #pragma once
 
 #include <cstddef>
@@ -20,13 +28,20 @@ namespace decor::common {
 /// Worker count used when `threads == 0`: hardware concurrency, at least 1.
 std::size_t default_thread_count() noexcept;
 
-/// Invokes fn(i) for every i in [0, n), distributing indices over worker
-/// threads (atomic work stealing). Runs inline when n <= 1 or only one
-/// thread is available. The first exception thrown by any job is
+/// Invokes fn(i) for every i in [0, n), distributing indices over pool
+/// worker threads (atomic work stealing). Runs inline when n <= 1, only
+/// one thread is requested/available, or the call is nested inside a
+/// running parallel_for job. The first exception thrown by any job is
 /// rethrown on the caller's thread after all workers finish; once a job
 /// throws, workers stop claiming new indices (fail fast), so not every
 /// index is necessarily visited on the error path.
-void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
-                  std::size_t threads = 0);
+///
+/// Returns the number of pool workers engaged alongside the caller: 0 for
+/// any inline execution, and never more than n - 1 — an empty range or a
+/// range smaller than the requested thread count must not wake idle
+/// workers (guarded by tests/parallel_test.cpp).
+std::size_t parallel_for(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t threads = 0);
 
 }  // namespace decor::common

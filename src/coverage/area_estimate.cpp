@@ -26,9 +26,9 @@ std::uint32_t covering_count(const SensorSet& sensors, geom::Point2 p,
 
 double max_radius(const SensorSet& sensors, double default_rs) {
   double r = default_rs;
-  for (const auto& s : sensors.all()) {
+  sensors.for_each([&](const Sensor& s) {
     if (s.alive && s.rs > r) r = s.rs;
-  }
+  });
   return r;
 }
 

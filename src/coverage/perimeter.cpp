@@ -103,9 +103,9 @@ std::uint32_t min_area_coverage(const SensorSet& sensors,
   DECOR_REQUIRE_MSG(default_rs > 0.0, "default rs must be positive");
 
   double max_rs = default_rs;
-  for (const auto& s : sensors.all()) {
+  sensors.for_each([&](const Sensor& s) {
     if (s.alive && s.rs > max_rs) max_rs = s.rs;
-  }
+  });
 
   auto radius_of = [&](const Sensor& s) {
     return s.rs > 0.0 ? s.rs : default_rs;
@@ -114,7 +114,8 @@ std::uint32_t min_area_coverage(const SensorSet& sensors,
   bool any_segment = false;
   std::uint32_t global_min = std::numeric_limits<std::uint32_t>::max();
 
-  for (const auto& s : sensors.all()) {
+  for (std::uint32_t sid = 0; sid < sensors.size(); ++sid) {
+    const Sensor s = sensors.sensor(sid);
     if (!s.alive) continue;
     const double r = radius_of(s);
     const geom::Point2 c = s.pos;
@@ -190,9 +191,9 @@ std::uint32_t min_area_coverage(const SensorSet& sensors,
     // No perimeter intersects the field interior: coverage is constant.
     std::uint32_t n = 0;
     const geom::Point2 center = field.center();
-    for (const auto& s : sensors.all()) {
+    sensors.for_each([&](const Sensor& s) {
       if (s.alive && geom::within(center, s.pos, radius_of(s))) ++n;
-    }
+    });
     return n;
   }
   return global_min;

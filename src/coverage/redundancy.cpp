@@ -11,7 +11,8 @@ RedundancyReport find_redundant(const CoverageMap& map,
   std::vector<std::uint32_t> counts = map.counts();
   const auto& index = map.index();
 
-  for (const auto& s : sensors.all()) {
+  for (std::uint32_t id = 0; id < sensors.size(); ++id) {
+    const Sensor s = sensors.sensor(id);
     if (!s.alive) continue;
     // Heterogeneous deployments carry per-sensor radii; 0 falls back to
     // the map's network-wide rs.

@@ -13,32 +13,35 @@ std::uint32_t SensorSet::add(geom::Point2 pos) {
 }
 
 std::uint32_t SensorSet::add(geom::Point2 pos, double rs) {
-  const auto id = static_cast<std::uint32_t>(sensors_.size());
-  sensors_.push_back(Sensor{id, pos, true, rs});
+  const auto id = static_cast<std::uint32_t>(xs_.size());
+  xs_.push_back(pos.x);
+  ys_.push_back(pos.y);
+  rs_.push_back(rs);
+  alive_.push_back(1);
   index_.insert(id, pos);
   ++alive_count_;
   return id;
 }
 
 void SensorSet::kill(std::uint32_t id) {
-  DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
-  if (!sensors_[id].alive) return;
-  sensors_[id].alive = false;
+  DECOR_REQUIRE_MSG(id < xs_.size(), "unknown sensor id");
+  if (!alive_[id]) return;
+  alive_[id] = 0;
   index_.remove(id);
   --alive_count_;
 }
 
 void SensorSet::revive(std::uint32_t id) {
-  DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
-  if (sensors_[id].alive) return;
-  sensors_[id].alive = true;
-  index_.insert(id, sensors_[id].pos);
+  DECOR_REQUIRE_MSG(id < xs_.size(), "unknown sensor id");
+  if (alive_[id]) return;
+  alive_[id] = 1;
+  index_.insert(id, {xs_[id], ys_[id]});
   ++alive_count_;
 }
 
-const Sensor& SensorSet::sensor(std::uint32_t id) const {
-  DECOR_REQUIRE_MSG(id < sensors_.size(), "unknown sensor id");
-  return sensors_[id];
+Sensor SensorSet::sensor(std::uint32_t id) const {
+  DECOR_REQUIRE_MSG(id < xs_.size(), "unknown sensor id");
+  return Sensor{id, {xs_[id], ys_[id]}, alive_[id] != 0, rs_[id]};
 }
 
 bool SensorSet::alive(std::uint32_t id) const { return sensor(id).alive; }
@@ -50,8 +53,8 @@ geom::Point2 SensorSet::position(std::uint32_t id) const {
 std::vector<std::uint32_t> SensorSet::alive_ids() const {
   std::vector<std::uint32_t> out;
   out.reserve(alive_count_);
-  for (const auto& s : sensors_) {
-    if (s.alive) out.push_back(s.id);
+  for (std::uint32_t id = 0; id < xs_.size(); ++id) {
+    if (alive_[id]) out.push_back(id);
   }
   return out;
 }

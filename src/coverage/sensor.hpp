@@ -7,6 +7,13 @@
 // sensors may vary"), so each Sensor record carries its own radius.
 // SensorSet owns the id space; ids are dense indices so per-sensor side
 // tables are plain vectors.
+//
+// Storage is structure-of-arrays: the mega-scale sweeps stream one field
+// at a time (all positions, or all radii) over 10^5+ sensors, and
+// parallel shard sweeps read disjoint index ranges — both want dense
+// homogeneous arrays, not an array of mixed records. Sensor is kept as
+// the value type handed out by sensor() / for_each(), materialized from
+// the arrays on demand.
 #pragma once
 
 #include <cstdint>
@@ -18,8 +25,9 @@
 
 namespace decor::coverage {
 
-/// One deployed sensor. `alive` flips to false on failure; ids are never
-/// reused so experiment traces stay unambiguous.
+/// One deployed sensor, materialized from the SoA columns. `alive` flips
+/// to false on failure; ids are never reused so experiment traces stay
+/// unambiguous.
 struct Sensor {
   std::uint32_t id = 0;
   geom::Point2 pos;
@@ -28,9 +36,9 @@ struct Sensor {
   double rs = 0.0;
 };
 
-/// The ground-truth deployed network: dense-id sensor storage plus a
-/// spatial index over the *alive* sensors for coverage and neighborhood
-/// queries.
+/// The ground-truth deployed network: dense-id structure-of-arrays
+/// sensor storage plus a spatial index over the *alive* sensors for
+/// coverage and neighborhood queries.
 class SensorSet {
  public:
   /// `index_cell` should be on the order of the common query radius
@@ -55,15 +63,27 @@ class SensorSet {
   /// instead of deep-copying the set). No-op if already alive.
   void revive(std::uint32_t id);
 
-  std::size_t size() const noexcept { return sensors_.size(); }
+  std::size_t size() const noexcept { return xs_.size(); }
   std::size_t alive_count() const noexcept { return alive_count_; }
 
-  const Sensor& sensor(std::uint32_t id) const;
+  /// One sensor's record, materialized from the columns.
+  Sensor sensor(std::uint32_t id) const;
   bool alive(std::uint32_t id) const;
   geom::Point2 position(std::uint32_t id) const;
 
-  /// All sensors, dead and alive, in deployment order.
-  const std::vector<Sensor>& all() const noexcept { return sensors_; }
+  /// Invokes fn(const Sensor&) for every sensor, dead and alive, in
+  /// deployment order (the replacement for handing out an AoS vector).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint32_t id = 0; id < xs_.size(); ++id) {
+      fn(Sensor{id, {xs_[id], ys_[id]}, alive_[id] != 0, rs_[id]});
+    }
+  }
+
+  /// SoA columns, id-indexed (dead sensors included).
+  const std::vector<double>& xs() const noexcept { return xs_; }
+  const std::vector<double>& ys() const noexcept { return ys_; }
+  const std::vector<double>& radii() const noexcept { return rs_; }
 
   /// IDs of currently alive sensors, ascending.
   std::vector<std::uint32_t> alive_ids() const;
@@ -78,7 +98,10 @@ class SensorSet {
  private:
   geom::Rect bounds_;
   double default_rs_;
-  std::vector<Sensor> sensors_;
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  std::vector<double> rs_;
+  std::vector<std::uint8_t> alive_;
   geom::DynamicSensorIndex index_;
   std::size_t alive_count_ = 0;
 };

@@ -1,0 +1,104 @@
+#include "coverage/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hpp"
+#include "common/require.hpp"
+
+namespace decor::coverage {
+
+std::size_t ShardSpec::resolve() const noexcept {
+  if (shards == 0) return common::default_thread_count();
+  return shards;
+}
+
+ShardGrid::ShardGrid(const geom::Rect& bounds, std::size_t shards)
+    : bounds_(bounds) {
+  DECOR_REQUIRE_MSG(shards >= 1, "shard count must be >= 1");
+  DECOR_REQUIRE_MSG(bounds_.width() > 0 && bounds_.height() > 0,
+                    "shard bounds must be non-degenerate");
+  // As-square-as-possible factorization: sy is the largest divisor of
+  // `shards` not exceeding sqrt(shards); the longer field side gets the
+  // larger factor.
+  std::size_t a = static_cast<std::size_t>(std::sqrt(
+      static_cast<double>(shards)));
+  a = std::max<std::size_t>(a, 1);
+  while (shards % a != 0) --a;
+  std::size_t b = shards / a;  // b >= a
+  if (bounds_.width() >= bounds_.height()) {
+    sx_ = b;
+    sy_ = a;
+  } else {
+    sx_ = a;
+    sy_ = b;
+  }
+  inv_w_ = static_cast<double>(sx_) / bounds_.width();
+  inv_h_ = static_cast<double>(sy_) / bounds_.height();
+
+  tiles_.reserve(sx_ * sy_);
+  const double tw = bounds_.width() / static_cast<double>(sx_);
+  const double th = bounds_.height() / static_cast<double>(sy_);
+  for (std::size_t iy = 0; iy < sy_; ++iy) {
+    for (std::size_t ix = 0; ix < sx_; ++ix) {
+      // Edge tiles take the exact field border so the tiles always cover
+      // the bounds despite rounding.
+      const double x0 = bounds_.x0 + tw * static_cast<double>(ix);
+      const double y0 = bounds_.y0 + th * static_cast<double>(iy);
+      const double x1 = ix + 1 == sx_ ? bounds_.x1 : x0 + tw;
+      const double y1 = iy + 1 == sy_ ? bounds_.y1 : y0 + th;
+      tiles_.push_back(geom::Rect{x0, y0, x1, y1});
+    }
+  }
+}
+
+std::size_t ShardGrid::shard_of(geom::Point2 p) const noexcept {
+  const auto clamp_idx = [](double v, std::size_t n) {
+    if (v <= 0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t ix = clamp_idx((p.x - bounds_.x0) * inv_w_, sx_);
+  const std::size_t iy = clamp_idx((p.y - bounds_.y0) * inv_h_, sy_);
+  return iy * sx_ + ix;
+}
+
+bool ShardGrid::may_reach(std::size_t shard, geom::Point2 center,
+                          double radius) const noexcept {
+  const auto clamp_idx = [](double v, std::size_t n) {
+    if (v <= 0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t ix = shard % sx_;
+  const std::size_t iy = shard / sx_;
+  return ix >= clamp_idx((center.x - radius - bounds_.x0) * inv_w_, sx_) &&
+         ix <= clamp_idx((center.x + radius - bounds_.x0) * inv_w_, sx_) &&
+         iy >= clamp_idx((center.y - radius - bounds_.y0) * inv_h_, sy_) &&
+         iy <= clamp_idx((center.y + radius - bounds_.y0) * inv_h_, sy_);
+}
+
+void ShardGrid::for_each_intersecting(
+    geom::Point2 center, double radius,
+    const std::function<void(std::size_t)>& fn) const {
+  const auto clamp_idx = [](double v, std::size_t n) {
+    if (v <= 0) return std::size_t{0};
+    const auto i = static_cast<std::size_t>(v);
+    return std::min(i, n - 1);
+  };
+  const std::size_t ix0 = clamp_idx((center.x - radius - bounds_.x0) * inv_w_,
+                                    sx_);
+  const std::size_t ix1 = clamp_idx((center.x + radius - bounds_.x0) * inv_w_,
+                                    sx_);
+  const std::size_t iy0 = clamp_idx((center.y - radius - bounds_.y0) * inv_h_,
+                                    sy_);
+  const std::size_t iy1 = clamp_idx((center.y + radius - bounds_.y0) * inv_h_,
+                                    sy_);
+  for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+    for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+      fn(iy * sx_ + ix);
+    }
+  }
+}
+
+}  // namespace decor::coverage

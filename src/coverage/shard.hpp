@@ -1,0 +1,85 @@
+// Rectangular shard tiling of the monitored field for the sharded
+// BenefitIndex.
+//
+// A shard owns the approximation points inside its tile. Disc events
+// (placements, failures) are applied shard-by-shard: each shard updates
+// only the counts and benefits of the points it owns, so shards can be
+// swept in parallel with disjoint writes and merged in a fixed order —
+// byte-identical results for any thread count. A disc of radius r only
+// reaches the shards whose tile it intersects; with tiles no smaller
+// than 2*rs a placement's delta disc straddles at most four shards.
+//
+// Tie-breaking note: ownership must be a partition. Points exactly on an
+// interior tile boundary belong to the tile on the right/top (floor of
+// the scaled coordinate), points on the field's far edges are clamped
+// into the last tile — every point has exactly one owner shard.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+namespace decor::coverage {
+
+/// Shard-count knob carried by DecorParams / --shards. 0 means "one
+/// shard per hardware thread"; 1 (the default) reproduces the unsharded
+/// engine exactly.
+struct ShardSpec {
+  std::size_t shards = 1;
+
+  /// The effective shard count: >= 1, with 0 resolved to the hardware
+  /// default.
+  std::size_t resolve() const noexcept;
+};
+
+/// The tiling itself: an sx-by-sy grid of closed rectangles covering
+/// `bounds`, with sx * sy == shards and the grid as square as the
+/// requested count allows (sy = largest divisor of shards not exceeding
+/// sqrt(shards), oriented so the longer field side gets more tiles).
+class ShardGrid {
+ public:
+  /// Single-shard grid over a degenerate everything-tile; shard_of is
+  /// constantly 0. Lets an unsharded index skip tiling entirely.
+  ShardGrid() = default;
+
+  ShardGrid(const geom::Rect& bounds, std::size_t shards);
+
+  std::size_t count() const noexcept { return sx_ * sy_; }
+  std::size_t sx() const noexcept { return sx_; }
+  std::size_t sy() const noexcept { return sy_; }
+
+  /// The shard owning point `p` (clamped into the grid, so every point
+  /// maps somewhere even at the field's closed far edges).
+  std::size_t shard_of(geom::Point2 p) const noexcept;
+
+  /// Tile rectangle of one shard.
+  const geom::Rect& tile(std::size_t shard) const { return tiles_[shard]; }
+
+  /// Invokes fn(shard) for every shard whose tile's bounding box meets
+  /// the axis-aligned bounding box of the disc — a cheap conservative
+  /// superset of the shards actually reached, visited in ascending shard
+  /// id (deterministic). Callers filter per point via shard ownership.
+  void for_each_intersecting(geom::Point2 center, double radius,
+                             const std::function<void(std::size_t)>& fn) const;
+
+  /// Single-shard membership test for the same conservative superset
+  /// for_each_intersecting enumerates: false guarantees no point owned
+  /// by `shard` lies within `radius` of `center` (shard_of and this test
+  /// use the same monotone index arithmetic).
+  bool may_reach(std::size_t shard, geom::Point2 center,
+                 double radius) const noexcept;
+
+ private:
+  geom::Rect bounds_;
+  std::size_t sx_ = 1;
+  std::size_t sy_ = 1;
+  double inv_w_ = 0.0;  // sx / width
+  double inv_h_ = 0.0;  // sy / height
+  std::vector<geom::Rect> tiles_;
+};
+
+}  // namespace decor::coverage

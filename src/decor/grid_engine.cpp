@@ -73,20 +73,21 @@ void GridEngine::build_initial_state() {
   }
   // Beliefs start at zero coverage: a leader only knows what it is told.
   beliefs_ = std::make_unique<coverage::BenefitIndex>(
-      field_.map.index_ptr(), rs_, k_, std::move(owners));
+      field_.map.index_ptr(), rs_, k_, std::move(owners), 0,
+      coverage::ShardSpec{field_.params.shards});
   for (std::size_t c = 0; c < cells_.size(); ++c) {
     cells_[c].uncovered = cells_[c].point_ids.size();
   }
   // Leaders know the sensors inside their own cell and nothing beyond:
   // each initial sensor contributes only to its home cell's belief
   // (heterogeneous sensors contribute with their own radius).
-  for (const auto& s : field_.sensors.all()) {
-    if (!s.alive) continue;
+  field_.sensors.for_each([&](const coverage::Sensor& s) {
+    if (!s.alive) return;
     const std::size_t c = partition_.cell_of(s.pos);
     cells_[c].has_leader = true;
     ++cells_[c].members;
     local_add_disc(c, s.pos, s.rs > 0.0 ? s.rs : rs_);
-  }
+  });
 }
 
 void GridEngine::local_add_disc(std::size_t cell, geom::Point2 pos,

@@ -28,9 +28,9 @@ std::vector<std::uint32_t> fail_random_fraction(Field& field, double fraction,
 
 std::vector<std::uint32_t> fail_area(Field& field, const geom::Disc& area) {
   std::vector<std::uint32_t> killed;
-  for (const auto& s : field.sensors.all()) {
+  field.sensors.for_each([&](const coverage::Sensor& s) {
     if (s.alive && area.contains(s.pos)) killed.push_back(s.id);
-  }
+  });
   for (std::uint32_t id : killed) field.fail(id);
   return killed;
 }

@@ -7,11 +7,10 @@
 
 namespace decor::geom {
 
-PointGridIndex::PointGridIndex(const Rect& bounds, std::vector<Point2> points,
+PointGridIndex::PointGridIndex(const Rect& bounds,
+                               const std::vector<Point2>& points,
                                double cell_size)
-    : bounds_(bounds),
-      cell_size_(std::max(cell_size, 1e-6)),
-      points_(std::move(points)) {
+    : bounds_(bounds), cell_size_(std::max(cell_size, 1e-6)) {
   DECOR_REQUIRE_MSG(bounds_.width() > 0 && bounds_.height() > 0,
                     "index bounds must be non-degenerate");
   nx_ = static_cast<std::size_t>(std::ceil(bounds_.width() / cell_size_));
@@ -19,23 +18,43 @@ PointGridIndex::PointGridIndex(const Rect& bounds, std::vector<Point2> points,
   nx_ = std::max<std::size_t>(nx_, 1);
   ny_ = std::max<std::size_t>(ny_, 1);
 
-  // Counting sort of point IDs into cells (CSR).
+  xs_.reserve(points.size());
+  ys_.reserve(points.size());
+  for (const auto& p : points) {
+    DECOR_REQUIRE_MSG(bounds_.contains(p), "point outside index bounds");
+    xs_.push_back(p.x);
+    ys_.push_back(p.y);
+  }
+
+  // Counting sort of point IDs into cells (CSR), with cell-ordered
+  // coordinate copies for the streaming disc sweep.
   const std::size_t ncells = nx_ * ny_;
   std::vector<std::uint32_t> counts(ncells, 0);
-  for (const auto& p : points_) {
-    DECOR_REQUIRE_MSG(bounds_.contains(p), "point outside index bounds");
-    ++counts[cell_of(p)];
-  }
+  for (const auto& p : points) ++counts[cell_of(p)];
   cell_start_.assign(ncells + 1, 0);
   for (std::size_t c = 0; c < ncells; ++c)
     cell_start_[c + 1] = cell_start_[c] + counts[c];
-  cell_points_.resize(points_.size());
+  cell_points_.resize(points.size());
+  cell_xs_.resize(points.size());
+  cell_ys_.resize(points.size());
   std::vector<std::uint32_t> cursor(cell_start_.begin(),
                                     cell_start_.end() - 1);
-  for (std::size_t id = 0; id < points_.size(); ++id) {
-    const std::size_t c = cell_of(points_[id]);
-    cell_points_[cursor[c]++] = static_cast<std::uint32_t>(id);
+  for (std::size_t id = 0; id < points.size(); ++id) {
+    const std::size_t c = cell_of(points[id]);
+    const std::uint32_t slot = cursor[c]++;
+    cell_points_[slot] = static_cast<std::uint32_t>(id);
+    cell_xs_[slot] = points[id].x;
+    cell_ys_[slot] = points[id].y;
   }
+}
+
+std::vector<Point2> PointGridIndex::points() const {
+  std::vector<Point2> out;
+  out.reserve(xs_.size());
+  for (std::size_t id = 0; id < xs_.size(); ++id) {
+    out.push_back({xs_[id], ys_[id]});
+  }
+  return out;
 }
 
 std::size_t PointGridIndex::cell_of(Point2 p) const noexcept {
@@ -70,9 +89,12 @@ void PointGridIndex::for_each_in_disc(
   for (std::size_t iy = iy0; iy <= iy1; ++iy) {
     for (std::size_t ix = ix0; ix <= ix1; ++ix) {
       const std::size_t c = iy * nx_ + ix;
+      // Stream the cell-ordered coordinate columns; visit order is the
+      // CSR slot order, identical to the id-array walk.
       for (std::uint32_t i = cell_start_[c]; i < cell_start_[c + 1]; ++i) {
-        const std::size_t id = cell_points_[i];
-        if (distance_sq(points_[id], center) <= r2) fn(id);
+        const double dx = cell_xs_[i] - center.x;
+        const double dy = cell_ys_[i] - center.y;
+        if (dx * dx + dy * dy <= r2) fn(cell_points_[i]);
       }
     }
   }
@@ -88,8 +110,8 @@ std::vector<std::size_t> PointGridIndex::query_disc(Point2 center,
 
 std::vector<std::size_t> PointGridIndex::query_rect(const Rect& r) const {
   std::vector<std::size_t> out;
-  for (std::size_t id = 0; id < points_.size(); ++id) {
-    if (r.contains(points_[id])) out.push_back(id);
+  for (std::size_t id = 0; id < xs_.size(); ++id) {
+    if (r.contains(Point2{xs_[id], ys_[id]})) out.push_back(id);
   }
   return out;
 }

@@ -1,9 +1,16 @@
 // Uniform-grid spatial index over a static set of points.
 //
-// The approximation point set (2000 Halton points) is fixed for the life of
-// an experiment; the index buckets point IDs into grid cells so that
-// "all points within rs of a candidate position" — the inner loop of the
-// benefit function — is O(points in a 2rs x 2rs window).
+// The approximation point set (2000 Halton points at paper scale, 10^5+
+// on mega-scale fields) is fixed for the life of an experiment; the
+// index buckets point IDs into grid cells so that "all points within rs
+// of a candidate position" — the inner loop of the benefit function — is
+// O(points in a 2rs x 2rs window).
+//
+// Storage is structure-of-arrays: id-ordered coordinate columns for O(1)
+// lookups, plus cell-ordered coordinate copies laid out alongside the
+// CSR id array so the disc sweep streams contiguous doubles instead of
+// chasing Point2 records — the benefit sweeps at mega scale are memory
+// bound on exactly this loop.
 #pragma once
 
 #include <cstdint>
@@ -19,13 +26,18 @@ class PointGridIndex {
  public:
   /// Builds an index over `points` inside `bounds`. `cell_size` should be
   /// on the order of the query radius; it is clamped to a sane minimum.
-  PointGridIndex(const Rect& bounds, std::vector<Point2> points,
+  PointGridIndex(const Rect& bounds, const std::vector<Point2>& points,
                  double cell_size);
 
-  std::size_t size() const noexcept { return points_.size(); }
-  const std::vector<Point2>& points() const noexcept { return points_; }
-  const Point2& point(std::size_t id) const { return points_[id]; }
+  std::size_t size() const noexcept { return xs_.size(); }
+  /// All points in id order, materialized from the columns.
+  std::vector<Point2> points() const;
+  Point2 point(std::size_t id) const { return {xs_[id], ys_[id]}; }
   const Rect& bounds() const noexcept { return bounds_; }
+
+  /// Id-ordered coordinate columns.
+  const std::vector<double>& xs() const noexcept { return xs_; }
+  const std::vector<double>& ys() const noexcept { return ys_; }
 
   /// Invokes `fn(id)` for every point within distance `radius` of `center`.
   void for_each_in_disc(Point2 center, double radius,
@@ -44,10 +56,15 @@ class PointGridIndex {
   double cell_size_;
   std::size_t nx_ = 0;
   std::size_t ny_ = 0;
-  std::vector<Point2> points_;
-  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_points_.
+  // Id-ordered columns.
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+  // CSR layout: cell_start_[c]..cell_start_[c+1] indexes into cell_points_
+  // and the cell-ordered coordinate copies.
   std::vector<std::uint32_t> cell_start_;
   std::vector<std::uint32_t> cell_points_;
+  std::vector<double> cell_xs_;
+  std::vector<double> cell_ys_;
 };
 
 }  // namespace decor::geom

@@ -61,11 +61,11 @@ CommGraph build_comm_graph(const coverage::SensorSet& sensors, double rc) {
   std::vector<std::uint32_t> ids;
   pos.reserve(sensors.alive_count());
   ids.reserve(sensors.alive_count());
-  for (const auto& s : sensors.all()) {
-    if (!s.alive) continue;
+  sensors.for_each([&](const coverage::Sensor& s) {
+    if (!s.alive) return;
     pos.push_back(s.pos);
     ids.push_back(s.id);
-  }
+  });
   return from_indexed_positions(pos, ids, sensors.bounds(), rc);
 }
 

@@ -101,6 +101,63 @@ TEST(ParallelFor, DefaultThreadCountPositive) {
   EXPECT_GE(default_thread_count(), 1u);
 }
 
+TEST(ParallelFor, EmptyRangeEngagesNoWorkers) {
+  // Regression: an empty range must neither run the body nor wake any
+  // pool worker, no matter how many threads were requested.
+  int calls = 0;
+  const std::size_t engaged =
+      parallel_for(0, [&](std::size_t) { ++calls; }, 8);
+  EXPECT_EQ(engaged, 0u);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NeverEngagesMoreWorkersThanItems) {
+  // Regression: with more threads than items, surplus workers must stay
+  // idle — at most n - 1 workers join the caller.
+  for (std::size_t n = 1; n <= 4; ++n) {
+    std::atomic<int> calls{0};
+    const std::size_t engaged =
+        parallel_for(n, [&](std::size_t) { ++calls; }, 16);
+    EXPECT_LE(engaged, n - 1) << "n=" << n;
+    EXPECT_EQ(calls.load(), static_cast<int>(n));
+  }
+}
+
+TEST(ParallelFor, InlineRunsReportZeroWorkers) {
+  const std::size_t engaged =
+      parallel_for(100, [](std::size_t) {}, 1);
+  EXPECT_EQ(engaged, 0u);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock) {
+  // A job that itself calls parallel_for (BenefitIndex::rebuild inside a
+  // run_jobs job) must not re-enter the pool: the nested call runs
+  // inline on the worker, engaging zero extra workers.
+  std::atomic<std::size_t> nested_engaged{0};
+  std::atomic<int> inner_calls{0};
+  parallel_for(
+      4,
+      [&](std::size_t) {
+        const std::size_t e = parallel_for(
+            50, [&](std::size_t) { ++inner_calls; }, 4);
+        nested_engaged += e;
+      },
+      4);
+  EXPECT_EQ(nested_engaged.load(), 0u);
+  EXPECT_EQ(inner_calls.load(), 200);
+}
+
+TEST(ParallelFor, PoolIsReusedAcrossManySmallCalls) {
+  // The per-batch hot path: thousands of short parallel regions must
+  // work back to back (persistent pool, no per-call thread spawn).
+  std::atomic<long> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    parallel_for(8, [&](std::size_t i) { total += static_cast<long>(i); },
+                 4);
+  }
+  EXPECT_EQ(total.load(), 2000L * 28);
+}
+
 TEST(ParallelFor, DeterministicResultSlots) {
   // The bench pattern: per-job slots merged after the run give the same
   // outcome regardless of scheduling.

@@ -79,10 +79,10 @@ TEST(Field, DeployRandomStaysInsideField) {
   common::Rng rng(4);
   Field field(base_params(), rng);
   field.deploy_random(100, rng);
-  for (const auto& s : field.sensors.all()) {
+  field.sensors.for_each([&](const coverage::Sensor& s) {
     EXPECT_TRUE(field.params.field.contains(s.pos));
     EXPECT_DOUBLE_EQ(s.rs, field.params.rs);
-  }
+  });
 }
 
 TEST(Field, HeterogeneousRangeValidated) {
@@ -93,10 +93,10 @@ TEST(Field, HeterogeneousRangeValidated) {
   EXPECT_THROW(field.deploy_random_heterogeneous(5, 5.0, 3.0, rng),
                common::RequireError);
   field.deploy_random_heterogeneous(5, 3.0, 5.0, rng);
-  for (const auto& s : field.sensors.all()) {
+  field.sensors.for_each([&](const coverage::Sensor& s) {
     EXPECT_GE(s.rs, 3.0);
     EXPECT_LE(s.rs, 5.0);
-  }
+  });
 }
 
 TEST(Field, KZeroRejected) {

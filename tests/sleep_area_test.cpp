@@ -203,7 +203,8 @@ TEST(Heterogeneous, FieldDeploysMixedRadii) {
   Field field(params(1), rng);
   field.deploy_random_heterogeneous(20, 2.0, 8.0, rng);
   std::set<double> radii;
-  for (const auto& s : field.sensors.all()) radii.insert(s.rs);
+  field.sensors.for_each(
+      [&](const coverage::Sensor& s) { radii.insert(s.rs); });
   EXPECT_GT(radii.size(), 10u);  // actually varied
 }
 

@@ -139,6 +139,9 @@ core::DecorParams params_from(const common::Options& opts) {
   p.rc = opts.get_double("rc", 2.0 * p.rs);
   p.cell_side = opts.get_double("cell", 5.0);
   p.num_points = static_cast<std::size_t>(opts.get_int("points", 2000));
+  // --shards=N tiles the field for the sharded BenefitIndex; 0 = one
+  // shard per hardware thread. Placements are identical for every value.
+  p.shards = static_cast<std::size_t>(opts.get_int("shards", 1));
   const std::string kind = opts.get("point-kind", "halton");
   if (kind == "hammersley") p.point_kind = core::PointKind::kHammersley;
   if (kind == "random") p.point_kind = core::PointKind::kRandom;
@@ -243,9 +246,9 @@ int cmd_deploy(const common::Options& opts, CliReport& rep) {
   }
   if (opts.get_bool("dump", false)) {
     std::cout << "x,y\n";
-    for (const auto& s : field.sensors.all()) {
+    field.sensors.for_each([&](const coverage::Sensor& s) {
       if (s.alive) std::cout << s.pos.x << ',' << s.pos.y << '\n';
-    }
+    });
   }
   return result.reached_full_coverage ? 0 : 2;
 }
@@ -965,7 +968,7 @@ void usage() {
       "  bench diff    compare two decor.bench.v1 docs; --fail-over=PCT\n"
       "                exits 3 when any metric moved more than PCT%\n\n"
       "common flags: --k --rs --rc --side --points --initial --seed "
-      "--cell --point-kind\n"
+      "--cell --point-kind --shards\n"
       "telemetry: --json[=path] writes a decor.cli.v1 report (metrics "
       "snapshot included);\n"
       "  sim also takes --trace --trace-cap=N --trace-jsonl=path\n"
