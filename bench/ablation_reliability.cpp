@@ -71,12 +71,19 @@ int main(int argc, char** argv) {
               cfg.params.field, setup.initial_nodes, rng);
           const auto result = core::run_grid_decor_sim(cfg);
           const double x = loss * 100.0;
+          // sent counts only ack-expecting frames (best-effort
+          // broadcasts with nobody in range are tallied separately), so
+          // the ratio is per *reliable* frame rather than diluted by
+          // no-audience traffic.
+          const double sent = static_cast<double>(result.arq.sent);
+          const double retx = static_cast<double>(result.arq.retx);
           return std::vector<bench::Sample>{
               {x, "covered%", result.reached_full_coverage ? 100.0 : 0.0},
               {x, "finish_s", result.finish_time},
               {x, "placed", static_cast<double>(result.placed_nodes)},
               {x, "radio_tx", static_cast<double>(result.radio_tx)},
-              {x, "retx", static_cast<double>(result.arq.retx)},
+              {x, "retx", retx},
+              {x, "retx_ratio", sent > 0.0 ? retx / sent : 0.0},
               {x, "acks", static_cast<double>(result.arq.acks_sent)},
               {x, "gave_up", static_cast<double>(result.arq.gave_up)},
           };

@@ -43,6 +43,7 @@ struct GridSimHarness::Shared {
   net::ElectionParams election;
   bool enable_arq = true;
   net::ReliableLinkParams arq;
+  net::DataPlaneParams data_plane;
   GridSimHarness* harness = nullptr;
   const geom::PointGridIndex* points = nullptr;
   /// Placement audit sink, or nullptr when auditing is off. Nodes only
@@ -53,6 +54,8 @@ struct GridSimHarness::Shared {
   /// Per-world ARQ accounting every node's link feeds (simulation is
   /// single-threaded; surfaced through SimRunResult).
   net::ArqStats arq_stats;
+  /// Per-world data-plane accounting (zeros unless the data plane runs).
+  net::DataPlaneStats data_stats;
   /// Cell -> id of the node that most recently became that cell's leader
   /// (self-registration; used only for chaos targeting). Ordered so the
   /// leader-kill picks deterministically.
@@ -76,7 +79,8 @@ struct GridSimHarness::Shared {
         heartbeat(cfg.heartbeat),
         election(cfg.election),
         enable_arq(cfg.enable_arq),
-        arq(cfg.arq) {}
+        arq(cfg.arq),
+        data_plane(cfg.data_plane) {}
 
   void index_points(const geom::PointGridIndex& index) {
     points = &index;
@@ -103,6 +107,7 @@ class DecorGridSimNode final : public net::SensorNode {
   explicit DecorGridSimNode(std::shared_ptr<Shared> shared)
       : net::SensorNode(make_node_params(*shared)), shared_(std::move(shared)) {
     set_arq_stats(&shared_->arq_stats);
+    set_data_stats(&shared_->data_stats);
   }
 
   void on_start() override {
@@ -215,6 +220,7 @@ class DecorGridSimNode final : public net::SensorNode {
     p.heartbeat = shared.heartbeat;
     p.enable_arq = shared.enable_arq;
     p.arq = shared.arq;
+    p.data_plane = shared.data_plane;
     return p;
   }
 
@@ -541,6 +547,11 @@ sim::TimelineSample GridSimHarness::sample_timeline() {
     leaders += std::to_string(id);
   }
   s.leaders = std::move(leaders);
+  if (cfg_.data_plane.enabled) {
+    s.has_readings = true;
+    s.readings_delivered = shared_->data_stats.readings_delivered;
+    s.reading_bytes = shared_->data_stats.bytes_delivered;
+  }
   return s;
 }
 
@@ -601,7 +612,15 @@ SimRunResult GridSimHarness::run() {
       // Forced snapshot at the convergence instant: the final (hole-free)
       // field always lands on the recorder even between cadence ticks.
       if (field_) field_->snapshot(world_->sim().now(), *map_, true);
-      world_->sim().stop();
+      if (cfg_.linger_after_coverage > 0.0) {
+        // Fixed post-restoration horizon: keep the data plane flowing
+        // so goodput is measured over a comparable window regardless of
+        // when convergence happened (run_until still caps at run_time).
+        world_->sim().schedule(cfg_.linger_after_coverage,
+                               [this] { world_->sim().stop(); });
+      } else {
+        world_->sim().stop();
+      }
       return;
     }
     if (auto self = weak_poll.lock()) world_->sim().schedule(0.5, *self);
@@ -640,11 +659,13 @@ SimRunResult GridSimHarness::run() {
             " points below k-coverage at run_time");
   }
   result.finish_time = state->finish_time;
+  result.end_time = world_->sim().now();
   result.placed_nodes = placements_.size();
   result.placements = placements_;
   result.radio_tx = world_->radio().total_tx();
   result.radio_rx = world_->radio().total_rx();
   result.arq = shared_->arq_stats;
+  result.data = shared_->data_stats;
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
   // One update per run (placements made during *this* call, so repeated
   // runs on one harness never double-count); the hot protocol path stays

@@ -37,6 +37,14 @@ struct SimRunConfig {
   /// field is fully k-covered.
   double run_time = 300.0;
 
+  /// When > 0, reaching full k-coverage no longer stops the run at the
+  /// convergence instant: the simulation keeps going for this many extra
+  /// seconds (still capped by run_time). finish_time records the
+  /// convergence time either way. This gives the data plane a
+  /// fixed-length measurement window, so goodput comparisons are not
+  /// confounded by how quickly restoration happened to converge.
+  double linger_after_coverage = 0.0;
+
   /// Pacing of a leader's placement loop (one new sensor per interval).
   double placement_interval = 0.5;
 
@@ -52,6 +60,12 @@ struct SimRunConfig {
   /// stay best-effort. Disable to reproduce the fire-and-forget stack.
   bool enable_arq = true;
   net::ReliableLinkParams arq{};
+
+  /// Data-plane workload: every non-sink sensor streams kReading frames
+  /// to the base station (node 0, the first initial position) while
+  /// restoration runs. Off by default — control-plane-only trajectories
+  /// stay byte-identical.
+  net::DataPlaneParams data_plane{};
 
   /// Tracing (applied to the world's Trace at construction): record
   /// protocol events, optionally bounded to the `trace_capacity` most
@@ -94,11 +108,16 @@ struct SimRunResult {
   std::size_t placed_nodes = 0;
   bool reached_full_coverage = false;
   double finish_time = 0.0;
+  /// Sim clock when the run actually stopped (== finish_time unless
+  /// linger_after_coverage extended it); goodput denominators use this.
+  double end_time = 0.0;
   std::uint64_t radio_tx = 0;
   std::uint64_t radio_rx = 0;
   /// ARQ accounting, cumulative over the harness lifetime (not reset
   /// between repeated run() calls on one harness).
   net::ArqStats arq;
+  /// Data-plane accounting (all zeros unless cfg.data_plane.enabled).
+  net::DataPlaneStats data;
   coverage::CoverageMetrics metrics;
   std::vector<geom::Point2> placements;
 };

@@ -34,8 +34,11 @@ struct VoronoiSimHarness::Shared {
   net::HeartbeatParams heartbeat;
   bool enable_arq = true;
   net::ReliableLinkParams arq;
+  net::DataPlaneParams data_plane;
   /// Per-world ARQ accounting (single-threaded simulation).
   net::ArqStats arq_stats;
+  /// Per-world data-plane accounting (zeros unless the data plane runs).
+  net::DataPlaneStats data_stats;
   /// Placement audit sink, or nullptr when auditing is off. Nodes only
   /// pre-mint kPlacement trace ids when auditing, so non-audited runs
   /// keep their exact pre-audit trace-id sequences.
@@ -52,6 +55,7 @@ class DecorVoronoiSimNode final : public net::SensorNode {
       : net::SensorNode(make_node_params(*shared)),
         shared_(std::move(shared)) {
     set_arq_stats(&shared_->arq_stats);
+    set_data_stats(&shared_->data_stats);
   }
 
   void on_start() override {
@@ -101,6 +105,7 @@ class DecorVoronoiSimNode final : public net::SensorNode {
     p.heartbeat = shared.heartbeat;
     p.enable_arq = shared.enable_arq;
     p.arq = shared.arq;
+    p.data_plane = shared.data_plane;
     return p;
   }
 
@@ -280,6 +285,7 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   shared_->heartbeat = cfg_.heartbeat;
   shared_->enable_arq = cfg_.enable_arq;
   shared_->arq = cfg_.arq;
+  shared_->data_plane = cfg_.data_plane;
   if (cfg_.audit || !cfg_.audit_jsonl.empty()) shared_->audit = &audit_;
 }
 
@@ -325,6 +331,11 @@ sim::TimelineSample VoronoiSimHarness::sample_timeline() {
   }
   s.arq_in_flight = in_flight;
   // Leaderless scheme: the leaders field stays empty.
+  if (cfg_.data_plane.enabled) {
+    s.has_readings = true;
+    s.readings_delivered = shared_->data_stats.readings_delivered;
+    s.reading_bytes = shared_->data_stats.bytes_delivered;
+  }
   return s;
 }
 
@@ -439,7 +450,14 @@ VoronoiSimResult VoronoiSimHarness::run() {
       // Forced snapshot at the convergence instant: the final (hole-free)
       // field always lands on the recorder even between cadence ticks.
       if (field_) field_->snapshot(world_->sim().now(), *map_, true);
-      world_->sim().stop();
+      if (cfg_.linger_after_coverage > 0.0) {
+        // Fixed post-restoration horizon for data-plane goodput (see
+        // sim_runner.cpp); run_until still caps at run_time.
+        world_->sim().schedule(cfg_.linger_after_coverage,
+                               [this] { world_->sim().stop(); });
+      } else {
+        world_->sim().stop();
+      }
       return;
     }
     const std::size_t covered = map_->num_covered(cfg_.params.k);
@@ -486,12 +504,14 @@ VoronoiSimResult VoronoiSimHarness::run() {
             " points below k-coverage at run_time");
   }
   result.finish_time = state->finish_time;
+  result.end_time = world_->sim().now();
   result.placed_nodes = placements_.size();
   result.seeded_nodes = seeded_;
   result.placements = placements_;
   result.radio_tx = world_->radio().total_tx();
   result.radio_rx = world_->radio().total_rx();
   result.arq = shared_->arq_stats;
+  result.data = shared_->data_stats;
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
   // One update per run (deltas since run() entry, so repeated runs on
   // one harness never double-count); the hot protocol path stays free of

@@ -37,6 +37,12 @@ struct VoronoiSimConfig {
   /// Wall limit in simulated seconds.
   double run_time = 300.0;
 
+  /// When > 0, full k-coverage no longer stops the run immediately: the
+  /// simulation lingers this many extra seconds (capped by run_time) so
+  /// the data plane gets a fixed-length goodput window. finish_time
+  /// still records the convergence instant (see SimRunConfig).
+  double linger_after_coverage = 0.0;
+
   /// Pacing of each node's coverage-check loop.
   double check_interval = 0.5;
 
@@ -51,6 +57,10 @@ struct VoronoiSimConfig {
   /// kHello/kHeartbeat stay best-effort.
   bool enable_arq = true;
   net::ReliableLinkParams arq{};
+
+  /// Data-plane workload toward the base station (node 0); off by
+  /// default so control-plane-only trajectories stay byte-identical.
+  net::DataPlaneParams data_plane{};
 
   /// Tracing (applied to the world's Trace at construction): record
   /// protocol events, optionally bounded to the `trace_capacity` most
@@ -95,10 +105,15 @@ struct VoronoiSimResult {
   std::size_t seeded_nodes = 0;
   bool reached_full_coverage = false;
   double finish_time = 0.0;
+  /// Sim clock when the run actually stopped (== finish_time unless
+  /// linger_after_coverage extended it); goodput denominators use this.
+  double end_time = 0.0;
   std::uint64_t radio_tx = 0;
   std::uint64_t radio_rx = 0;
   /// ARQ accounting, cumulative over the harness lifetime.
   net::ArqStats arq;
+  /// Data-plane accounting (all zeros unless cfg.data_plane.enabled).
+  net::DataPlaneStats data;
   coverage::CoverageMetrics metrics;
   std::vector<geom::Point2> placements;
 };

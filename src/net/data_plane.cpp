@@ -1,0 +1,153 @@
+#include "net/data_plane.hpp"
+
+#include "common/require.hpp"
+#include "net/messages.hpp"
+#include "sim/world.hpp"
+
+namespace decor::net {
+
+DataPlane::DataPlane(sim::NodeProcess& host, double range,
+                     DataPlaneParams params)
+    : host_(host), range_(range), params_(params) {
+  DECOR_REQUIRE_MSG(params_.reading_interval > 0.0,
+                    "reading interval must be positive");
+  DECOR_REQUIRE_MSG(params_.beacon_interval > 0.0,
+                    "beacon interval must be positive");
+}
+
+bool DataPlane::is_sink() const noexcept {
+  return host_.id() == params_.sink;
+}
+
+void DataPlane::start(ReliableUnicastFn send_reliable) {
+  send_reliable_ = std::move(send_reliable);
+  if (is_sink()) {
+    host_.world().sim().schedule(params_.first_beacon_delay,
+                                 [this] { beacon_tick(); });
+    return;
+  }
+  // Jittered phase: a field of sensors sharing one reading_interval must
+  // not all transmit at the same instant.
+  const double phase =
+      host_.world().rng().uniform(0.0, params_.reading_interval);
+  host_.world().sim().schedule(phase, [this] { reading_tick(); });
+}
+
+void DataPlane::beacon_tick() {
+  if (!host_.alive()) return;
+  const std::uint32_t epoch = next_epoch_++;
+  sim::Message m = sim::Message::make(host_.id(), kSinkBeacon,
+                                      SinkBeaconPayload{epoch, 0},
+                                      wire_size(kSinkBeacon));
+  m.trace_id = host_.world().mint_trace_id();
+  host_.world().radio().broadcast(host_, m, range_);
+  if (stats_) ++stats_->beacons_sent;
+  host_.world().sim().schedule(params_.beacon_interval,
+                               [this] { beacon_tick(); });
+}
+
+void DataPlane::reading_tick() {
+  if (!host_.alive()) return;
+  if (have_route_) {
+    sim::Message m = sim::Message::make(
+        host_.id(), kReading,
+        ReadingPayload{host_.id(), next_reading_seq_++, 0,
+                       host_.world().sim().now(),
+                       host_.pos().x + host_.pos().y, host_.pos()},
+        wire_size(kReading));
+    if (stats_) ++stats_->readings_originated;
+    send_reliable_(parent_, std::move(m));
+  } else if (stats_) {
+    ++stats_->no_route_drops;
+  }
+  host_.world().sim().schedule(params_.reading_interval,
+                               [this] { reading_tick(); });
+}
+
+bool DataPlane::on_message(const sim::Message& msg) {
+  switch (msg.kind) {
+    case kSinkBeacon:
+      handle_beacon(msg);
+      return true;
+    case kReading:
+      handle_reading(msg);
+      return true;
+    default:
+      return false;
+  }
+}
+
+void DataPlane::handle_beacon(const sim::Message& msg) {
+  if (is_sink()) return;  // the sink's own flood reflected back
+  const auto& b = msg.as<SinkBeaconPayload>();
+  const std::uint32_t hops = b.hops + 1;
+  // Adopt when the epoch is fresher, or the same epoch offers a shorter
+  // route. Every epoch re-floods the whole gradient, so stale parents
+  // (dead, or left behind by churn) age out within one beacon period.
+  const bool better = !have_route_ || b.epoch > route_epoch_ ||
+                      (b.epoch == route_epoch_ && hops < route_hops_);
+  if (!better) return;
+  const bool rebroadcast = !have_route_ || b.epoch > route_epoch_;
+  have_route_ = true;
+  parent_ = msg.src;
+  route_epoch_ = b.epoch;
+  route_hops_ = hops;
+  // Re-flood once per epoch (shorter-route refinements would re-flood
+  // the same epoch repeatedly and storm the channel).
+  if (!rebroadcast) return;
+  sim::Message fwd = sim::Message::make(host_.id(), kSinkBeacon,
+                                        SinkBeaconPayload{b.epoch, hops},
+                                        wire_size(kSinkBeacon));
+  fwd.trace_id = msg.trace_id;  // later hop of the sink's flood
+  host_.world().radio().broadcast(host_, fwd, range_);
+  if (stats_) ++stats_->beacons_sent;
+}
+
+void DataPlane::handle_reading(const sim::Message& msg) {
+  auto payload = msg.as<ReadingPayload>();
+  if (is_sink()) {
+    SeenOrigin& seen = seen_[payload.origin];
+    const bool dup = payload.seq <= seen.floor ||
+                     seen.above.count(payload.seq) > 0;
+    if (dup) {
+      if (stats_) ++stats_->duplicates_at_sink;
+      return;
+    }
+    seen.above.insert(payload.seq);
+    while (!seen.above.empty() && *seen.above.begin() == seen.floor + 1) {
+      ++seen.floor;
+      seen.above.erase(seen.above.begin());
+    }
+    if (stats_) {
+      ++stats_->readings_delivered;
+      stats_->bytes_delivered += msg.size_bytes;
+    }
+    return;
+  }
+  ++payload.hops;
+  if (payload.hops > params_.max_hops) {
+    if (stats_) ++stats_->ttl_drops;
+    return;
+  }
+  if (!have_route_) {
+    if (stats_) ++stats_->no_route_drops;
+    return;
+  }
+  forward(sim::Message::make(host_.id(), kReading, payload,
+                             wire_size(kReading)));
+}
+
+void DataPlane::forward(sim::Message msg) {
+  if (stats_) ++stats_->readings_forwarded;
+  send_reliable_(parent_, std::move(msg));
+}
+
+void DataPlane::on_peer_dead(std::uint32_t peer) {
+  if (have_route_ && parent_ == peer) {
+    // Wait for the next beacon epoch to repair the route; readings
+    // produced meanwhile count as no-route drops.
+    have_route_ = false;
+  }
+}
+
+}  // namespace decor::net

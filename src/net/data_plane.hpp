@@ -1,0 +1,124 @@
+// DataPlane: continuous sensing traffic to the base station.
+//
+// The restoration protocols (control plane) exist so that a sensing
+// workload keeps flowing: every sensor periodically originates a
+// kReading frame that must reach the base station ("sink"). This
+// component implements that workload with a classic WSN collection
+// tree:
+//
+//   - The sink periodically broadcasts kSinkBeacon{epoch, hops=0}.
+//     Receivers adopt the sender as parent when the (epoch, hops) pair
+//     improves their current route, then rebroadcast with hops+1, so a
+//     fresh gradient toward the sink is rebuilt every epoch even after
+//     churn. Beacons are best-effort (periodic + self-healing).
+//   - Readings travel hop-by-hop parent-to-parent as reliable unicasts
+//     through the host's ReliableLink — this is the traffic that
+//     exercises the sliding window under load. A TTL guards against
+//     transient routing loops while the gradient reconverges.
+//   - The sink dedups per-origin (the ARQ's at-least-once delivery plus
+//     route changes can duplicate a reading) with the same bounded
+//     floor + sparse-set scheme the windowed link uses, and counts each
+//     unique reading once for goodput.
+//
+// The component is entirely passive unless DataPlaneParams::enabled —
+// runs without a data plane stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "sim/message.hpp"
+#include "sim/node.hpp"
+
+namespace decor::net {
+
+struct DataPlaneParams {
+  /// Master switch; when false the component is never constructed.
+  bool enabled = false;
+  /// Seconds between readings originated by each non-sink sensor
+  /// (offered load = 1/reading_interval readings/s/node).
+  double reading_interval = 1.0;
+  /// Sink gradient-beacon period; each beacon starts a new epoch.
+  double beacon_interval = 5.0;
+  /// Delay before the sink's first beacon. Must be > 0: at spawn time
+  /// the rest of the initial deployment does not exist in the world yet,
+  /// so a beacon at t=0 would reach nobody and the first usable gradient
+  /// would wait a whole beacon_interval.
+  double first_beacon_delay = 0.5;
+  /// Node id of the base station (the harnesses use the first initial
+  /// node, which is never killed by the chaos hooks' default plans).
+  std::uint32_t sink = 0;
+  /// TTL: readings travelling more hops than this are dropped.
+  std::uint32_t max_hops = 64;
+};
+
+/// Per-world data-plane accounting (single-threaded sim, plain ints).
+struct DataPlaneStats {
+  std::uint64_t readings_originated = 0;
+  std::uint64_t readings_forwarded = 0;
+  std::uint64_t readings_delivered = 0;  // unique readings at the sink
+  std::uint64_t duplicates_at_sink = 0;
+  std::uint64_t no_route_drops = 0;      // originated/relayed with no parent
+  std::uint64_t ttl_drops = 0;
+  std::uint64_t beacons_sent = 0;
+  std::uint64_t bytes_delivered = 0;     // goodput numerator (wire bytes)
+};
+
+class DataPlane {
+ public:
+  /// Hook for reliable unicast through the host's ARQ link; the host
+  /// owns addressing, ranges and the window configuration.
+  using ReliableUnicastFn =
+      std::function<void(std::uint32_t dst, sim::Message msg)>;
+
+  DataPlane(sim::NodeProcess& host, double range, DataPlaneParams params);
+
+  /// Arms the periodic timers (beacons on the sink, readings elsewhere).
+  /// Reading phases are jittered from the world RNG so the whole field
+  /// does not transmit in lockstep.
+  void start(ReliableUnicastFn send_reliable);
+
+  void set_stats(DataPlaneStats* stats) noexcept { stats_ = stats; }
+
+  /// Handles kSinkBeacon / kReading; returns false for any other kind.
+  bool on_message(const sim::Message& msg);
+
+  /// Route loss hint from the host's failure detectors.
+  void on_peer_dead(std::uint32_t peer);
+
+  bool is_sink() const noexcept;
+  bool have_route() const noexcept { return have_route_ || is_sink(); }
+  std::uint32_t parent() const noexcept { return parent_; }
+  std::uint32_t route_hops() const noexcept { return route_hops_; }
+
+ private:
+  /// Sink-side per-origin dedup: every reading seq <= floor was counted.
+  struct SeenOrigin {
+    std::uint32_t floor = 0;
+    std::set<std::uint32_t> above;
+  };
+
+  void beacon_tick();
+  void reading_tick();
+  void handle_beacon(const sim::Message& msg);
+  void handle_reading(const sim::Message& msg);
+  void forward(sim::Message msg);
+
+  sim::NodeProcess& host_;
+  double range_;
+  DataPlaneParams params_;
+  ReliableUnicastFn send_reliable_;
+  DataPlaneStats* stats_ = nullptr;
+
+  bool have_route_ = false;
+  std::uint32_t parent_ = 0;
+  std::uint32_t route_epoch_ = 0;
+  std::uint32_t route_hops_ = 0;
+  std::uint32_t next_epoch_ = 1;        // sink only
+  std::uint32_t next_reading_seq_ = 1;  // per-origin reading counter
+  std::map<std::uint32_t, SeenOrigin> seen_;  // sink only
+};
+
+}  // namespace decor::net

@@ -16,8 +16,9 @@ std::uint32_t Flooder::originate(double value, geom::Point2 pos) {
   FloodPayload payload{host_.id(), seq, 0, value, pos};
   seen_before(host_.id(), seq);  // never re-forward our own flood
   if (deliver_) deliver_(payload);
-  sim::Message m = sim::Message::make(host_.id(), msg_kind_, payload,
-                                      wire_size(kReport));
+  sim::Message m =
+      sim::Message::make(host_.id(), msg_kind_, payload,
+                         wire_size(static_cast<MsgKind>(msg_kind_)));
   m.trace_id = host_.world().mint_trace_id();
   host_.world().radio().broadcast(host_, m, range_);
   ++forwarded_;
@@ -35,8 +36,9 @@ void Flooder::on_message(const sim::Message& msg) {
   ++payload.hops;
   // A forwarded flood frame is a later hop of the origin's exchange:
   // it keeps the origin's causality id instead of minting a new one.
-  sim::Message fwd = sim::Message::make(host_.id(), msg_kind_, payload,
-                                        wire_size(kReport));
+  sim::Message fwd =
+      sim::Message::make(host_.id(), msg_kind_, payload,
+                         wire_size(static_cast<MsgKind>(msg_kind_)));
   fwd.trace_id = msg.trace_id;
   host_.world().radio().broadcast(host_, fwd, range_);
   ++forwarded_;

@@ -20,6 +20,8 @@ enum MsgKind : int {
   kCoverageReply = 7,  // member replies with its position
   kReport = 8,         // data/report toward the base station
   kAck = 9,            // link-layer acknowledgement (ReliableLink)
+  kSinkBeacon = 10,    // sink-rooted gradient beacon (DataPlane tree)
+  kReading = 11,       // sensor reading routed hop-by-hop to the sink
 };
 
 struct HelloPayload {
@@ -65,6 +67,28 @@ struct ReportPayload {
 struct AckPayload {
   /// Sequence number of the frame being acknowledged.
   std::uint32_t seq = 0;
+  /// Cumulative acknowledgement: the receiver has seen every sequence
+  /// number from this sender up to and including `cum`. 0 (the
+  /// stop-and-wait value) carries no cumulative information, which keeps
+  /// window=1 byte-identical to the historical per-frame protocol.
+  std::uint32_t cum = 0;
+};
+
+/// Sink-rooted gradient beacon (DataPlane): receivers adopt the sender
+/// as parent when (epoch, hops) improves on their current route.
+struct SinkBeaconPayload {
+  std::uint32_t epoch = 0;
+  std::uint32_t hops = 0;  // sender's distance from the sink
+};
+
+/// One sensor reading, forwarded hop-by-hop toward the base station.
+struct ReadingPayload {
+  std::uint32_t origin = 0;    // originating sensor
+  std::uint32_t seq = 0;       // per-origin reading counter (dedup at sink)
+  std::uint32_t hops = 0;      // hops travelled so far
+  double origin_time = 0.0;    // sim time the reading was produced
+  double value = 0.0;
+  geom::Point2 pos;            // origin position
 };
 
 /// Stable lowercase name of a protocol kind ("hello", "ack", ...), used
@@ -89,6 +113,10 @@ inline const char* msg_kind_name(int kind) noexcept {
       return "report";
     case kAck:
       return "ack";
+    case kSinkBeacon:
+      return "sink_beacon";
+    case kReading:
+      return "reading";
   }
   return nullptr;
 }
@@ -112,6 +140,10 @@ inline std::size_t wire_size(MsgKind kind) {
       return 32;
     case kAck:
       return 12;
+    case kSinkBeacon:
+      return 16;
+    case kReading:
+      return 36;
   }
   return 32;
 }

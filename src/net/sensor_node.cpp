@@ -19,9 +19,18 @@ void SensorNode::on_start() {
           // timeout is a fraction of the detector's silence threshold.
           const auto entry = table_.get(peer);
           table_.forget(peer);
+          if (data_plane_) data_plane_->on_peer_dead(peer);
           if (entry) on_neighbor_failed(peer, entry->pos);
         });
     if (arq_stats_) link_->set_stats(arq_stats_);
+  }
+  if (params_.data_plane.enabled) {
+    data_plane_ =
+        std::make_unique<DataPlane>(*this, params_.rc, params_.data_plane);
+    if (data_stats_) data_plane_->set_stats(data_stats_);
+    data_plane_->start([this](std::uint32_t dst, sim::Message msg) {
+      send_reliable(dst, std::move(msg));
+    });
   }
   // Announce ourselves and ask established neighbors to introduce
   // themselves back — a freshly deployed replacement node must learn the
@@ -116,6 +125,7 @@ void SensorNode::on_message(const sim::Message& msg) {
       break;
     }
     default:
+      if (data_plane_ && data_plane_->on_message(msg)) break;
       handle_message(msg);
       break;
   }

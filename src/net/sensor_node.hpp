@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "net/data_plane.hpp"
 #include "net/heartbeat.hpp"
 #include "net/messages.hpp"
 #include "net/neighbor_table.hpp"
@@ -29,6 +30,9 @@ struct SensorNodeParams {
   /// fire-and-forget sends.
   bool enable_arq = true;
   ReliableLinkParams arq;
+  /// Continuous sensing workload toward the base station; off by
+  /// default so control-plane-only runs stay byte-identical.
+  DataPlaneParams data_plane;
 };
 
 class SensorNode : public sim::NodeProcess {
@@ -44,11 +48,21 @@ class SensorNode : public sim::NodeProcess {
   /// The ARQ layer; null when enable_arq is false or before on_start.
   ReliableLink* link() noexcept { return link_.get(); }
 
+  /// The sensing workload; null unless data_plane.enabled.
+  DataPlane* data_plane() noexcept { return data_plane_.get(); }
+
   /// Routes ARQ accounting into a harness-owned sink (must outlive the
   /// node); no-op when the ARQ layer is disabled.
   void set_arq_stats(ArqStats* stats) noexcept {
     arq_stats_ = stats;
     if (link_) link_->set_stats(stats);
+  }
+
+  /// Routes data-plane accounting into a harness-owned sink (must
+  /// outlive the node); no-op when the data plane is disabled.
+  void set_data_stats(DataPlaneStats* stats) noexcept {
+    data_stats_ = stats;
+    if (data_plane_) data_plane_->set_stats(stats);
   }
 
  protected:
@@ -87,11 +101,13 @@ class SensorNode : public sim::NodeProcess {
   NeighborTable table_;
   std::unique_ptr<HeartbeatDetector> detector_;
   std::unique_ptr<ReliableLink> link_;
+  std::unique_ptr<DataPlane> data_plane_;
 
  private:
   void observe(std::uint32_t id, geom::Point2 pos);
 
   ArqStats* arq_stats_ = nullptr;
+  DataPlaneStats* data_stats_ = nullptr;
 };
 
 /// Hello payload with the solicited-reply flag (kept out of messages.hpp

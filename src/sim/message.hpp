@@ -25,6 +25,12 @@ struct Message {
   /// logical exchange is reconstructable end-to-end across nodes. 0 means
   /// "not yet stamped"; the simulator core only carries it.
   std::uint64_t trace_id = 0;
+  /// Sliding-window dedup hint (net::ReliableLink, window > 1): the
+  /// smallest sequence number the sender still considers unacknowledged
+  /// at (re)transmission time. Receivers may discard dedup state for
+  /// seqs below it. 0 means "no hint" — stop-and-wait senders leave it
+  /// untouched, and the simulator core only carries it.
+  std::uint32_t seq_floor = 0;
   std::size_t size_bytes = 32;
   std::shared_ptr<const std::any> payload;
 

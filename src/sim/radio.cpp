@@ -171,14 +171,10 @@ bool Radio::unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
                     double range) {
   if (!src.alive()) return false;
   charge_tx(src, msg);
-  if (dst >= world_.num_nodes() || !world_.alive(dst)) return false;
-  const double query_range =
-      params_.propagation ? params_.propagation->max_range(range) : range;
-  if (geom::distance_sq(src.pos(), world_.position(dst)) >
-      query_range * query_range) {
-    return false;
-  }
-  if (!frame_reaches(src, dst, range)) {
+  // A frame aimed at a dead or out-of-range destination is still a lost
+  // transmission: account for it exactly like an in-air loss so drop
+  // totals and traces agree between the broadcast and unicast paths.
+  const auto record_drop = [&] {
     ++total_dropped_;
     drop_counter().inc();
     if (world_.trace().enabled()) {
@@ -186,6 +182,20 @@ bool Radio::unicast(NodeProcess& src, std::uint32_t dst, const Message& msg,
                             "kind=" + std::to_string(msg.kind),
                             msg.trace_id);
     }
+  };
+  if (dst >= world_.num_nodes() || !world_.alive(dst)) {
+    record_drop();
+    return false;
+  }
+  const double query_range =
+      params_.propagation ? params_.propagation->max_range(range) : range;
+  if (geom::distance_sq(src.pos(), world_.position(dst)) >
+      query_range * query_range) {
+    record_drop();
+    return false;
+  }
+  if (!frame_reaches(src, dst, range)) {
+    record_drop();
     return true;  // sent, lost in the air
   }
   deliver_later(dst, msg);

@@ -72,7 +72,12 @@ std::string timeline_sample_json(const TimelineSample& s) {
      << ",\"uncovered\":" << s.uncovered_points
      << ",\"alive\":" << s.alive_nodes
      << ",\"arq_in_flight\":" << s.arq_in_flight << ",\"leaders\":\""
-     << common::json_escape(s.leaders) << "\"}";
+     << common::json_escape(s.leaders) << "\"";
+  if (s.has_readings) {
+    os << ",\"readings\":" << s.readings_delivered
+       << ",\"reading_bytes\":" << s.reading_bytes;
+  }
+  os << "}";
   return os.str();
 }
 

@@ -32,6 +32,12 @@ struct TimelineSample {
   /// Leader registry, "cell:node" pairs space-separated (grid scheme;
   /// empty for leaderless schemes).
   std::string leaders;
+  /// Data-plane goodput series: unique readings (and their wire bytes)
+  /// delivered at the sink so far. Only serialized when `has_readings`
+  /// — runs without a data plane keep their historical byte layout.
+  bool has_readings = false;
+  std::uint64_t readings_delivered = 0;
+  std::uint64_t reading_bytes = 0;
 };
 
 class Timeline {

@@ -164,4 +164,62 @@ TEST(Flooding, SurvivesLossyRadioViaMeshRedundancy) {
   EXPECT_GE(reached, 14u);  // at most a couple of stragglers
 }
 
+/// Records the raw wire size of every frame of its flood kind.
+class SizeProbeNode : public SensorNode {
+ public:
+  explicit SizeProbeNode(SensorNodeParams p, int kind)
+      : SensorNode(p), kind_(kind) {}
+
+  void on_start() override {
+    SensorNode::on_start();
+    flooder_ = std::make_unique<Flooder>(*this, params_.rc, kind_);
+  }
+
+  Flooder& flooder() { return *flooder_; }
+  std::vector<std::uint32_t> frame_sizes;
+
+ protected:
+  void handle_message(const sim::Message& msg) override {
+    if (msg.kind == kind_) {
+      frame_sizes.push_back(msg.size_bytes);
+      flooder_->on_message(msg);
+    }
+  }
+
+ private:
+  int kind_;
+  std::unique_ptr<Flooder> flooder_;
+};
+
+TEST(Flooding, FramesCarryTheConfiguredKindsWireSize) {
+  // Regression: Flooder used to hardcode wire_size(kReport) for every
+  // frame it originated or forwarded regardless of the message kind it
+  // was constructed with. kSinkBeacon's wire size differs from
+  // kReport's, so a flood of that kind exposes the hardcode as a wrong
+  // size_bytes on the air.
+  ASSERT_NE(wire_size(kSinkBeacon), wire_size(kReport));
+  auto world = std::make_unique<sim::World>(
+      make_rect(0, 0, 200, 200), sim::RadioParams{1e-3, 1e-4, 0.0}, 9);
+  SensorNodeParams p;
+  p.rc = 10.0;
+  p.enable_heartbeat = false;
+  // A three-node line so the middle node *forwards* (both code paths:
+  // originate() and on_message()).
+  const auto a = world->spawn(
+      {10, 10}, std::make_unique<SizeProbeNode>(p, kSinkBeacon));
+  const auto b = world->spawn(
+      {18, 10}, std::make_unique<SizeProbeNode>(p, kSinkBeacon));
+  const auto c = world->spawn(
+      {26, 10}, std::make_unique<SizeProbeNode>(p, kSinkBeacon));
+  world->sim().run_until(0.1);
+  world->node_as<SizeProbeNode>(a).flooder().originate(1.0, {0, 0});
+  world->sim().run_until(2.0);
+  const auto& at_b = world->node_as<SizeProbeNode>(b).frame_sizes;
+  const auto& at_c = world->node_as<SizeProbeNode>(c).frame_sizes;
+  ASSERT_FALSE(at_b.empty());  // a's origination
+  ASSERT_FALSE(at_c.empty());  // b's forward
+  for (const auto s : at_b) EXPECT_EQ(s, wire_size(kSinkBeacon));
+  for (const auto s : at_c) EXPECT_EQ(s, wire_size(kSinkBeacon));
+}
+
 }  // namespace

@@ -151,6 +151,7 @@ class Probe : public NodeProcess {
  public:
   void on_message(const Message& msg) override { received.push_back(msg); }
   using NodeProcess::broadcast;
+  using NodeProcess::unicast;
   std::vector<Message> received;
 };
 
@@ -252,6 +253,102 @@ TEST(RadioCollisions, JitterRescuesMostFrames) {
   }
   // 100 frames total; most survive thanks to jitter de-synchronization.
   EXPECT_GT(delivered, 55);
+}
+
+TEST(RadioCollisions, FrameEndingExactlyNowDoesNotCorruptNewArrival) {
+  // Collision windows are half-open: a pending frame whose airtime ends
+  // exactly when a new frame starts must not destroy it. With
+  // latency=1e-3 and 32B @ 256kbps (airtime exactly 1e-3), a frame sent
+  // at t and another at t+1e-3 abut precisely: [t+1e-3, t+2e-3] then
+  // [t+2e-3, t+3e-3].
+  RadioParams params;
+  params.latency_base = 1e-3;
+  params.jitter = 0.0;
+  params.bitrate_bps = 256000.0;  // 32B * 8 / 256000 = 1e-3 s exactly
+  World world(make_rect(0, 0, 100, 100), params, 13);
+  const auto a = world.spawn({10, 10}, std::make_unique<Probe>());
+  const auto c = world.spawn({12, 13}, std::make_unique<Probe>());
+  world.sim().run();
+  world.node_as<Probe>(a).broadcast(Message::make(a, 1, 0, 32), 8.0);
+  world.sim().schedule(1e-3, [&world, a] {
+    world.node_as<Probe>(a).broadcast(Message::make(a, 2, 0, 32), 8.0);
+  });
+  world.sim().run();
+  EXPECT_EQ(world.node_as<Probe>(c).received.size(), 2u);
+  EXPECT_EQ(world.radio().total_collisions(), 0u);
+}
+
+TEST(RadioCollisions, ThirdFrameOverTwoCorruptedCountsOnce) {
+  // a and b collide at c (two collision events). A third frame landing
+  // on top of the already-corrupted pair must add exactly one more
+  // event (its own corruption) — not re-count the first two.
+  RadioParams params;
+  params.latency_base = 1e-3;
+  params.jitter = 0.0;
+  params.bitrate_bps = 256000.0;
+  World world(make_rect(0, 0, 100, 100), params, 14);
+  const auto a = world.spawn({10, 10}, std::make_unique<Probe>());
+  const auto b = world.spawn({14, 10}, std::make_unique<Probe>());
+  const auto c = world.spawn({12, 13}, std::make_unique<Probe>());
+  // The third sender is in range of c only, so its frame cannot create
+  // extra collision events at other receivers.
+  const auto d = world.spawn({12, 21}, std::make_unique<Probe>());
+  world.sim().run();
+  world.node_as<Probe>(a).broadcast(Message::make(a, 1, 0, 32), 8.0);
+  world.node_as<Probe>(b).broadcast(Message::make(b, 2, 0, 32), 8.0);
+  world.sim().schedule(5e-4, [&world, d] {
+    world.node_as<Probe>(d).broadcast(Message::make(d, 3, 0, 32), 8.0);
+  });
+  world.sim().run();
+  EXPECT_TRUE(world.node_as<Probe>(c).received.empty());
+  EXPECT_EQ(world.radio().total_collisions(), 3u);
+}
+
+TEST(RadioUnicast, DeadDestinationCountsAsDrop) {
+  RadioParams params;
+  params.latency_base = 1e-3;
+  params.jitter = 0.0;
+  World world(make_rect(0, 0, 100, 100), params, 15);
+  const auto a = world.spawn({10, 10}, std::make_unique<Probe>());
+  const auto b = world.spawn({14, 10}, std::make_unique<Probe>());
+  world.sim().run();
+  world.kill(b);
+  EXPECT_FALSE(world.node_as<Probe>(a).unicast(
+      b, Message::make(a, 1, 0, 32), 8.0));
+  // The transmission was spent and the frame was lost: both totals move,
+  // exactly as they would for an in-air loss.
+  EXPECT_EQ(world.radio().total_tx(), 1u);
+  EXPECT_EQ(world.radio().total_dropped(), 1u);
+}
+
+TEST(RadioUnicast, OutOfRangeDestinationCountsAsDrop) {
+  RadioParams params;
+  params.latency_base = 1e-3;
+  params.jitter = 0.0;
+  World world(make_rect(0, 0, 100, 100), params, 16);
+  const auto a = world.spawn({10, 10}, std::make_unique<Probe>());
+  const auto far = world.spawn({60, 60}, std::make_unique<Probe>());
+  world.sim().run();
+  EXPECT_FALSE(world.node_as<Probe>(a).unicast(
+      far, Message::make(a, 1, 0, 32), 8.0));
+  EXPECT_EQ(world.radio().total_tx(), 1u);
+  EXPECT_EQ(world.radio().total_dropped(), 1u);
+}
+
+TEST(RadioUnicast, InAirLossSharesTheSameDropAccounting) {
+  RadioParams params;
+  params.latency_base = 1e-3;
+  params.jitter = 0.0;
+  params.loss_prob = 1.0;  // every frame dies in the air
+  World world(make_rect(0, 0, 100, 100), params, 17);
+  const auto a = world.spawn({10, 10}, std::make_unique<Probe>());
+  const auto b = world.spawn({14, 10}, std::make_unique<Probe>());
+  world.sim().run();
+  EXPECT_TRUE(world.node_as<Probe>(a).unicast(
+      b, Message::make(a, 1, 0, 32), 8.0));  // sent, lost in flight
+  EXPECT_EQ(world.radio().total_tx(), 1u);
+  EXPECT_EQ(world.radio().total_dropped(), 1u);
+  EXPECT_TRUE(world.node_as<Probe>(b).received.empty());
 }
 
 TEST(RadioCollisions, DisabledByDefault) {

@@ -382,10 +382,29 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     radio.loss_prob = loss;
   }
   const double kill_leader_at = opts.get_double("kill-leader-at", -1.0);
+  // Transport + data-plane knobs: --window sets the ARQ sliding-window
+  // size (1 = historical stop-and-wait), --load > 0 enables the sensing
+  // workload at that many readings/s per node, streamed to the base
+  // station (node 0); --bitrate models airtime so concurrent frames can
+  // collide (0 = infinitely fast channel, the historical default).
+  net::ReliableLinkParams arq;
+  arq.window = static_cast<std::uint32_t>(opts.get_int("window", 1));
+  const double load = opts.get_double("load", 0.0);
+  net::DataPlaneParams data_plane;
+  if (load > 0.0) {
+    data_plane.enabled = true;
+    data_plane.reading_interval = 1.0 / load;
+  }
+  radio.bitrate_bps = opts.get_double("bitrate", 0.0);
+  // --linger keeps the sim alive that many seconds past convergence so
+  // data-plane goodput is measured over a fixed horizon.
+  const double linger = opts.get_double("linger", 0.0);
   const std::string s = opts.get("scheme", "grid");
   rep.add("scheme", s);
   rep.add("loss", loss);
   rep.add("burst", burst);
+  rep.add("window", static_cast<std::uint64_t>(arq.window));
+  rep.add("load", load);
   if (s == "voronoi") {
     if (kill_leader_at >= 0.0) {
       std::cerr << "warning: --kill-leader-at ignored (the voronoi "
@@ -396,7 +415,10 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     cfg.initial_positions = initial;
     cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
     cfg.run_time = run_time;
+    cfg.linger_after_coverage = linger;
     cfg.radio = radio;
+    cfg.arq = arq;
+    cfg.data_plane = data_plane;
     cfg.trace = trace;
     cfg.trace_capacity = trace_cap;
     cfg.trace_jsonl = trace_jsonl;
@@ -419,10 +441,22 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     rep.add("seeded_nodes", static_cast<std::uint64_t>(r.seeded_nodes));
     rep.add("full_coverage", r.reached_full_coverage);
     rep.add("finish_time", r.finish_time);
+    rep.add("end_time", r.end_time);
     rep.add("radio_tx", r.radio_tx);
     rep.add("radio_rx", r.radio_rx);
+    rep.add("arq_sent", r.arq.sent);
+    rep.add("arq_best_effort", r.arq.best_effort);
     rep.add("arq_retx", r.arq.retx);
     rep.add("arq_gave_up", r.arq.gave_up);
+    if (data_plane.enabled) {
+      rep.add("readings_delivered", r.data.readings_delivered);
+      rep.add("readings_originated", r.data.readings_originated);
+      rep.add("goodput_bytes_per_s",
+              r.end_time > 0.0
+                  ? static_cast<double>(r.data.bytes_delivered) /
+                        r.end_time
+                  : 0.0);
+    }
     if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
     if (harness.field() != nullptr) {
       rep.add("field_snapshots", static_cast<std::uint64_t>(
@@ -443,7 +477,10 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   cfg.initial_positions = initial;
   cfg.seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   cfg.run_time = run_time;
+  cfg.linger_after_coverage = linger;
   cfg.radio = radio;
+  cfg.arq = arq;
+  cfg.data_plane = data_plane;
   cfg.trace = trace;
   cfg.trace_capacity = trace_cap;
   cfg.trace_jsonl = trace_jsonl;
@@ -465,10 +502,21 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   rep.add("placed_nodes", static_cast<std::uint64_t>(r.placed_nodes));
   rep.add("full_coverage", r.reached_full_coverage);
   rep.add("finish_time", r.finish_time);
+  rep.add("end_time", r.end_time);
   rep.add("radio_tx", r.radio_tx);
   rep.add("radio_rx", r.radio_rx);
+  rep.add("arq_sent", r.arq.sent);
+  rep.add("arq_best_effort", r.arq.best_effort);
   rep.add("arq_retx", r.arq.retx);
   rep.add("arq_gave_up", r.arq.gave_up);
+  if (data_plane.enabled) {
+    rep.add("readings_delivered", r.data.readings_delivered);
+    rep.add("readings_originated", r.data.readings_originated);
+    rep.add("goodput_bytes_per_s",
+            r.end_time > 0.0
+                ? static_cast<double>(r.data.bytes_delivered) / r.end_time
+                : 0.0);
+  }
   if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
   if (harness.field() != nullptr) {
     rep.add("field_snapshots", static_cast<std::uint64_t>(
@@ -660,6 +708,7 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
     bool have_origin = false;  // saw the originating tx
     std::string name;
     std::uint64_t retransmits = 0;
+    bool acked = false;  // saw an ack leg: evidence the exchange was ARQed
   };
   std::map<std::uint64_t, Span> spans;
   std::map<std::string, std::uint64_t> kind_counts;
@@ -713,6 +762,7 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
         ++retransmits;
       } else if (leg == "ack") {
         ++acks;
+        s.acked = true;
       } else if (leg == "drop") {
         ++drops;
       }
@@ -751,6 +801,7 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
       const int mk = sim::parse_detail_kind(detail);
       if (mk == net::kAck) {
         ++acks;
+        s.acked = true;
         continue;
       }
       const auto* node_v = parsed->find("node");
@@ -775,14 +826,23 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
   }
 
   const auto originals = static_cast<std::uint64_t>(spans.size());
+  // The retransmit ratio is per *reliable* exchange: only spans that show
+  // ARQ activity (an ack or a retransmission) count in the denominator.
+  // Best-effort traffic (hellos, heartbeats, flood forwards, empty
+  // expected-acker broadcasts) can never retransmit, so including it
+  // would dilute the ratio into meaninglessness.
+  std::uint64_t reliable = 0;
+  for (const auto& [tid, s] : spans) {
+    if (s.acked || s.retransmits > 0) ++reliable;
+  }
   const double retx_ratio =
-      originals == 0
+      reliable == 0
           ? 0.0
-          : static_cast<double>(retransmits) / static_cast<double>(originals);
+          : static_cast<double>(retransmits) / static_cast<double>(reliable);
   std::cout << "trace report: " << path << " ("
             << (chrome ? "perfetto" : "jsonl") << ")\n"
             << "records: " << records << ", exchanges: " << originals
-            << "\n";
+            << " (" << reliable << " reliable)\n";
   if (!kind_counts.empty()) {
     common::Table table({"kind", "originating sends"});
     for (const auto& [name, n] : kind_counts) {
@@ -791,8 +851,8 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
     std::cout << table.to_text();
   }
   std::cout << "retransmits: " << retransmits << " (" << retx_ratio
-            << " per exchange), acks: " << acks << ", drops: " << drops
-            << "\n";
+            << " per reliable exchange), acks: " << acks
+            << ", drops: " << drops << "\n";
   if (malformed > 0) {
     std::cout << "malformed lines skipped: " << malformed << "\n";
   }
@@ -830,6 +890,7 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
   rep.add("records", records);
   rep.add("malformed_lines", malformed);
   rep.add("exchanges", originals);
+  rep.add("reliable_exchanges", reliable);
   rep.add("retransmits", retransmits);
   rep.add("retransmit_ratio", retx_ratio);
   rep.add("acks", acks);
@@ -978,6 +1039,12 @@ void usage() {
       "                     --profile (wall-clock scope timers)\n"
       "  sim chaos knobs: --loss=P --burst=B (B>1 = bursty channel)\n"
       "                   --kill-leader-at=T (grid scheme only)\n"
+      "  sim transport/data plane:\n"
+      "    --window=W (ARQ sliding window; 1 = stop-and-wait)\n"
+      "    --load=R (readings/s per node streamed to the base station)\n"
+      "    --linger=T (keep simulating T s past convergence for a fixed\n"
+      "                goodput window)\n"
+      "    --bitrate=BPS (airtime model; 0 = collision-free channel)\n"
       "  spatial observability (sim, deploy, restore):\n"
       "    --field-jsonl=path (decor.field.v1 deficit snapshots)\n"
       "    --field=T (sim: snapshot cadence) --field-every=N (engines)\n"
