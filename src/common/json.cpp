@@ -99,6 +99,11 @@ void JsonWriter::value(std::string_view s) {
   os_ << '"' << json_escape(s) << '"';
 }
 
+void JsonWriter::raw_value(std::string_view json) {
+  pre_value();
+  os_ << json;
+}
+
 void JsonWriter::value(double v) {
   pre_value();
   if (!std::isfinite(v)) {

@@ -51,6 +51,11 @@ class JsonWriter {
   void value(bool v);
   void null_value();
 
+  /// Emits a pre-rendered JSON value verbatim (comma and key bookkeeping
+  /// still apply). For embedding documents another layer already
+  /// serialized — the caller guarantees `json` is well-formed.
+  void raw_value(std::string_view json);
+
  private:
   /// Comma/position bookkeeping before a value or container start.
   void pre_value();

@@ -134,6 +134,13 @@ class DecorGridSimNode final : public net::SensorNode {
         });
   }
 
+  /// Invariant-monitor probes (the monitor's leader-uniqueness check
+  /// counts converged leaders across the alive population).
+  bool is_cell_leader() const noexcept {
+    return election_ != nullptr && election_->is_leader();
+  }
+  std::uint32_t cell() const noexcept { return cell_; }
+
  protected:
   std::uint32_t heartbeat_cell() const override { return cell_; }
 
@@ -428,6 +435,11 @@ class DecorGridSimNode final : public net::SensorNode {
 }  // namespace
 
 GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
+  // A fault campaign implies reboots are possible: the ARQ must re-open
+  // its dedup window when it gives a peer up for dead, or the rebooted
+  // incarnation's fresh traffic is swallowed as duplicates. Applied
+  // before Shared copies the params so every node inherits it.
+  if (!cfg_.fault_plan.empty()) cfg_.arq.purge_on_give_up = true;
   const auto& p = cfg_.params;
   // Protocol range: must span a cell (intra-cell connectivity assumption)
   // and reach leaders of adjacent cells (up to two cell diagonals away).
@@ -479,6 +491,120 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
   shared_->harness = this;
   if (cfg_.audit || !cfg_.audit_jsonl.empty()) shared_->audit = &audit_;
   shared_->index_points(map_->index());
+  if (!cfg_.fault_plan.empty()) {
+    sim::FaultInjector::Hooks hooks;
+    hooks.kill = [this](std::uint32_t id) { kill_node(id); };
+    hooks.reboot = [this](std::uint32_t id) { reboot_node(id); };
+    const bool has_sink = cfg_.data_plane.enabled;
+    const std::uint32_t sink = cfg_.data_plane.sink;
+    hooks.is_protected = [has_sink, sink](std::uint32_t id) {
+      return has_sink && id == sink;
+    };
+    hooks.sink = sink;
+    hooks.has_sink = has_sink;
+    injector_ = std::make_unique<sim::FaultInjector>(*world_, cfg_.fault_plan,
+                                                     std::move(hooks));
+    injector_->arm();
+  }
+  if (cfg_.invariant_interval > 0.0) register_invariants();
+}
+
+void GridSimHarness::register_invariants() {
+  // (1) Ground-truth coverage consistency: the CoverageMap must credit
+  // exactly the alive population — a disc left behind by a kill, or
+  // missing after a reboot, shows up as a count mismatch here.
+  monitor_.add_check("coverage-alive", [this]() -> std::optional<std::string> {
+    const auto& idx = map_->index();
+    std::vector<std::uint32_t> counts(idx.size(), 0);
+    for (std::uint32_t id : world_->alive_ids()) {
+      idx.for_each_in_disc(world_->position(id), cfg_.params.rs,
+                           [&](std::size_t pid) { ++counts[pid]; });
+    }
+    std::size_t covered = 0;
+    for (auto c : counts) {
+      if (c >= cfg_.params.k) ++covered;
+    }
+    const std::size_t believed = map_->num_covered(cfg_.params.k);
+    if (covered != believed) {
+      return "alive nodes cover " + std::to_string(covered) +
+             " points but the map credits " + std::to_string(believed);
+    }
+    return std::nullopt;
+  });
+  // (2) Leader uniqueness: after quiet periods every cell converges to
+  // at most one leader. Transient splits are legal (that is what term
+  // rotation reconciles), so a conflict only becomes a violation once it
+  // outlives a full election term; checks are suspended outright while a
+  // partition is installed (split-brain is *expected* across a cut).
+  monitor_.add_check("single-leader-per-cell",
+                     [this]() -> std::optional<std::string> {
+    if (injector_ && injector_->partition_active()) {
+      leader_conflict_since_.clear();
+      return std::nullopt;
+    }
+    std::map<std::uint32_t, std::uint32_t> leaders;
+    for (std::uint32_t id : world_->alive_ids()) {
+      if (auto* n = dynamic_cast<DecorGridSimNode*>(&world_->node(id))) {
+        if (n->is_cell_leader()) ++leaders[n->cell()];
+      }
+    }
+    const double now = world_->sim().now();
+    const double grace = cfg_.election.term_duration + 5.0;
+    std::optional<std::string> verdict;
+    std::map<std::uint32_t, double> still;
+    for (const auto& [cell, n] : leaders) {
+      if (n <= 1) continue;
+      const auto it = leader_conflict_since_.find(cell);
+      const double since =
+          it == leader_conflict_since_.end() ? now : it->second;
+      still[cell] = since;
+      if (now - since > grace && !verdict) {
+        verdict = "cell " + std::to_string(cell) + " held " +
+                  std::to_string(n) + " leaders for over " +
+                  std::to_string(grace) + "s";
+      }
+    }
+    leader_conflict_since_ = std::move(still);
+    return verdict;
+  });
+  // (3) ArqStats conservation: every reliable send must end up exactly
+  // once in completed / failed / abandoned or still be pending on an
+  // alive link. Dead links were drained into `abandoned` by host_died().
+  monitor_.add_check("arq-conservation",
+                     [this]() -> std::optional<std::string> {
+    const auto& a = shared_->arq_stats;
+    std::uint64_t in_flight = 0;
+    for (std::uint32_t id : world_->alive_ids()) {
+      if (auto* sn = dynamic_cast<net::SensorNode*>(&world_->node(id))) {
+        if (auto* l = sn->link()) in_flight += l->in_flight();
+      }
+    }
+    const std::uint64_t accounted =
+        a.completed + a.failed + a.abandoned + in_flight;
+    if (a.sent != accounted) {
+      return "sent=" + std::to_string(a.sent) + " but completed+failed+" +
+             "abandoned+in_flight=" + std::to_string(accounted);
+    }
+    return std::nullopt;
+  });
+  // (4) Goodput bound: the sink can never deliver more unique readings
+  // than the field originated (dedup or incarnation bookkeeping broke if
+  // it does). Trivially true while the data plane is off.
+  monitor_.add_check("goodput-bound", [this]() -> std::optional<std::string> {
+    const auto& d = shared_->data_stats;
+    if (d.readings_delivered > d.readings_originated) {
+      return "delivered " + std::to_string(d.readings_delivered) +
+             " unique readings but only " +
+             std::to_string(d.readings_originated) + " were originated";
+    }
+    return std::nullopt;
+  });
+  monitor_.set_on_first_violation(
+      [this](const std::string& name, const std::string& detail) {
+        if (!cfg_.flight_dir.empty()) {
+          dump_flight_bundle("invariant", name + ": " + detail);
+        }
+      });
 }
 
 GridSimHarness::~GridSimHarness() = default;
@@ -502,6 +628,12 @@ void GridSimHarness::kill_node(std::uint32_t id) {
   map_->remove_disc(pos);
 }
 
+void GridSimHarness::reboot_node(std::uint32_t id) {
+  if (world_->alive(id)) return;
+  world_->reboot(id, std::make_unique<DecorGridSimNode>(shared_));
+  map_->add_disc(world_->position(id));
+}
+
 void GridSimHarness::schedule_leader_kill(double at) {
   world_->sim().schedule_at(at, [this] {
     for (const auto& [cell, id] : shared_->cell_leader) {
@@ -517,6 +649,11 @@ void GridSimHarness::schedule_leader_kill(double at) {
 void GridSimHarness::schedule_random_kills(double at, std::size_t count) {
   world_->sim().schedule_at(at, [this, count] {
     auto alive = world_->alive_ids();
+    // The data-plane sink is infrastructure (the base station): random
+    // chaos must never take it down — only an explicit sink_outage fault
+    // event may. Filtered before sampling so the exclusion is
+    // deterministic, not a retry.
+    if (cfg_.data_plane.enabled) std::erase(alive, cfg_.data_plane.sink);
     const auto picks =
         world_->rng().sample_indices(alive.size(),
                                      std::min(count, alive.size()));
@@ -552,6 +689,10 @@ sim::TimelineSample GridSimHarness::sample_timeline() {
     s.readings_delivered = shared_->data_stats.readings_delivered;
     s.reading_bytes = shared_->data_stats.bytes_delivered;
   }
+  if (monitor_.active()) {
+    s.has_invariants = true;
+    s.invariant_violations = monitor_.violations();
+  }
   return s;
 }
 
@@ -562,6 +703,7 @@ void GridSimHarness::dump_flight_bundle(const std::string& reason,
   info.sim_time = world_->sim().now();
   info.scheme = "grid";
   info.detail = detail;
+  if (injector_) info.faults_json = injector_->manifest_json();
   if (field_ != nullptr) {
     info.field_jsonl = field_->header_json() + "\n";
     if (const auto* s = field_->latest()) {
@@ -581,6 +723,9 @@ SimRunResult GridSimHarness::run() {
   if (cfg_.timeline_interval > 0.0 && !timeline_.active()) {
     timeline_.start(world_->sim(), cfg_.timeline_interval,
                     [this] { return sample_timeline(); });
+  }
+  if (cfg_.invariant_interval > 0.0 && !monitor_.active()) {
+    monitor_.start(world_->sim(), cfg_.invariant_interval);
   }
 
   SimRunResult result;
@@ -609,6 +754,9 @@ SimRunResult GridSimHarness::run() {
       world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
                              0, "converged");
       if (timeline_.active()) timeline_.sample_once();
+      // Final proof pass at the convergence instant, mirroring the
+      // timeline's forced sample.
+      if (monitor_.active()) monitor_.check_now();
       // Forced snapshot at the convergence instant: the final (hole-free)
       // field always lands on the recorder even between cadence ticks.
       if (field_) field_->snapshot(world_->sim().now(), *map_, true);
@@ -666,6 +814,11 @@ SimRunResult GridSimHarness::run() {
   result.radio_rx = world_->radio().total_rx();
   result.arq = shared_->arq_stats;
   result.data = shared_->data_stats;
+  if (injector_) result.faults_fired = injector_->faults_fired();
+  result.radio_corrupted = world_->radio().total_corrupted();
+  result.radio_partition_blocked = world_->radio().total_partition_blocked();
+  result.invariant_checks = monitor_.checks_run();
+  result.invariant_violations = monitor_.violations();
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
   // One update per run (placements made during *this* call, so repeated
   // runs on one harness never double-count); the hot protocol path stays

@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "net/leader_election.hpp"
 #include "net/sensor_node.hpp"
 #include "sim/audit_log.hpp"
+#include "sim/fault.hpp"
+#include "sim/invariant_monitor.hpp"
 #include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
@@ -101,6 +104,18 @@ struct SimRunConfig {
   /// aborts on an exception) dumps trace/timeline/metrics into this
   /// directory (see sim/flight_recorder.hpp for the bundle layout).
   std::string flight_dir;
+
+  /// Fault campaign (decor.faults.v1): armed on the event queue before
+  /// the run starts. A non-empty plan switches the ARQ to
+  /// purge_on_give_up so rebooted peers are un-quarantined (see
+  /// ReliableLinkParams); empty plans leave trajectories untouched.
+  sim::FaultPlan fault_plan;
+
+  /// Invariant monitor cadence in sim-seconds (0 = monitor off): every
+  /// period the harness re-proves ground-truth coverage consistency,
+  /// leader uniqueness, ArqStats conservation and the goodput bound, and
+  /// dumps a flight bundle (if flight_dir is set) on first violation.
+  double invariant_interval = 0.0;
 };
 
 struct SimRunResult {
@@ -120,6 +135,13 @@ struct SimRunResult {
   net::DataPlaneStats data;
   coverage::CoverageMetrics metrics;
   std::vector<geom::Point2> placements;
+  /// Fault-campaign accounting (zeros unless cfg.fault_plan non-empty).
+  std::uint64_t faults_fired = 0;
+  std::uint64_t radio_corrupted = 0;
+  std::uint64_t radio_partition_blocked = 0;
+  /// Invariant-monitor accounting (zeros unless invariant_interval > 0).
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
 };
 
 class GridSimHarness {
@@ -151,6 +173,15 @@ class GridSimHarness {
   /// Kills a node and removes its coverage (failure injection).
   void kill_node(std::uint32_t id);
 
+  /// Reboots a dead node in place with a fresh protocol process
+  /// (amnesia); restores its coverage disc. No-op on an alive node.
+  void reboot_node(std::uint32_t id);
+
+  /// The fault injector, or nullptr when cfg.fault_plan is empty.
+  sim::FaultInjector* injector() noexcept { return injector_.get(); }
+  /// The invariant monitor (inactive unless cfg.invariant_interval > 0).
+  sim::InvariantMonitor& monitor() noexcept { return monitor_; }
+
   /// Chaos: at simulated time `at`, kills the node currently acting as a
   /// cell leader (lowest cell id with an alive leader wins). Victims are
   /// resolved when the event fires, so "whoever leads then" is targeted.
@@ -168,6 +199,7 @@ class GridSimHarness {
   sim::TimelineSample sample_timeline();
   void dump_flight_bundle(const std::string& reason,
                           const std::string& detail);
+  void register_invariants();
 
   SimRunConfig cfg_;
   std::unique_ptr<sim::World> world_;
@@ -176,6 +208,11 @@ class GridSimHarness {
   sim::Timeline timeline_;
   std::unique_ptr<coverage::FieldRecorder> field_;
   sim::AuditLog audit_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  sim::InvariantMonitor monitor_;
+  /// First sim time each cell was seen with >1 leader (grace tracking
+  /// for the leader-uniqueness invariant; cleared on recovery).
+  std::map<std::uint32_t, double> leader_conflict_since_;
   std::vector<geom::Point2> placements_;
   std::size_t initial_nodes_ = 0;
   bool initial_deployed_ = false;

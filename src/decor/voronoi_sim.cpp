@@ -234,6 +234,9 @@ class DecorVoronoiSimNode final : public net::SensorNode {
 
 VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
     : cfg_(std::move(cfg)) {
+  // Reboot-capable campaigns need the ARQ dedup purge; applied before
+  // Shared copies the params (see GridSimHarness for the rationale).
+  if (!cfg_.fault_plan.empty()) cfg_.arq.purge_on_give_up = true;
   const auto& p = cfg_.params;
   world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
                                         p.rc);
@@ -287,6 +290,78 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   shared_->arq = cfg_.arq;
   shared_->data_plane = cfg_.data_plane;
   if (cfg_.audit || !cfg_.audit_jsonl.empty()) shared_->audit = &audit_;
+  if (!cfg_.fault_plan.empty()) {
+    sim::FaultInjector::Hooks hooks;
+    hooks.kill = [this](std::uint32_t id) { kill_node(id); };
+    hooks.reboot = [this](std::uint32_t id) { reboot_node(id); };
+    const bool has_sink = cfg_.data_plane.enabled;
+    const std::uint32_t sink = cfg_.data_plane.sink;
+    hooks.is_protected = [has_sink, sink](std::uint32_t id) {
+      return has_sink && id == sink;
+    };
+    hooks.sink = sink;
+    hooks.has_sink = has_sink;
+    injector_ = std::make_unique<sim::FaultInjector>(*world_, cfg_.fault_plan,
+                                                     std::move(hooks));
+    injector_->arm();
+  }
+  if (cfg_.invariant_interval > 0.0) register_invariants();
+}
+
+void VoronoiSimHarness::register_invariants() {
+  // Leaderless scheme: same invariant catalog as the grid harness minus
+  // leader uniqueness (see GridSimHarness::register_invariants for the
+  // per-check rationale).
+  monitor_.add_check("coverage-alive", [this]() -> std::optional<std::string> {
+    const auto& idx = map_->index();
+    std::vector<std::uint32_t> counts(idx.size(), 0);
+    for (std::uint32_t id : world_->alive_ids()) {
+      idx.for_each_in_disc(world_->position(id), cfg_.params.rs,
+                           [&](std::size_t pid) { ++counts[pid]; });
+    }
+    std::size_t covered = 0;
+    for (auto c : counts) {
+      if (c >= cfg_.params.k) ++covered;
+    }
+    const std::size_t believed = map_->num_covered(cfg_.params.k);
+    if (covered != believed) {
+      return "alive nodes cover " + std::to_string(covered) +
+             " points but the map credits " + std::to_string(believed);
+    }
+    return std::nullopt;
+  });
+  monitor_.add_check("arq-conservation",
+                     [this]() -> std::optional<std::string> {
+    const auto& a = shared_->arq_stats;
+    std::uint64_t in_flight = 0;
+    for (std::uint32_t id : world_->alive_ids()) {
+      if (auto* sn = dynamic_cast<net::SensorNode*>(&world_->node(id))) {
+        if (auto* l = sn->link()) in_flight += l->in_flight();
+      }
+    }
+    const std::uint64_t accounted =
+        a.completed + a.failed + a.abandoned + in_flight;
+    if (a.sent != accounted) {
+      return "sent=" + std::to_string(a.sent) + " but completed+failed+" +
+             "abandoned+in_flight=" + std::to_string(accounted);
+    }
+    return std::nullopt;
+  });
+  monitor_.add_check("goodput-bound", [this]() -> std::optional<std::string> {
+    const auto& d = shared_->data_stats;
+    if (d.readings_delivered > d.readings_originated) {
+      return "delivered " + std::to_string(d.readings_delivered) +
+             " unique readings but only " +
+             std::to_string(d.readings_originated) + " were originated";
+    }
+    return std::nullopt;
+  });
+  monitor_.set_on_first_violation(
+      [this](const std::string& name, const std::string& detail) {
+        if (!cfg_.flight_dir.empty()) {
+          dump_flight_bundle("invariant", name + ": " + detail);
+        }
+      });
 }
 
 VoronoiSimHarness::~VoronoiSimHarness() = default;
@@ -306,9 +381,18 @@ void VoronoiSimHarness::kill_node(std::uint32_t id) {
   map_->remove_disc(pos);
 }
 
+void VoronoiSimHarness::reboot_node(std::uint32_t id) {
+  if (world_->alive(id)) return;
+  world_->reboot(id, std::make_unique<DecorVoronoiSimNode>(shared_));
+  map_->add_disc(world_->position(id));
+}
+
 void VoronoiSimHarness::schedule_random_kills(double at, std::size_t count) {
   world_->sim().schedule_at(at, [this, count] {
     auto alive = world_->alive_ids();
+    // Mirror of the grid harness: random chaos never kills the
+    // data-plane sink; only an explicit sink_outage fault event may.
+    if (cfg_.data_plane.enabled) std::erase(alive, cfg_.data_plane.sink);
     const auto picks =
         world_->rng().sample_indices(alive.size(),
                                      std::min(count, alive.size()));
@@ -336,6 +420,10 @@ sim::TimelineSample VoronoiSimHarness::sample_timeline() {
     s.readings_delivered = shared_->data_stats.readings_delivered;
     s.reading_bytes = shared_->data_stats.bytes_delivered;
   }
+  if (monitor_.active()) {
+    s.has_invariants = true;
+    s.invariant_violations = monitor_.violations();
+  }
   return s;
 }
 
@@ -346,6 +434,7 @@ void VoronoiSimHarness::dump_flight_bundle(const std::string& reason,
   info.sim_time = world_->sim().now();
   info.scheme = "voronoi";
   info.detail = detail;
+  if (injector_) info.faults_json = injector_->manifest_json();
   if (field_ != nullptr) {
     info.field_jsonl = field_->header_json() + "\n";
     if (const auto* s = field_->latest()) {
@@ -420,6 +509,9 @@ VoronoiSimResult VoronoiSimHarness::run() {
     timeline_.start(world_->sim(), cfg_.timeline_interval,
                     [this] { return sample_timeline(); });
   }
+  if (cfg_.invariant_interval > 0.0 && !monitor_.active()) {
+    monitor_.start(world_->sim(), cfg_.invariant_interval);
+  }
 
   VoronoiSimResult result;
   result.initial_nodes = initial_nodes_;
@@ -447,6 +539,9 @@ VoronoiSimResult VoronoiSimHarness::run() {
       world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
                              0, "converged");
       if (timeline_.active()) timeline_.sample_once();
+      // Final proof pass at the convergence instant, mirroring the
+      // timeline's forced sample.
+      if (monitor_.active()) monitor_.check_now();
       // Forced snapshot at the convergence instant: the final (hole-free)
       // field always lands on the recorder even between cadence ticks.
       if (field_) field_->snapshot(world_->sim().now(), *map_, true);
@@ -512,6 +607,11 @@ VoronoiSimResult VoronoiSimHarness::run() {
   result.radio_rx = world_->radio().total_rx();
   result.arq = shared_->arq_stats;
   result.data = shared_->data_stats;
+  if (injector_) result.faults_fired = injector_->faults_fired();
+  result.radio_corrupted = world_->radio().total_corrupted();
+  result.radio_partition_blocked = world_->radio().total_partition_blocked();
+  result.invariant_checks = monitor_.checks_run();
+  result.invariant_violations = monitor_.violations();
   result.metrics = coverage::compute_metrics(*map_, cfg_.params.k + 1);
   // One update per run (deltas since run() entry, so repeated runs on
   // one harness never double-count); the hot protocol path stays free of

@@ -24,6 +24,8 @@
 #include "decor/params.hpp"
 #include "net/sensor_node.hpp"
 #include "sim/audit_log.hpp"
+#include "sim/fault.hpp"
+#include "sim/invariant_monitor.hpp"
 #include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
@@ -96,6 +98,15 @@ struct VoronoiSimConfig {
   /// needs the watchdog, or aborts on an exception dumps trace/timeline/
   /// metrics into this directory (see sim/flight_recorder.hpp).
   std::string flight_dir;
+
+  /// Fault campaign (decor.faults.v1); see SimRunConfig::fault_plan. A
+  /// non-empty plan switches the ARQ to purge_on_give_up.
+  sim::FaultPlan fault_plan;
+
+  /// Invariant monitor cadence in sim-seconds (0 = monitor off); see
+  /// SimRunConfig::invariant_interval. The leaderless scheme checks
+  /// coverage consistency, ArqStats conservation and the goodput bound.
+  double invariant_interval = 0.0;
 };
 
 struct VoronoiSimResult {
@@ -116,6 +127,13 @@ struct VoronoiSimResult {
   net::DataPlaneStats data;
   coverage::CoverageMetrics metrics;
   std::vector<geom::Point2> placements;
+  /// Fault-campaign accounting (zeros unless cfg.fault_plan non-empty).
+  std::uint64_t faults_fired = 0;
+  std::uint64_t radio_corrupted = 0;
+  std::uint64_t radio_partition_blocked = 0;
+  /// Invariant-monitor accounting (zeros unless invariant_interval > 0).
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
 };
 
 class VoronoiSimHarness {
@@ -140,6 +158,15 @@ class VoronoiSimHarness {
   std::uint32_t spawn_node(geom::Point2 pos);
   void kill_node(std::uint32_t id);
 
+  /// Reboots a dead node in place with a fresh protocol process
+  /// (amnesia); restores its coverage disc. No-op on an alive node.
+  void reboot_node(std::uint32_t id);
+
+  /// The fault injector, or nullptr when cfg.fault_plan is empty.
+  sim::FaultInjector* injector() noexcept { return injector_.get(); }
+  /// The invariant monitor (inactive unless cfg.invariant_interval > 0).
+  sim::InvariantMonitor& monitor() noexcept { return monitor_; }
+
   /// Chaos: at simulated time `at`, kills `count` uniformly random alive
   /// nodes (ground-truth map kept in sync, unlike raw World::kill).
   void schedule_random_kills(double at, std::size_t count);
@@ -153,6 +180,7 @@ class VoronoiSimHarness {
   sim::TimelineSample sample_timeline();
   void dump_flight_bundle(const std::string& reason,
                           const std::string& detail);
+  void register_invariants();
 
   VoronoiSimConfig cfg_;
   std::unique_ptr<sim::World> world_;
@@ -161,6 +189,8 @@ class VoronoiSimHarness {
   sim::Timeline timeline_;
   std::unique_ptr<coverage::FieldRecorder> field_;
   sim::AuditLog audit_;
+  std::unique_ptr<sim::FaultInjector> injector_;
+  sim::InvariantMonitor monitor_;
   std::vector<geom::Point2> placements_;
   std::size_t seeded_ = 0;
   std::size_t initial_nodes_ = 0;

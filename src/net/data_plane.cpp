@@ -1,5 +1,7 @@
 #include "net/data_plane.hpp"
 
+#include <algorithm>
+
 #include "common/require.hpp"
 #include "net/messages.hpp"
 #include "sim/world.hpp"
@@ -35,7 +37,18 @@ void DataPlane::start(ReliableUnicastFn send_reliable) {
 
 void DataPlane::beacon_tick() {
   if (!host_.alive()) return;
-  const std::uint32_t epoch = next_epoch_++;
+  // Epoch = max(counter, clock-derived floor). For an uninterrupted sink
+  // the two are equal (beacons at first_beacon_delay + k*interval give
+  // floor k+1 == counter), so default runs are byte-identical. After a
+  // sink outage the rebooted sink's counter restarts at 1, and the clock
+  // floor guarantees the post-reboot flood still dominates every epoch
+  // the previous incarnation announced — the whole field re-adopts.
+  const std::uint32_t clock_floor =
+      static_cast<std::uint32_t>(host_.world().sim().now() /
+                                 params_.beacon_interval) +
+      1;
+  const std::uint32_t epoch = std::max(next_epoch_, clock_floor);
+  next_epoch_ = epoch + 1;
   sim::Message m = sim::Message::make(host_.id(), kSinkBeacon,
                                       SinkBeaconPayload{epoch, 0},
                                       wire_size(kSinkBeacon));
@@ -53,7 +66,8 @@ void DataPlane::reading_tick() {
         host_.id(), kReading,
         ReadingPayload{host_.id(), next_reading_seq_++, 0,
                        host_.world().sim().now(),
-                       host_.pos().x + host_.pos().y, host_.pos()},
+                       host_.pos().x + host_.pos().y, host_.pos(),
+                       host_.boot_time()},
         wire_size(kReading));
     if (stats_) ++stats_->readings_originated;
     send_reliable_(parent_, std::move(m));
@@ -107,6 +121,18 @@ void DataPlane::handle_reading(const sim::Message& msg) {
   auto payload = msg.as<ReadingPayload>();
   if (is_sink()) {
     SeenOrigin& seen = seen_[payload.origin];
+    // Incarnation check: a rebooted origin restarts its seq counter, so
+    // the dedup floor only makes sense within one boot. Newer boot ->
+    // fresh floor; older boot -> stale straggler from a dead incarnation.
+    // No-fault runs never take either branch (boot is constantly 0).
+    if (payload.boot > seen.boot) {
+      seen.boot = payload.boot;
+      seen.floor = 0;
+      seen.above.clear();
+    } else if (payload.boot < seen.boot) {
+      if (stats_) ++stats_->stale_drops;
+      return;
+    }
     const bool dup = payload.seq <= seen.floor ||
                      seen.above.count(payload.seq) > 0;
     if (dup) {

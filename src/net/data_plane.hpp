@@ -47,8 +47,10 @@ struct DataPlaneParams {
   /// so a beacon at t=0 would reach nobody and the first usable gradient
   /// would wait a whole beacon_interval.
   double first_beacon_delay = 0.5;
-  /// Node id of the base station (the harnesses use the first initial
-  /// node, which is never killed by the chaos hooks' default plans).
+  /// Node id of the base station. Both harnesses (grid and Voronoi)
+  /// deterministically exclude this id from schedule_random_kills, and
+  /// the fault injector's random reboot picks skip it too — only an
+  /// explicit sink_outage fault event may take the sink down.
   std::uint32_t sink = 0;
   /// TTL: readings travelling more hops than this are dropped.
   std::uint32_t max_hops = 64;
@@ -64,6 +66,9 @@ struct DataPlaneStats {
   std::uint64_t ttl_drops = 0;
   std::uint64_t beacons_sent = 0;
   std::uint64_t bytes_delivered = 0;     // goodput numerator (wire bytes)
+  /// Readings from an earlier incarnation of a rebooted origin, rejected
+  /// at the sink by the boot-stamp check (fault campaigns only).
+  std::uint64_t stale_drops = 0;
 };
 
 class DataPlane {
@@ -95,9 +100,13 @@ class DataPlane {
 
  private:
   /// Sink-side per-origin dedup: every reading seq <= floor was counted.
+  /// Keyed on (origin, boot): a rebooted origin restarts its seq counter,
+  /// so a later boot stamp resets the floor and an earlier one marks the
+  /// reading as stale (see handle_reading).
   struct SeenOrigin {
     std::uint32_t floor = 0;
     std::set<std::uint32_t> above;
+    double boot = 0.0;
   };
 
   void beacon_tick();

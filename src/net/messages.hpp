@@ -32,6 +32,10 @@ struct HeartbeatPayload {
   geom::Point2 pos;
   /// Cell the sender currently believes it belongs to (grid scheme).
   std::uint32_t cell = 0;
+  /// Sender's boot time (incarnation stamp): a known peer id announcing
+  /// a later boot has rebooted with amnesia, so receivers must drop the
+  /// link-layer dedup state of its previous incarnation.
+  double boot = 0.0;
 };
 
 struct ElectPayload {
@@ -89,6 +93,10 @@ struct ReadingPayload {
   double origin_time = 0.0;    // sim time the reading was produced
   double value = 0.0;
   geom::Point2 pos;            // origin position
+  /// Origin's boot time (incarnation stamp): a rebooted origin restarts
+  /// its seq counter, so the sink keys its dedup floor on (origin, boot)
+  /// and rejects stale readings from earlier incarnations.
+  double boot = 0.0;
 };
 
 /// Stable lowercase name of a protocol kind ("hello", "ack", ...), used
@@ -122,7 +130,10 @@ inline const char* msg_kind_name(int kind) noexcept {
 }
 
 /// Nominal wire sizes (bytes) used by the energy model; roughly two floats
-/// of position plus headers, matching mote-class packet sizes.
+/// of position plus headers, matching mote-class packet sizes. The sizes
+/// include the frame CRC trailer (sim::Message::kChecksumBytes) and the
+/// compact boot stamps above — both were always part of the accounting,
+/// so fault-capable builds charge exactly the historical energy/airtime.
 inline std::size_t wire_size(MsgKind kind) {
   switch (kind) {
     case kHello:

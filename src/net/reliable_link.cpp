@@ -236,6 +236,7 @@ void ReliableLink::on_timeout(std::uint32_t seq) {
     const std::vector<std::uint32_t> dead = o.waiting;
     const bool was_unicast = o.is_unicast;
     pending_.erase(it);
+    if (stats_) ++stats_->failed;
     for (std::uint32_t peer : dead) {
       if (stats_) ++stats_->gave_up;
       gave_up_counter().inc();
@@ -252,6 +253,7 @@ void ReliableLink::on_timeout(std::uint32_t seq) {
           pit->second.queue.clear();
         }
       }
+      if (params_.purge_on_give_up) forget_peer(peer);
       if (on_dead_peer_) on_dead_peer_(peer);
     }
     return;
@@ -291,6 +293,7 @@ bool ReliableLink::clear_waiter(std::uint32_t seq, std::uint32_t from) {
       }
     }
     pending_.erase(it);
+    if (stats_) ++stats_->completed;
   }
   return true;
 }
@@ -405,6 +408,23 @@ ReliableLink::RxAction ReliableLink::on_frame(const sim::Message& msg) {
     return RxAction::kDuplicate;
   }
   return RxAction::kDeliver;
+}
+
+void ReliableLink::forget_peer(std::uint32_t peer) {
+  seen_.erase(peer);
+  rx_.erase(peer);
+}
+
+void ReliableLink::host_died() {
+  if (stats_) stats_->abandoned += pending_.size();
+  pending_.clear();
+  // Queued frames were never counted as sent, so dropping them needs no
+  // stats transfer; zeroing in_flight keeps the sender state coherent if
+  // a late ack event still probes it.
+  for (auto& [dst, peer] : peer_tx_) {
+    peer.queue.clear();
+    peer.in_flight = 0;
+  }
 }
 
 std::size_t ReliableLink::queued_frames() const noexcept {

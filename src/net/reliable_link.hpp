@@ -72,6 +72,14 @@ struct ReliableLinkParams {
   double rtt_beta = 0.25;
   /// Multiplicative decrease applied to cwnd on a unicast timeout.
   double aimd_decrease = 0.5;
+  /// Purge the receiver-side dedup state of a peer when the sender side
+  /// gives it up for dead (see forget_peer). Required for fault
+  /// campaigns with reboots: a rebooted peer restarts its seq space at
+  /// 1, and stale dedup state would silently swallow (and falsely ack)
+  /// its fresh traffic. Off by default because re-opening the dedup
+  /// window changes loss-only trajectories where give-ups are false
+  /// alarms; the harnesses switch it on whenever a fault plan is active.
+  bool purge_on_give_up = false;
 };
 
 /// Per-world ARQ accounting the harnesses surface in their run results
@@ -93,6 +101,16 @@ struct ArqStats {
   /// Unicast sends deferred because the peer's window was full
   /// (windowed mode only).
   std::uint64_t queued = 0;
+  /// Exchange outcomes, at pending-entry granularity. Together with the
+  /// live in-flight depth they satisfy the conservation law the
+  /// invariant monitor asserts during fault campaigns:
+  ///   sent == completed + failed + abandoned + sum(in_flight() over
+  ///           alive links)
+  /// (`failed` counts give-ups per entry, unlike `gave_up` which counts
+  /// per silent peer and per flushed queue frame.)
+  std::uint64_t completed = 0;  // entries fully acknowledged
+  std::uint64_t failed = 0;     // entries erased by retry exhaustion
+  std::uint64_t abandoned = 0;  // entries discarded because the host died
 };
 
 class ReliableLink {
@@ -143,6 +161,18 @@ class ReliableLink {
 
   /// Outstanding (not yet fully acknowledged) reliable sends.
   std::size_t in_flight() const noexcept { return pending_.size(); }
+
+  /// Drops the receiver-side dedup state held for `peer` (the seen-set
+  /// in stop-and-wait mode, the floor + sparse set in windowed mode).
+  /// Called when `peer` is declared dead or detected as rebooted: its
+  /// next incarnation reuses the id with a fresh seq space, and stale
+  /// dedup state would misread that fresh traffic as duplicates.
+  void forget_peer(std::uint32_t peer);
+
+  /// Host-death bookkeeping (SensorNode::on_stop): counts every pending
+  /// entry as abandoned and clears sender state, so the ArqStats
+  /// conservation law stays exact across kills and reboots.
+  void host_died();
 
   /// Unicast frames queued behind full windows (windowed mode).
   std::size_t queued_frames() const noexcept;

@@ -41,22 +41,38 @@ void SensorNode::on_start() {
                                                     table_);
     detector_->start([this] { send_heartbeat(); },
                      [this](std::uint32_t id, geom::Point2 pos) {
+                       // Under a fault plan the silent peer may come back
+                       // with fresh state; drop our dedup memory of it so
+                       // the new incarnation's frames deliver (gated like
+                       // the ARQ give-up purge — see ReliableLinkParams).
+                       if (link_ && params_.arq.purge_on_give_up) {
+                         link_->forget_peer(id);
+                       }
                        on_neighbor_failed(id, pos);
                      });
   }
 }
 
+void SensorNode::on_stop() {
+  // Conservation bookkeeping: frames this node still had in flight will
+  // never complete; count them as abandoned while the link state is
+  // still reachable.
+  if (link_) link_->host_died();
+}
+
 void SensorNode::send_hello(bool solicit_reply) {
-  broadcast(sim::Message::make(id(), kHello,
-                               HelloExtPayload{pos(), solicit_reply},
-                               wire_size(kHello)),
+  broadcast(sim::Message::make(
+                id(), kHello,
+                HelloExtPayload{pos(), solicit_reply, boot_time()},
+                wire_size(kHello)),
             params_.rc);
 }
 
 void SensorNode::send_heartbeat() {
-  broadcast(sim::Message::make(id(), kHeartbeat,
-                               HeartbeatPayload{pos(), heartbeat_cell()},
-                               wire_size(kHeartbeat)),
+  broadcast(sim::Message::make(
+                id(), kHeartbeat,
+                HeartbeatPayload{pos(), heartbeat_cell(), boot_time()},
+                wire_size(kHeartbeat)),
             params_.rc);
 }
 
@@ -85,10 +101,21 @@ void SensorNode::broadcast_reliable(sim::Message msg) {
   broadcast(msg, params_.rc);
 }
 
-void SensorNode::observe(std::uint32_t from, geom::Point2 p) {
+void SensorNode::observe(std::uint32_t from, geom::Point2 p, double boot) {
   const bool fresh = !table_.knows(from);
   table_.observe(from, p, world().sim().now());
   if (detector_) detector_->observe(from, p);
+  // Reboot-with-amnesia detection: a later boot stamp on a known peer id
+  // means the peer restarted with fresh protocol state. Its new seq
+  // space must not be filtered through dedup state of the previous
+  // incarnation, and any route through it is stale. Never triggers in
+  // reboot-free runs (a given id's boot stamp is constant).
+  const auto [bit, new_peer] = peer_boot_.try_emplace(from, boot);
+  if (!new_peer && boot > bit->second) {
+    bit->second = boot;
+    if (link_) link_->forget_peer(from);
+    if (data_plane_) data_plane_->on_peer_dead(from);
+  }
   if (fresh) on_neighbor_discovered(from, p);
 }
 
@@ -105,22 +132,23 @@ void SensorNode::on_message(const sim::Message& msg) {
   switch (msg.kind) {
     case kHello: {
       const auto& p = msg.as<HelloExtPayload>();
-      observe(msg.src, p.pos);
+      observe(msg.src, p.pos, p.boot);
       if (p.solicit_reply) {
         // Introduce ourselves to the newcomer only (unicast keeps the
         // O(neighbors^2) hello storm away). Best-effort on purpose: a
         // lost reply is repaired by the next heartbeat.
-        (void)unicast(msg.src,
-                      sim::Message::make(id(), kHello,
-                                         HelloExtPayload{pos(), false},
-                                         wire_size(kHello)),
-                      params_.rc);
+        (void)unicast(
+            msg.src,
+            sim::Message::make(id(), kHello,
+                               HelloExtPayload{pos(), false, boot_time()},
+                               wire_size(kHello)),
+            params_.rc);
       }
       break;
     }
     case kHeartbeat: {
       const auto& p = msg.as<HeartbeatPayload>();
-      observe(msg.src, p.pos);
+      observe(msg.src, p.pos, p.boot);
       handle_message(msg);  // subclasses may track cells from heartbeats
       break;
     }

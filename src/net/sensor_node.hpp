@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 
 #include "net/data_plane.hpp"
@@ -41,6 +42,7 @@ class SensorNode : public sim::NodeProcess {
 
   void on_start() override;
   void on_message(const sim::Message& msg) override;
+  void on_stop() override;
 
   const NeighborTable& neighbors() const noexcept { return table_; }
   const SensorNodeParams& params() const noexcept { return params_; }
@@ -104,8 +106,11 @@ class SensorNode : public sim::NodeProcess {
   std::unique_ptr<DataPlane> data_plane_;
 
  private:
-  void observe(std::uint32_t id, geom::Point2 pos);
+  void observe(std::uint32_t id, geom::Point2 pos, double boot);
 
+  /// Last boot stamp heard per neighbor id (reboot-with-amnesia
+  /// detection; see observe()).
+  std::map<std::uint32_t, double> peer_boot_;
   ArqStats* arq_stats_ = nullptr;
   DataPlaneStats* data_stats_ = nullptr;
 };
@@ -115,6 +120,8 @@ class SensorNode : public sim::NodeProcess {
 struct HelloExtPayload {
   geom::Point2 pos;
   bool solicit_reply = false;
+  /// Sender's boot time (incarnation stamp, like HeartbeatPayload::boot).
+  double boot = 0.0;
 };
 
 }  // namespace decor::net

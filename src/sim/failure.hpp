@@ -4,6 +4,11 @@
 // (hardware defects, battery, animals) and correlated area failures where
 // a disaster destroys every node inside a disc (earthquake, fire). Both
 // can fire immediately or be scheduled at a simulation time.
+//
+// These helpers kill nodes permanently. For declarative, replayable
+// campaigns of *recoverable* faults — reboot-with-amnesia, radio
+// partitions, frame corruption, sink outages — see sim/fault.hpp
+// (FaultPlan / FaultInjector).
 #pragma once
 
 #include <cstdint>

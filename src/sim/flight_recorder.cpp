@@ -98,6 +98,10 @@ bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
     // Schema header included; 0 means no field recorder was active.
     w.key("field_lines");
     w.value(static_cast<std::uint64_t>(field_lines));
+    if (!info.faults_json.empty()) {
+      w.key("faults");
+      w.raw_value(info.faults_json);
+    }
     w.key("meta");
     common::write_provenance(w);
     w.end_object();

@@ -48,6 +48,12 @@ struct FlightBundleInfo {
   /// coverage library — the harness owns the FieldRecorder and hands the
   /// bytes down.
   std::string field_jsonl;
+  /// Pre-rendered JSON value describing the active fault campaign:
+  /// {"plan":<decor.faults.v1>,"fired":[...]} from
+  /// FaultInjector::manifest_json(). Empty when no fault engine was
+  /// active. Recorded in the manifest so a failed campaign is
+  /// reproducible from its bundle alone.
+  std::string faults_json;
 };
 
 /// Writes the bundle into `dir`, creating the directory (and parents) if

@@ -1,0 +1,50 @@
+#include "sim/invariant_monitor.hpp"
+
+#include "common/json.hpp"
+#include "common/log.hpp"
+#include "common/require.hpp"
+
+namespace decor::sim {
+
+namespace {
+constexpr std::size_t kMaxLoggedViolations = 64;
+}  // namespace
+
+void InvariantMonitor::add_check(std::string name, Check fn) {
+  DECOR_REQUIRE_MSG(fn != nullptr, "invariant check needs a function");
+  checks_.push_back(Named{std::move(name), std::move(fn)});
+}
+
+void InvariantMonitor::start(Simulator& sim, Time period) {
+  DECOR_REQUIRE_MSG(period > 0.0, "invariant period must be positive");
+  sim_ = &sim;
+  period_ = period;
+  active_ = true;
+  sim_->schedule(0.0, [this] { tick(); });
+}
+
+void InvariantMonitor::tick() {
+  if (!active_) return;
+  check_now();
+  sim_->schedule(period_, [this] { tick(); });
+}
+
+void InvariantMonitor::check_now() {
+  const Time now = sim_ != nullptr ? sim_->now() : 0.0;
+  for (const Named& c : checks_) {
+    ++checks_run_;
+    std::optional<std::string> detail = c.fn();
+    if (!detail) continue;
+    const bool first = violations_ == 0;
+    ++violations_;
+    if (log_.size() < kMaxLoggedViolations) {
+      log_.push_back("t=" + common::format_double(now) + " " + c.name + ": " +
+                     *detail);
+    }
+    DECOR_LOG_ERROR("invariant violated at t=" << now << ": " << c.name
+                                               << ": " << *detail);
+    if (first && on_first_violation_) on_first_violation_(c.name, *detail);
+  }
+}
+
+}  // namespace decor::sim

@@ -1,0 +1,79 @@
+// Live safety-property checker, sampled alongside the timeline.
+//
+// A fault campaign is only useful evidence if the run can *prove* the
+// protocols stayed safe while the faults fired. The monitor holds a set
+// of named checks (closures over harness state: ground-truth coverage
+// vs. the alive set, one converged leader per cell, ArqStats
+// conservation, goodput <= offered load) and evaluates all of them at a
+// fixed sim-time cadence plus on demand at the convergence instant. A
+// check returns nullopt when the property holds, or a human-readable
+// detail string when it is violated. Violations are counted and logged;
+// the first one fires a callback so the harness can freeze a
+// flight-recorder bundle while the offending state is still in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace decor::sim {
+
+class InvariantMonitor {
+ public:
+  /// nullopt = property holds; a string = violation detail.
+  using Check = std::function<std::optional<std::string>()>;
+  /// First-violation callback: (check name, detail).
+  using OnViolation =
+      std::function<void(const std::string&, const std::string&)>;
+
+  void add_check(std::string name, Check fn);
+
+  void set_on_first_violation(OnViolation fn) {
+    on_first_violation_ = std::move(fn);
+  }
+
+  /// Evaluates every check each `period` sim-seconds (first pass
+  /// immediately) until stop() or the simulation drains. The monitor
+  /// must outlive the events it schedules — harnesses own it.
+  void start(Simulator& sim, Time period);
+  void stop() { active_ = false; }
+  bool active() const noexcept { return active_; }
+
+  /// One evaluation pass outside the periodic schedule (harnesses call
+  /// this at the convergence instant, mirroring Timeline::sample_once).
+  void check_now();
+
+  /// Individual check evaluations so far (passes x registered checks).
+  std::uint64_t checks_run() const noexcept { return checks_run_; }
+  std::uint64_t violations() const noexcept { return violations_; }
+
+  /// "t=<time> <name>: <detail>" lines, oldest first, capped at 64 so a
+  /// persistently broken invariant cannot balloon memory.
+  const std::vector<std::string>& violation_log() const noexcept {
+    return log_;
+  }
+
+ private:
+  void tick();
+
+  struct Named {
+    std::string name;
+    Check fn;
+  };
+
+  Simulator* sim_ = nullptr;
+  Time period_ = 0.0;
+  bool active_ = false;
+  std::vector<Named> checks_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t violations_ = 0;
+  std::vector<std::string> log_;
+  OnViolation on_first_violation_;
+};
+
+}  // namespace decor::sim

@@ -31,8 +31,16 @@ struct Message {
   /// seqs below it. 0 means "no hint" — stop-and-wait senders leave it
   /// untouched, and the simulator core only carries it.
   std::uint32_t seq_floor = 0;
+  /// Wire size charged by the energy model and the airtime calculation.
+  /// Nominal sizes *include* the kChecksumBytes frame CRC trailer that
+  /// lets receivers detect corrupted frames (Radio corruption fault) —
+  /// every frame always carried it in the accounting, so enabling
+  /// corruption detection changes no energy or airtime numbers.
   std::size_t size_bytes = 32;
   std::shared_ptr<const std::any> payload;
+
+  /// Frame CRC trailer, part of every size_bytes above.
+  static constexpr std::size_t kChecksumBytes = 4;
 
   /// Convenience constructor wrapping a payload value.
   template <typename T>

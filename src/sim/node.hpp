@@ -38,6 +38,12 @@ class NodeProcess {
   bool alive() const noexcept { return alive_; }
   World& world() const noexcept { return *world_; }
 
+  /// Sim time at which this process (re)started — the node's incarnation
+  /// stamp. A reboot installs a fresh process with a later boot_time, so
+  /// protocol layers can carry it in HELLOs/heartbeats to detect that a
+  /// known peer id lost its state (reboot with amnesia) and resync.
+  double boot_time() const noexcept { return boot_time_; }
+
   double energy_used() const noexcept { return energy_used_j_; }
   double energy_remaining() const noexcept {
     return budget_.capacity_j - energy_used_j_;
@@ -72,6 +78,7 @@ class NodeProcess {
   std::uint32_t id_ = 0;
   geom::Point2 pos_;
   bool alive_ = true;
+  double boot_time_ = 0.0;
   EnergyBudget budget_;
   double energy_used_j_ = 0.0;
 };

@@ -1,6 +1,7 @@
 #include "sim/radio.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/metrics.hpp"
 #include "geometry/point.hpp"
@@ -71,8 +72,31 @@ void Radio::charge_tx(NodeProcess& src, const Message& msg) {
   }
 }
 
+std::uint64_t Radio::add_partition(CutPredicate cut) {
+  const std::uint64_t handle = next_cut_handle_++;
+  cuts_.emplace_back(handle, std::move(cut));
+  return handle;
+}
+
+void Radio::remove_partition(std::uint64_t handle) {
+  std::erase_if(cuts_, [handle](const auto& c) { return c.first == handle; });
+}
+
+bool Radio::pair_cut(std::uint32_t a, std::uint32_t b) const {
+  for (const auto& [handle, cut] : cuts_) {
+    if (cut(a, b)) return true;
+  }
+  return false;
+}
+
 bool Radio::frame_reaches(const NodeProcess& src, std::uint32_t dst,
                           double range) {
+  // Partition cuts are deterministic and checked before any randomness,
+  // so partition-free runs keep a byte-identical RNG sequence.
+  if (!cuts_.empty() && pair_cut(src.id(), dst)) {
+    ++partition_blocked_;
+    return false;
+  }
   // Random loss and propagation fading both gate the frame.
   if (params_.loss_prob > 0.0 && world_.rng().bernoulli(params_.loss_prob)) {
     return false;
@@ -90,6 +114,16 @@ void Radio::deliver_later(std::uint32_t dst, const Message& msg) {
       params_.latency_base +
       (params_.jitter > 0.0 ? world_.rng().uniform(0.0, params_.jitter)
                             : 0.0);
+  // Corruption fault: per-bit flips aggregate into one per-frame CRC
+  // failure probability. The draw only happens while a corruption
+  // window is active, so fault-free runs keep their RNG sequence.
+  bool crc_failed = false;
+  if (corruption_ber_ > 0.0) {
+    const double p_frame =
+        1.0 - std::pow(1.0 - corruption_ber_,
+                       8.0 * static_cast<double>(msg.size_bytes));
+    crc_failed = world_.rng().bernoulli(p_frame);
+  }
   const double start = world_.sim().now() + latency;
   const double airtime =
       params_.bitrate_bps > 0.0
@@ -123,11 +157,27 @@ void Radio::deliver_later(std::uint32_t dst, const Message& msg) {
   }
 
   in_flight_gauge().add(1.0);
-  world_.sim().schedule_at(end, [this, dst, msg, corrupted] {
+  world_.sim().schedule_at(end, [this, dst, msg, corrupted, crc_failed] {
     in_flight_gauge().add(-1.0);
     if (*corrupted) return;  // destroyed by a colliding frame
     NodeProcess& node = world_.node(dst);
     if (!node.alive()) return;  // died in flight
+    if (crc_failed) {
+      // The frame reached the receiver (rx energy is spent decoding it)
+      // but fails the checksum: detected, dropped, and counted apart
+      // from in-air loss. It never reaches the protocol layer.
+      ++corrupted_;
+      world_.charge(dst, node.budget_.rx_base_j +
+                             node.budget_.rx_per_byte_j *
+                                 static_cast<double>(msg.size_bytes));
+      if (world_.trace().enabled()) {
+        world_.trace().record(world_.sim().now(), TraceKind::kDrop, dst,
+                              "crc kind=" + std::to_string(msg.kind) +
+                                  " from=" + std::to_string(msg.src),
+                              msg.trace_id);
+      }
+      return;
+    }
     note_node(dst);
     ++rx_[dst];
     ++total_rx_;

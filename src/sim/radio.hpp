@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -52,13 +54,42 @@ class Radio {
 
   std::uint64_t total_tx() const noexcept { return total_tx_; }
   std::uint64_t total_rx() const noexcept { return total_rx_; }
-  /// Frames lost to random loss or propagation fading.
+  /// Frames lost to random loss or propagation fading (partition blocks
+  /// are included here too, so drop totals stay comparable across runs;
+  /// total_partition_blocked() isolates the partitioned subset).
   std::uint64_t total_dropped() const noexcept { return total_dropped_; }
   /// Frames destroyed by receiver-side collisions (bitrate_bps > 0).
   std::uint64_t total_collisions() const noexcept { return collisions_; }
 
   std::uint64_t tx_count(std::uint32_t id) const;
   std::uint64_t rx_count(std::uint32_t id) const;
+
+  /// Deterministic link cut (radio partition fault): the predicate
+  /// returns true when the pair of node ids is currently severed. Cuts
+  /// are evaluated before any loss randomness, so a cut-free run draws
+  /// exactly the same RNG sequence whether or not the fault engine is
+  /// compiled in. Returns a handle for remove_partition (scheduled
+  /// healing).
+  using CutPredicate = std::function<bool(std::uint32_t, std::uint32_t)>;
+  std::uint64_t add_partition(CutPredicate cut);
+  void remove_partition(std::uint64_t handle);
+  bool partitions_active() const noexcept { return !cuts_.empty(); }
+  /// Frames blocked by an active partition cut (subset of
+  /// total_dropped()).
+  std::uint64_t total_partition_blocked() const noexcept {
+    return partition_blocked_;
+  }
+
+  /// Frame corruption fault: per-bit flip probability applied to every
+  /// delivered frame while > 0. Wire sizes already account for a frame
+  /// checksum (Message::kChecksumBytes), so a corrupted frame is
+  /// *detected* at the receiver: it pays rx energy, fails the CRC, and
+  /// is counted in total_corrupted() — distinct from loss, which never
+  /// reaches the receiver at all. 0 disables (and draws no randomness).
+  void set_corruption_ber(double ber) noexcept { corruption_ber_ = ber; }
+  double corruption_ber() const noexcept { return corruption_ber_; }
+  /// Frames delivered but rejected by the receiver's CRC check.
+  std::uint64_t total_corrupted() const noexcept { return corrupted_; }
 
  private:
   /// A frame scheduled for reception, for collision bookkeeping.
@@ -70,6 +101,7 @@ class Radio {
 
   bool frame_reaches(const NodeProcess& src, std::uint32_t dst,
                      double range);
+  bool pair_cut(std::uint32_t a, std::uint32_t b) const;
   void deliver_later(std::uint32_t dst, const Message& msg);
   void charge_tx(NodeProcess& src, const Message& msg);
   void note_node(std::uint32_t id);
@@ -80,6 +112,11 @@ class Radio {
   std::uint64_t total_rx_ = 0;
   std::uint64_t total_dropped_ = 0;
   std::uint64_t collisions_ = 0;
+  std::uint64_t partition_blocked_ = 0;
+  std::uint64_t corrupted_ = 0;
+  double corruption_ber_ = 0.0;
+  std::uint64_t next_cut_handle_ = 1;
+  std::vector<std::pair<std::uint64_t, CutPredicate>> cuts_;
   std::vector<std::uint64_t> tx_;
   std::vector<std::uint64_t> rx_;
   std::unordered_map<std::uint32_t, std::vector<Pending>> inbound_;

@@ -77,6 +77,9 @@ std::string timeline_sample_json(const TimelineSample& s) {
     os << ",\"readings\":" << s.readings_delivered
        << ",\"reading_bytes\":" << s.reading_bytes;
   }
+  if (s.has_invariants) {
+    os << ",\"invariant_violations\":" << s.invariant_violations;
+  }
   os << "}";
   return os.str();
 }

@@ -38,6 +38,11 @@ struct TimelineSample {
   bool has_readings = false;
   std::uint64_t readings_delivered = 0;
   std::uint64_t reading_bytes = 0;
+  /// Invariant-monitor series (fault campaigns): cumulative violations
+  /// at sample time. Only serialized when `has_invariants`, so runs
+  /// without a monitor keep their historical byte layout.
+  bool has_invariants = false;
+  std::uint64_t invariant_violations = 0;
 };
 
 class Timeline {

@@ -21,6 +21,8 @@ const char* trace_kind_name(TraceKind kind) noexcept {
       return "timer";
     case TraceKind::kProtocol:
       return "protocol";
+    case TraceKind::kReboot:
+      return "reboot";
   }
   return "unknown";
 }

@@ -27,6 +27,7 @@ enum class TraceKind : int {
   kDrop,
   kTimer,
   kProtocol,  // free-form protocol milestone
+  kReboot,    // dead node restarted in place with fresh state
 };
 
 /// Stable lowercase name of a kind ("spawn", "tx", ...), used by the

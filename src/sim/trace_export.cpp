@@ -127,6 +127,9 @@ void write_chrome_trace(const std::vector<TraceRecord>& records,
       case TraceKind::kKill:
         write_instant(os, "kill", r.at, r.node);
         break;
+      case TraceKind::kReboot:
+        write_instant(os, "reboot", r.at, r.node);
+        break;
       case TraceKind::kProtocol:
         write_instant(os, r.detail.empty() ? "protocol" : r.detail, r.at,
                       r.node);

@@ -17,6 +17,10 @@ common::Counter& kill_counter() {
   static common::Counter& c = common::metrics().counter("sim.world.kill");
   return c;
 }
+common::Counter& reboot_counter() {
+  static common::Counter& c = common::metrics().counter("sim.world.reboot");
+  return c;
+}
 // Total charged energy in integer nanojoules: integer accumulation keeps
 // the snapshot deterministic under parallel trials (see metrics.hpp).
 common::Counter& energy_counter() {
@@ -72,6 +76,30 @@ void World::kill(std::uint32_t id) {
   node_energy_hist().observe(n.energy_used_j_);
   trace_.record(sim_.now(), TraceKind::kKill, id, "");
   n.on_stop();
+}
+
+void World::reboot(std::uint32_t id, std::unique_ptr<NodeProcess> proc) {
+  DECOR_REQUIRE_MSG(id < nodes_.size(), "unknown node id");
+  DECOR_REQUIRE_MSG(proc != nullptr, "reboot requires a process");
+  NodeProcess& old = *nodes_[id];
+  DECOR_REQUIRE_MSG(!old.alive_, "reboot requires a dead node");
+  proc->world_ = this;
+  proc->id_ = id;
+  proc->pos_ = old.pos_;
+  proc->alive_ = true;
+  proc->boot_time_ = sim_.now();
+  proc->budget_ = old.budget_;
+  proc->energy_used_j_ = old.energy_used_j_;
+  NodeProcess* raw = proc.get();
+  retired_.push_back(std::move(nodes_[id]));
+  nodes_[id] = std::move(proc);
+  index_.insert(id, raw->pos_);
+  ++alive_count_;
+  reboot_counter().inc();
+  trace_.record(sim_.now(), TraceKind::kReboot, id, "");
+  sim_.schedule(0.0, [raw] {
+    if (raw->alive()) raw->on_start();
+  });
 }
 
 bool World::alive(std::uint32_t id) const {

@@ -43,6 +43,14 @@ class World {
   /// Kills a node: removes it from the radio's reach, fires on_stop once.
   void kill(std::uint32_t id);
 
+  /// Restarts a dead node in place with a fresh process — reboot with
+  /// amnesia: same id, same position, zero protocol state, a new
+  /// boot_time. The battery does not recharge (energy spend carries
+  /// over). The old process object is retired but kept allocated until
+  /// the world dies: pending timers and in-flight deliveries capture raw
+  /// process pointers and rely on the dead object's alive() guard.
+  void reboot(std::uint32_t id, std::unique_ptr<NodeProcess> proc);
+
   std::size_t num_nodes() const noexcept { return nodes_.size(); }
   std::size_t alive_count() const noexcept { return alive_count_; }
 
@@ -87,6 +95,9 @@ class World {
   Trace trace_;
   geom::DynamicSensorIndex index_;
   std::vector<std::unique_ptr<NodeProcess>> nodes_;
+  /// Pre-reboot process objects; see reboot() for why they must outlive
+  /// their replacement.
+  std::vector<std::unique_ptr<NodeProcess>> retired_;
   std::size_t alive_count_ = 0;
   std::uint64_t last_trace_id_ = 0;
 };

@@ -1,0 +1,68 @@
+# Fault-campaign smoke: both protocol runners must survive a scripted
+# 30%-loss campaign (radio partition + reboot wave + corruption window +
+# sink outage) with zero invariant violations, and a malformed fault
+# plan must fail the run with a nonzero exit, not a silent no-fault run.
+#
+# Invoked by ctest as:
+#   cmake -DBIN=<decor_cli> -DOUT=<scratch dir> -P fault_smoke.cmake
+if(NOT DEFINED BIN OR NOT DEFINED OUT)
+  message(FATAL_ERROR "fault_smoke.cmake needs -DBIN= and -DOUT=")
+endif()
+
+file(MAKE_DIRECTORY ${OUT})
+
+# Campaign scaled to the 20x20 smoke field (the committed
+# tests/fault_campaign.json targets the default 100x100 field).
+set(plan ${OUT}/fault_smoke.plan.json)
+file(WRITE ${plan}
+"{\n"
+"  \"schema\": \"decor.faults.v1\",\n"
+"  \"events\": [\n"
+"    {\"kind\": \"partition\", \"at\": 3.0, \"axis\": \"x\", \"threshold\": 10.0, \"until\": 12.0},\n"
+"    {\"kind\": \"reboot\", \"at\": 5.0, \"fraction\": 0.25, \"downtime\": 3.0},\n"
+"    {\"kind\": \"corruption\", \"at\": 6.0, \"ber\": 0.0005, \"until\": 18.0},\n"
+"    {\"kind\": \"sink_outage\", \"at\": 8.0, \"downtime\": 4.0}\n"
+"  ]\n"
+"}\n")
+
+foreach(scheme grid voronoi)
+  set(json ${OUT}/fault_smoke.${scheme}.json)
+  file(REMOVE ${json})
+  execute_process(
+    COMMAND ${BIN} sim --scheme=${scheme} --side=20 --points=200
+            --initial=8 --k=1 --loss=0.3 --seed=7 --load=0.5
+            --fault-plan=${plan} --invariants --linger=25 --json=${json}
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "${scheme} fault campaign did not re-converge (rc=${rc})")
+  endif()
+  if(NOT EXISTS ${json})
+    message(FATAL_ERROR "decor_cli did not write ${json}")
+  endif()
+  file(READ ${json} doc)
+  # All four fault classes fired and every live safety check held.
+  foreach(needle "\"faults_fired\":4" "\"invariant_violations\":0")
+    string(FIND "${doc}" "${needle}" pos)
+    if(pos EQUAL -1)
+      message(FATAL_ERROR "${json} is missing ${needle}")
+    endif()
+  endforeach()
+  string(FIND "${doc}" "\"invariant_checks\":0" pos)
+  if(NOT pos EQUAL -1)
+    message(FATAL_ERROR "${scheme}: invariant monitor never ran")
+  endif()
+endforeach()
+
+# A malformed plan is a config error (exit 1), never a silent run.
+set(bad ${OUT}/fault_smoke.bad.json)
+file(WRITE ${bad} "{\"events\":[{\"kind\":\"meteor\",\"at\":1.0}]}\n")
+execute_process(
+  COMMAND ${BIN} sim --scheme=grid --side=20 --points=200 --initial=8
+          --k=1 --fault-plan=${bad}
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sim with a malformed --fault-plan must exit nonzero")
+endif()

@@ -48,6 +48,7 @@
 #include "lds/hammersley.hpp"
 #include "net/messages.hpp"
 #include "net/peas.hpp"
+#include "sim/fault.hpp"
 #include "sim/propagation.hpp"
 #include "sim/trace_export.hpp"
 
@@ -382,6 +383,26 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     radio.loss_prob = loss;
   }
   const double kill_leader_at = opts.get_double("kill-leader-at", -1.0);
+  // Fault campaigns: --fault-plan=FILE arms a decor.faults.v1 plan
+  // (reboots, partitions, frame corruption, sink outages) on the run;
+  // --invariants=T samples the live safety checks every T sim-seconds
+  // (plain --invariants selects the 0.5s default cadence).
+  sim::FaultPlan fault_plan;
+  const std::string fault_plan_path = opts.get("fault-plan", "");
+  if (!fault_plan_path.empty()) {
+    std::string error;
+    auto plan = sim::FaultPlan::load(fault_plan_path, &error);
+    if (!plan) {
+      std::cerr << "error: cannot load fault plan '" << fault_plan_path
+                << "': " << error << "\n";
+      return 1;
+    }
+    fault_plan = std::move(*plan);
+  }
+  double invariant_interval = opts.get_double("invariants", 0.0);
+  if (invariant_interval <= 0.0 && opts.has("invariants")) {
+    invariant_interval = 0.5;
+  }
   // Transport + data-plane knobs: --window sets the ARQ sliding-window
   // size (1 = historical stop-and-wait), --load > 0 enables the sensing
   // workload at that many readings/s per node, streamed to the base
@@ -430,6 +451,8 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     cfg.field_raster = field_raster;
     cfg.audit = audit_on;
     cfg.audit_jsonl = audit_jsonl;
+    cfg.fault_plan = fault_plan;
+    cfg.invariant_interval = invariant_interval;
     core::VoronoiSimHarness harness(cfg);
     const auto r = harness.run();
     std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
@@ -456,6 +479,15 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
                   ? static_cast<double>(r.data.bytes_delivered) /
                         r.end_time
                   : 0.0);
+    }
+    if (!fault_plan.empty()) {
+      rep.add("faults_fired", r.faults_fired);
+      rep.add("radio_corrupted", r.radio_corrupted);
+      rep.add("radio_partition_blocked", r.radio_partition_blocked);
+    }
+    if (invariant_interval > 0.0) {
+      rep.add("invariant_checks", r.invariant_checks);
+      rep.add("invariant_violations", r.invariant_violations);
     }
     if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
     if (harness.field() != nullptr) {
@@ -492,6 +524,8 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   cfg.field_raster = field_raster;
   cfg.audit = audit_on;
   cfg.audit_jsonl = audit_jsonl;
+  cfg.fault_plan = fault_plan;
+  cfg.invariant_interval = invariant_interval;
   core::GridSimHarness harness(cfg);
   if (kill_leader_at >= 0.0) harness.schedule_leader_kill(kill_leader_at);
   const auto r = harness.run();
@@ -516,6 +550,15 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
             r.end_time > 0.0
                 ? static_cast<double>(r.data.bytes_delivered) / r.end_time
                 : 0.0);
+  }
+  if (!fault_plan.empty()) {
+    rep.add("faults_fired", r.faults_fired);
+    rep.add("radio_corrupted", r.radio_corrupted);
+    rep.add("radio_partition_blocked", r.radio_partition_blocked);
+  }
+  if (invariant_interval > 0.0) {
+    rep.add("invariant_checks", r.invariant_checks);
+    rep.add("invariant_violations", r.invariant_violations);
   }
   if (timeline_interval > 0.0) report_timeline(harness.timeline(), rep);
   if (harness.field() != nullptr) {
@@ -1039,6 +1082,10 @@ void usage() {
       "                     --profile (wall-clock scope timers)\n"
       "  sim chaos knobs: --loss=P --burst=B (B>1 = bursty channel)\n"
       "                   --kill-leader-at=T (grid scheme only)\n"
+      "  sim fault campaigns:\n"
+      "    --fault-plan=FILE (decor.faults.v1 JSON: reboots, partitions,\n"
+      "                       frame corruption, sink outages)\n"
+      "    --invariants[=T] (live safety checks every T s, default 0.5)\n"
       "  sim transport/data plane:\n"
       "    --window=W (ARQ sliding window; 1 = stop-and-wait)\n"
       "    --load=R (readings/s per node streamed to the base station)\n"
