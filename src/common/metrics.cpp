@@ -27,6 +27,37 @@ void Histogram::observe(double v) noexcept {
   total_.fetch_add(1, std::memory_order_relaxed);
 }
 
+double Histogram::quantile(double q) const noexcept {
+  const std::uint64_t total = total_count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; ceil(q * total) with a floor
+  // of 1 so q=0 maps to the first observation.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (static_cast<double>(rank) < q * static_cast<double>(total)) ++rank;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < num_buckets(); ++i) {
+    const std::uint64_t c = bucket_count(i);
+    if (c == 0) continue;
+    if (seen + c < rank) {
+      seen += c;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket has no upper edge; clamp to the last bound.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    const double hi = bounds_[i];
+    const double frac =
+        static_cast<double>(rank - seen) / static_cast<double>(c);
+    return lo + (hi - lo) * frac;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::reset() noexcept {
   for (std::size_t i = 0; i < num_buckets(); ++i) {
     counts_[i].store(0, std::memory_order_relaxed);
@@ -105,6 +136,40 @@ void MetricsRegistry::write_json(JsonWriter& w) const {
     w.end_object();
   }
   w.end_object();
+  w.end_object();
+}
+
+void MetricsRegistry::write_summary_members(JsonWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) {
+    w.key(name);
+    w.value(c->value());
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, g] : gauges_) {
+    w.key(name);
+    w.value(g->value());
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("total");
+    w.value(h->total_count());
+    w.key("p50");
+    w.value(h->quantile(0.50));
+    w.key("p90");
+    w.value(h->quantile(0.90));
+    w.key("p99");
+    w.value(h->quantile(0.99));
+    w.end_object();
+  }
   w.end_object();
 }
 

@@ -101,6 +101,11 @@ class Histogram {
   std::uint64_t total_count() const noexcept {
     return total_.load(std::memory_order_relaxed);
   }
+  /// Estimated q-quantile (q in [0,1]) from the bucket counts, linearly
+  /// interpolated inside the target bucket (the lower edge of bucket 0 is
+  /// taken as 0, and the overflow bucket clamps to the last bound). 0 for
+  /// an empty histogram. Deterministic: pure integer-count arithmetic.
+  double quantile(double q) const noexcept;
   void reset() noexcept;
 
  private:
@@ -134,6 +139,13 @@ class MetricsRegistry {
   /// "counts":[...],"total":n}}}. Deterministic for integer-valued state.
   void write_json(JsonWriter& w) const;
   std::string to_json() const;
+
+  /// Summary form for periodic decor.metrics.v1 snapshots: writes the
+  /// "counters"/"gauges"/"histograms" sections as members of the
+  /// caller's already-open object (so a timestamp key can precede them).
+  /// Histograms carry {"total":n,"p50":x,"p90":x,"p99":x} quantile
+  /// estimates instead of raw buckets.
+  void write_summary_members(JsonWriter& w) const;
 
  private:
   MetricsRegistry() = default;

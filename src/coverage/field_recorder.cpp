@@ -39,18 +39,43 @@ std::size_t FieldRecorder::cell_of(geom::Point2 p) const noexcept {
   return clamp_idx(fy, rows_) * cols_ + clamp_idx(fx, cols_);
 }
 
+common::TelemetryBus& FieldRecorder::ensure_bus() {
+  if (!bus_) {
+    owned_bus_ = std::make_unique<common::TelemetryBus>();
+    bus_ = owned_bus_.get();
+  }
+  return *bus_;
+}
+
+void FieldRecorder::attach_bus(common::TelemetryBus* bus) {
+  DECOR_REQUIRE_MSG(bus != nullptr, "field recorder: null bus");
+  DECOR_REQUIRE_MSG(!owned_bus_ && file_sink_ == 0,
+                    "field recorder: attach_bus must precede open_jsonl");
+  bus_ = bus;
+}
+
+void FieldRecorder::publish_header() {
+  if (header_published_) return;
+  header_published_ = true;
+  ensure_bus().publish(common::TelemetryStream::kField, header_json(), true);
+}
+
 bool FieldRecorder::open_jsonl(const std::string& path) {
-  auto out = std::make_unique<std::ofstream>(path);
-  if (!out->is_open()) {
+  auto sink = std::make_unique<common::JsonlFileSink>(
+      path, common::TelemetryStream::kField);
+  if (!sink->ok()) {
     DECOR_LOG_ERROR("cannot open field JSONL sink: " << path);
     return false;
   }
-  *out << header_json() << "\n";
-  jsonl_ = std::move(out);
+  publish_header();
+  file_sink_ = ensure_bus().add_sink(std::move(sink));
   return true;
 }
 
-void FieldRecorder::close_jsonl() { jsonl_.reset(); }
+void FieldRecorder::close_jsonl() {
+  if (file_sink_ != 0 && bus_) bus_->remove_sink(file_sink_);
+  file_sink_ = 0;
+}
 
 const FieldSnapshot& FieldRecorder::snapshot(double t, const CoverageMap& map,
                                              bool forced) {
@@ -129,7 +154,11 @@ const FieldSnapshot& FieldRecorder::snapshot(double t, const CoverageMap& map,
   }
 
   snapshots_.push_back(std::move(s));
-  if (jsonl_) *jsonl_ << snapshot_json(snapshots_.back()) << "\n";
+  if (bus_ && bus_->has_sink_for(common::TelemetryStream::kField)) {
+    publish_header();
+    bus_->publish(common::TelemetryStream::kField,
+                  snapshot_json(snapshots_.back()));
+  }
   return snapshots_.back();
 }
 

@@ -18,11 +18,11 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "coverage/coverage_map.hpp"
 #include "geometry/point.hpp"
 #include "geometry/rect.hpp"
@@ -74,9 +74,13 @@ class FieldRecorder {
   std::size_t rows() const noexcept { return rows_; }
   const geom::Rect& bounds() const noexcept { return bounds_; }
 
-  /// Streams subsequent snapshots to `path` (schema header emitted
-  /// immediately); logs and returns false when the file cannot be
-  /// opened.
+  /// Publishes snapshots through `bus` instead of the internally-owned
+  /// fallback; must precede open_jsonl.
+  void attach_bus(common::TelemetryBus* bus);
+
+  /// Streams subsequent snapshots to `path` via a bus file sink (schema
+  /// header emitted immediately); logs and returns false when the file
+  /// cannot be opened.
   bool open_jsonl(const std::string& path);
   void close_jsonl();
 
@@ -100,13 +104,18 @@ class FieldRecorder {
 
  private:
   std::size_t cell_of(geom::Point2 p) const noexcept;
+  common::TelemetryBus& ensure_bus();
+  void publish_header();
 
   geom::Rect bounds_;
   std::uint32_t k_;
   std::size_t cols_;
   std::size_t rows_;
   std::vector<FieldSnapshot> snapshots_;
-  std::unique_ptr<std::ofstream> jsonl_;
+  common::TelemetryBus* bus_ = nullptr;
+  std::unique_ptr<common::TelemetryBus> owned_bus_;
+  bool header_published_ = false;
+  common::TelemetryBus::SinkId file_sink_ = 0;
 };
 
 }  // namespace decor::coverage

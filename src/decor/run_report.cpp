@@ -477,10 +477,42 @@ void render_manifest_section(std::ostream& os, const Artifact& a) {
   os << "</table>\n";
 }
 
-}  // namespace
+// --- run loading and aggregation -----------------------------------------
 
-std::string render_run_report_html(const std::string& dir,
-                                   const RunReportOptions& opts) {
+/// Artifacts that cannot contribute anything to the report: a file with
+/// zero parsed records (sinks that opened but never flushed a line, or
+/// files truncated down to nothing) or one that did not parse at all.
+/// These used to vanish silently into their sections; the header now
+/// counts them so a gutted run directory is visible at a glance.
+struct ArtifactWarning {
+  std::string rel;
+  std::string reason;
+};
+
+std::vector<ArtifactWarning> collect_warnings(
+    const std::vector<Artifact>& artifacts) {
+  std::vector<ArtifactWarning> warnings;
+  for (const auto& a : artifacts) {
+    const bool document = a.kind == "manifest" || a.kind == "metrics";
+    if (a.kind == "other" && a.records.empty()) {
+      warnings.push_back(
+          {a.rel, a.malformed > 0 ? "unparseable" : "empty"});
+      continue;
+    }
+    if (!document && a.records.empty()) {
+      warnings.push_back({a.rel, "no records (empty or truncated)"});
+      continue;
+    }
+    if (a.malformed > 0) {
+      warnings.push_back({a.rel, std::to_string(a.malformed) +
+                                     " malformed line" +
+                                     (a.malformed == 1 ? "" : "s")});
+    }
+  }
+  return warnings;
+}
+
+std::vector<Artifact> load_artifacts(const std::string& dir) {
   std::error_code ec;
   DECOR_REQUIRE_MSG(fs::is_directory(dir, ec),
                     "report: not a readable directory: " + dir);
@@ -511,19 +543,25 @@ std::string render_run_report_html(const std::string& dir,
       artifacts.push_back(load_document(path, rel, "metrics"));
     }
   }
+  return artifacts;
+}
 
-  std::ostringstream os;
-  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
-     << "<title>DECOR run report</title>\n<style>\n"
-     << "body{font-family:sans-serif;margin:2em;max-width:72em}\n"
-     << "table{border-collapse:collapse;margin:0.5em 0}\n"
-     << "td,th{border:1px solid #bbb;padding:2px 8px;text-align:right}\n"
-     << "th{background:#eee}\ntd:first-child,th:first-child{text-align:left}\n"
-     << "figure{display:inline-block;margin:0.5em;vertical-align:top}\n"
-     << "figcaption{font-size:smaller;color:#444;max-width:24em}\n"
-     << ".snaps{display:flex;flex-wrap:wrap}\n"
-     << "</style></head><body>\n<h1>DECOR run report</h1>\n";
+void render_warning_block(std::ostream& os,
+                          const std::vector<ArtifactWarning>& warnings) {
+  os << "<p>artifact warnings: " << warnings.size() << "</p>\n";
+  if (!warnings.empty()) {
+    os << "<ul>\n";
+    for (const auto& w : warnings) {
+      os << "<li>" << html_escape(w.rel) << " — " << html_escape(w.reason)
+         << "</li>\n";
+    }
+    os << "</ul>\n";
+  }
+}
 
+/// The artifact inventory plus every per-artifact section for one run.
+void render_run_body(std::ostream& os, const std::vector<Artifact>& artifacts,
+                     const RunReportOptions& opts) {
   os << "<h2>Artifacts</h2>\n"
      << "<table><tr><th>file</th><th>type</th><th>records</th>"
         "<th>malformed lines</th></tr>\n";
@@ -555,7 +593,197 @@ std::string render_run_report_html(const std::string& dir,
   for (const auto& a : artifacts) {
     if (a.kind == "trace") render_trace_section(os, a);
   }
+}
 
+void render_html_head(std::ostream& os, const std::string& title) {
+  os << "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+     << "<title>" << html_escape(title) << "</title>\n<style>\n"
+     << "body{font-family:sans-serif;margin:2em;max-width:72em}\n"
+     << "table{border-collapse:collapse;margin:0.5em 0}\n"
+     << "td,th{border:1px solid #bbb;padding:2px 8px;text-align:right}\n"
+     << "th{background:#eee}\ntd:first-child,th:first-child{text-align:left}\n"
+     << "figure{display:inline-block;margin:0.5em;vertical-align:top}\n"
+     << "figcaption{font-size:smaller;color:#444;max-width:24em}\n"
+     << ".snaps{display:flex;flex-wrap:wrap}\n"
+     << "</style></head><body>\n<h1>" << html_escape(title) << "</h1>\n";
+}
+
+/// Per-run summary distilled from the loaded artifacts (the columns of
+/// the aggregate table; the first timeline artifact speaks for the run).
+struct RunSummary {
+  std::size_t timeline_samples = 0;
+  double convergence = -1.0;
+  double final_covered = -1.0;
+  double final_alive = 0.0;
+  std::size_t field_snapshots = 0;
+  std::size_t audit_records = 0;
+  std::size_t trace_records = 0;
+  std::vector<std::pair<double, double>> covered_series;
+};
+
+RunSummary summarize_run(const std::vector<Artifact>& artifacts) {
+  RunSummary s;
+  for (const auto& a : artifacts) {
+    if (a.kind == "timeline" && s.timeline_samples == 0) {
+      s.timeline_samples = a.records.size();
+      for (const auto& r : a.records) {
+        const double t = num_at(r, "t");
+        s.covered_series.emplace_back(t, num_at(r, "covered"));
+        if (s.convergence < 0.0 && num_at(r, "uncovered", 1.0) == 0.0) {
+          s.convergence = t;
+        }
+      }
+      if (!a.records.empty()) {
+        s.final_covered = num_at(a.records.back(), "covered");
+        s.final_alive = num_at(a.records.back(), "alive");
+      }
+    } else if (a.kind == "field") {
+      s.field_snapshots += a.records.size();
+    } else if (a.kind == "audit") {
+      s.audit_records += a.records.size();
+    } else if (a.kind == "trace") {
+      s.trace_records += a.records.size();
+    }
+  }
+  return s;
+}
+
+/// Distinct stroke per run, recycled past eight runs.
+constexpr const char* kRunPalette[] = {"#06c", "#c33", "#2a2", "#a2a",
+                                       "#e80", "#0aa", "#888", "#640"};
+constexpr std::size_t kRunPaletteSize =
+    sizeof(kRunPalette) / sizeof(kRunPalette[0]);
+
+void render_overlay_chart(
+    std::ostream& os,
+    const std::vector<std::pair<std::string, RunSummary>>& runs) {
+  const int w = 640, h = 200, pad = 4;
+  double t0 = 0.0, t1 = 0.0;
+  bool any = false;
+  for (const auto& [label, s] : runs) {
+    if (s.covered_series.empty()) continue;
+    if (!any) {
+      t0 = s.covered_series.front().first;
+      t1 = s.covered_series.back().first;
+      any = true;
+    } else {
+      t0 = std::min(t0, s.covered_series.front().first);
+      t1 = std::max(t1, s.covered_series.back().first);
+    }
+  }
+  os << "<h2>Convergence overlay</h2>\n<figure><svg width=\"" << w
+     << "\" height=\"" << h << "\" viewBox=\"0 0 " << w << " " << h
+     << "\" xmlns=\"http://www.w3.org/2000/svg\">"
+     << "<rect width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>";
+  if (any) {
+    const double span = t1 > t0 ? t1 - t0 : 1.0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& series = runs[i].second.covered_series;
+      if (series.empty()) continue;
+      os << "<polyline fill=\"none\" stroke=\""
+         << kRunPalette[i % kRunPaletteSize]
+         << "\" stroke-width=\"1.5\" points=\"";
+      bool first = true;
+      for (const auto& [t, v] : series) {
+        const double x =
+            pad + (t - t0) / span * static_cast<double>(w - 2 * pad);
+        const double y = static_cast<double>(h - pad) -
+                         std::clamp(v, 0.0, 1.0) *
+                             static_cast<double>(h - 2 * pad);
+        if (!first) os << ' ';
+        first = false;
+        os << fmt(x) << ',' << fmt(y);
+      }
+      os << "\"/>";
+    }
+  }
+  os << "</svg><figcaption>covered fraction vs t — ";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "<span style=\"color:" << kRunPalette[i % kRunPaletteSize]
+       << "\">" << html_escape(runs[i].first) << "</span>";
+  }
+  os << "</figcaption></figure>\n";
+}
+
+/// Stable, path-free run label: "<index>: <basename>". The index keeps
+/// same-named directories (seed sweeps named `run` in sibling trees)
+/// distinguishable without leaking absolute paths into the bytes.
+std::string run_label(const std::string& dir, std::size_t index) {
+  fs::path p = fs::path(dir).lexically_normal();
+  std::string base = p.filename().generic_string();
+  if (base.empty() || base == ".") base = p.parent_path().filename().generic_string();
+  if (base.empty()) base = "run";
+  return std::to_string(index + 1) + ": " + base;
+}
+
+}  // namespace
+
+std::string render_run_report_html(const std::string& dir,
+                                   const RunReportOptions& opts) {
+  return render_run_report_html(std::vector<std::string>{dir}, opts);
+}
+
+std::string render_run_report_html(const std::vector<std::string>& dirs,
+                                   const RunReportOptions& opts) {
+  DECOR_REQUIRE_MSG(!dirs.empty(), "report: no run directories given");
+
+  std::vector<std::vector<Artifact>> runs;
+  runs.reserve(dirs.size());
+  for (const auto& dir : dirs) runs.push_back(load_artifacts(dir));
+
+  std::ostringstream os;
+  if (runs.size() == 1) {
+    render_html_head(os, "DECOR run report");
+    render_warning_block(os, collect_warnings(runs.front()));
+    render_run_body(os, runs.front(), opts);
+    os << "</body></html>\n";
+    return os.str();
+  }
+
+  render_html_head(os, "DECOR aggregate report (" +
+                           std::to_string(runs.size()) + " runs)");
+  std::vector<std::pair<std::string, RunSummary>> summaries;
+  std::vector<std::vector<ArtifactWarning>> warnings;
+  std::size_t total_warnings = 0;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    summaries.emplace_back(run_label(dirs[i], i), summarize_run(runs[i]));
+    warnings.push_back(collect_warnings(runs[i]));
+    total_warnings += warnings.back().size();
+  }
+  os << "<p>artifact warnings: " << total_warnings
+     << " (per-run details below)</p>\n";
+
+  os << "<h2>Runs</h2>\n"
+     << "<table><tr><th>run</th><th>timeline samples</th>"
+        "<th>converged</th><th>final covered</th><th>final alive</th>"
+        "<th>field snaps</th><th>audit records</th><th>trace records</th>"
+        "<th>warnings</th></tr>\n";
+  for (std::size_t i = 0; i < summaries.size(); ++i) {
+    const auto& [label, s] = summaries[i];
+    os << "<tr><td><a href=\"#run-" << i << "\">" << html_escape(label)
+       << "</a></td><td>" << s.timeline_samples << "</td><td>"
+       << (s.convergence >= 0.0 ? fmt(s.convergence) + " s"
+                                : std::string("never"))
+       << "</td><td>"
+       << (s.final_covered >= 0.0 ? fmt(s.final_covered * 100.0) + "%"
+                                  : std::string("-"))
+       << "</td><td>" << fmt(s.final_alive) << "</td><td>"
+       << s.field_snapshots << "</td><td>" << s.audit_records
+       << "</td><td>" << s.trace_records << "</td><td>"
+       << warnings[i].size() << "</td></tr>\n";
+  }
+  os << "</table>\n";
+
+  render_overlay_chart(os, summaries);
+
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    os << "<hr><h1 id=\"run-" << i << "\">Run "
+       << html_escape(summaries[i].first) << "</h1>\n";
+    render_warning_block(os, warnings[i]);
+    render_run_body(os, runs[i], opts);
+  }
   os << "</body></html>\n";
   return os.str();
 }

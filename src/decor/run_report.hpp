@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <string>
+#include <vector>
 
 namespace decor::core {
 
@@ -33,8 +34,21 @@ struct RunReportOptions {
 /// (recursively, so flight bundles nested in a run directory are
 /// included). Throws common::RequireError when `dir` is not a readable
 /// directory; unreadable or malformed artifact lines are skipped and
-/// counted in the report itself.
+/// counted in the report itself. Empty or truncated artifacts are
+/// additionally surfaced as counted warnings in the report header.
 std::string render_run_report_html(const std::string& dir,
+                                   const RunReportOptions& opts = {});
+
+/// Multi-run aggregate report: each directory is loaded like the
+/// single-dir form, then the report opens with a run-vs-run summary
+/// table (convergence time, final coverage, placements, warnings) and
+/// an overlaid covered-fraction chart before the per-run sections,
+/// which are anchor-linked from the summary. One directory degrades to
+/// the single-dir layout. Throws common::RequireError when `dirs` is
+/// empty or any entry is not a readable directory. Byte-deterministic
+/// like the single-dir form: labels come from the directory basenames,
+/// never absolute paths.
+std::string render_run_report_html(const std::vector<std::string>& dirs,
                                    const RunReportOptions& opts = {});
 
 }  // namespace decor::core

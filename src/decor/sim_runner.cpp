@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "common/metrics.hpp"
+#include "common/otlp.hpp"
 #include "common/require.hpp"
 #include "coverage/benefit_index.hpp"
 #include "decor/point_field.hpp"
@@ -30,7 +31,24 @@ struct PosKeyHash {
     return h(k.x) * 1000003u ^ h(k.y);
   }
 };
+
 }  // namespace
+
+std::string otlp_span_name(std::string_view kind, std::string_view detail) {
+  const auto pos = detail.find("kind=");
+  if (pos != std::string_view::npos) {
+    int mk = 0;
+    for (std::size_t i = pos + 5; i < detail.size(); ++i) {
+      const char c = detail[i];
+      if (c < '0' || c > '9') break;
+      mk = mk * 10 + (c - '0');
+    }
+    if (const char* name = net::msg_kind_name(mk)) {
+      return std::string("msg.") + name;
+    }
+  }
+  return std::string(kind);
+}
 
 struct GridSimHarness::Shared {
   DecorParams params;
@@ -447,6 +465,29 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
       std::max(p.rc, 2.0 * p.cell_side * std::numbers::sqrt2);
   world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
                                         rc_protocol);
+  // Every producer publishes on the harness bus, so extra sinks (live
+  // stream, OTLP) see all streams; attach must precede any open_jsonl.
+  world_->trace().attach_bus(&bus_);
+  timeline_.attach_bus(&bus_);
+  audit_.attach_bus(&bus_);
+  metrics_snap_.attach_bus(&bus_);
+  if (!cfg_.telemetry_stream.empty()) {
+    auto stream = std::make_unique<common::FrameStreamSink>(
+        cfg_.telemetry_stream);
+    DECOR_REQUIRE_MSG(stream->ok(), "cannot open telemetry stream: " +
+                                        cfg_.telemetry_stream);
+    bus_.add_sink(std::move(stream));
+  }
+  if (!cfg_.otlp.empty()) {
+    auto otlp = std::make_unique<common::OtlpSink>(cfg_.otlp);
+    otlp->set_span_namer([](std::string_view kind, std::string_view detail) {
+      return otlp_span_name(kind, detail);
+    });
+    bus_.add_sink(std::move(otlp));
+    // Spans are built from trace causality ids, so the exporter implies
+    // trace recording even when --trace was not given.
+    world_->trace().enable(true);
+  }
   if (cfg_.trace_capacity > 0) {
     world_->trace().set_capacity(cfg_.trace_capacity);
   }
@@ -478,6 +519,7 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
             : coverage::FieldRecorder::default_raster(p.field, p.rs);
     field_ = std::make_unique<coverage::FieldRecorder>(p.field, p.k, side,
                                                        side);
+    field_->attach_bus(&bus_);
     if (!cfg_.field_jsonl.empty()) {
       DECOR_REQUIRE_MSG(field_->open_jsonl(cfg_.field_jsonl),
                         "cannot open field JSONL sink: " + cfg_.field_jsonl);
@@ -486,6 +528,10 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
   if (!cfg_.audit_jsonl.empty()) {
     DECOR_REQUIRE_MSG(audit_.open_jsonl(cfg_.audit_jsonl),
                       "cannot open audit JSONL sink: " + cfg_.audit_jsonl);
+  }
+  if (!cfg_.metrics_jsonl.empty()) {
+    DECOR_REQUIRE_MSG(metrics_snap_.open_jsonl(cfg_.metrics_jsonl),
+                      "cannot open metrics JSONL sink: " + cfg_.metrics_jsonl);
   }
   shared_ = std::make_shared<Shared>(p, rc_protocol, cfg_);
   shared_->harness = this;
@@ -693,6 +739,11 @@ sim::TimelineSample GridSimHarness::sample_timeline() {
     s.has_invariants = true;
     s.invariant_violations = monitor_.violations();
   }
+  if (cfg_.timeline_arq) {
+    s.has_arq_detail = true;
+    s.arq_sent = shared_->arq_stats.sent;
+    s.arq_retx = shared_->arq_stats.retx;
+  }
   return s;
 }
 
@@ -708,6 +759,12 @@ void GridSimHarness::dump_flight_bundle(const std::string& reason,
     info.field_jsonl = field_->header_json() + "\n";
     if (const auto* s = field_->latest()) {
       info.field_jsonl += coverage::FieldRecorder::snapshot_json(*s) + "\n";
+    }
+  }
+  if (metrics_snap_.snapshots_taken() > 0) {
+    info.metrics_jsonl = "{\"schema\":\"decor.metrics.v1\"}\n";
+    for (const auto& line : metrics_snap_.tail()) {
+      info.metrics_jsonl += line + "\n";
     }
   }
   sim::write_flight_bundle(cfg_.flight_dir, info, world_->trace(),
@@ -726,6 +783,16 @@ SimRunResult GridSimHarness::run() {
   }
   if (cfg_.invariant_interval > 0.0 && !monitor_.active()) {
     monitor_.start(world_->sim(), cfg_.invariant_interval);
+  }
+  if ((cfg_.metrics_interval > 0.0 || !cfg_.metrics_jsonl.empty()) &&
+      !metrics_snap_.active()) {
+    // Path-only configs ride the timeline cadence (then 1s) so the two
+    // series line up sample-for-sample.
+    const double every =
+        cfg_.metrics_interval > 0.0
+            ? cfg_.metrics_interval
+            : (cfg_.timeline_interval > 0.0 ? cfg_.timeline_interval : 1.0);
+    metrics_snap_.start(world_->sim(), every);
   }
 
   SimRunResult result;
@@ -754,6 +821,7 @@ SimRunResult GridSimHarness::run() {
       world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
                              0, "converged");
       if (timeline_.active()) timeline_.sample_once();
+      if (metrics_snap_.active()) metrics_snap_.snapshot_once();
       // Final proof pass at the convergence instant, mirroring the
       // timeline's forced sample.
       if (monitor_.active()) monitor_.check_now();
@@ -833,6 +901,9 @@ SimRunResult GridSimHarness::run() {
     placed.inc(placements_.size() - placements_before);
     if (result.reached_full_coverage) covered.inc();
   }
+  // End-of-run barrier for buffered sinks: the OTLP exporter writes its
+  // document here, the live stream drains its pending frames.
+  bus_.flush();
   return result;
 }
 

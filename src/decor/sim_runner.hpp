@@ -14,8 +14,10 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "coverage/coverage_map.hpp"
 #include "coverage/field_recorder.hpp"
 #include "coverage/metrics.hpp"
@@ -26,6 +28,7 @@
 #include "sim/audit_log.hpp"
 #include "sim/fault.hpp"
 #include "sim/invariant_monitor.hpp"
+#include "sim/metrics_snapshot.hpp"
 #include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
@@ -116,6 +119,29 @@ struct SimRunConfig {
   /// leader uniqueness, ArqStats conservation and the goodput bound, and
   /// dumps a flight bundle (if flight_dir is set) on first violation.
   double invariant_interval = 0.0;
+
+  /// Periodic metrics-registry snapshots (decor.metrics.v1): active when
+  /// `metrics_interval` > 0 or `metrics_jsonl` is set. The cadence
+  /// defaults to the timeline cadence (then 1s) when only the sink path
+  /// is given. Snapshots are meaningful only while the registry is
+  /// enabled (--json / MetricsRegistry::enable).
+  double metrics_interval = 0.0;
+  std::string metrics_jsonl;
+
+  /// Live telemetry stream: length-prefixed DTLM frames of the
+  /// timeline/field/audit/metrics streams to "-" (stdout), a file path,
+  /// or "tcp:HOST:PORT" (what `decor watch` consumes).
+  std::string telemetry_stream;
+
+  /// OTLP/JSON export endpoint: a file path (document rewritten at run
+  /// end) or "http://host:port/path" (best-effort POST). Implies trace
+  /// recording — spans are built from trace causality ids.
+  std::string otlp;
+
+  /// Serialize cumulative ARQ sent/retx counters on every timeline
+  /// sample (the live dashboard's retx-ratio series). Off by default so
+  /// existing decor.timeline.v1 output stays byte-identical.
+  bool timeline_arq = false;
 };
 
 struct SimRunResult {
@@ -164,6 +190,12 @@ class GridSimHarness {
   coverage::FieldRecorder* field() noexcept { return field_.get(); }
   /// The placement audit log (empty unless cfg.audit / cfg.audit_jsonl).
   sim::AuditLog& audit() noexcept { return audit_; }
+  /// The telemetry bus every producer of this harness publishes on.
+  common::TelemetryBus& telemetry() noexcept { return bus_; }
+  /// The periodic metrics snapshotter (inactive unless configured).
+  sim::MetricsSnapshotter& metrics_snapshotter() noexcept {
+    return metrics_snap_;
+  }
   const geom::GridPartition& partition() const noexcept;
 
   /// Spawns a DECOR node at `pos` (used for initial deployment and by
@@ -202,10 +234,15 @@ class GridSimHarness {
   void register_invariants();
 
   SimRunConfig cfg_;
+  /// Declared before the producers so sinks outlive nothing that
+  /// publishes into them (producers detach their file sinks themselves;
+  /// destruction order only matters for the bus-owned extra sinks).
+  common::TelemetryBus bus_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;
   sim::Timeline timeline_;
+  sim::MetricsSnapshotter metrics_snap_;
   std::unique_ptr<coverage::FieldRecorder> field_;
   sim::AuditLog audit_;
   std::unique_ptr<sim::FaultInjector> injector_;
@@ -220,5 +257,11 @@ class GridSimHarness {
 
 /// One-call convenience wrapper.
 SimRunResult run_grid_decor_sim(const SimRunConfig& cfg);
+
+/// OTLP span name for a trace record: radio records carry the protocol
+/// message kind as "kind=<int>" in the detail, which maps onto the wire
+/// vocabulary ("msg.placement"); anything else falls back to the trace
+/// kind. Shared by both protocol harnesses.
+std::string otlp_span_name(std::string_view kind, std::string_view detail);
 
 }  // namespace decor::core

@@ -5,9 +5,11 @@
 #include <unordered_map>
 
 #include "common/metrics.hpp"
+#include "common/otlp.hpp"
 #include "common/require.hpp"
 #include "coverage/benefit_index.hpp"
 #include "decor/point_field.hpp"
+#include "decor/sim_runner.hpp"
 #include "net/messages.hpp"
 #include "sim/flight_recorder.hpp"
 
@@ -240,6 +242,27 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   const auto& p = cfg_.params;
   world_ = std::make_unique<sim::World>(p.field, cfg_.radio, cfg_.seed,
                                         p.rc);
+  // Shared-bus wiring mirrors GridSimHarness: attach every producer
+  // before any sink opens, then add the optional extra sinks.
+  world_->trace().attach_bus(&bus_);
+  timeline_.attach_bus(&bus_);
+  audit_.attach_bus(&bus_);
+  metrics_snap_.attach_bus(&bus_);
+  if (!cfg_.telemetry_stream.empty()) {
+    auto stream = std::make_unique<common::FrameStreamSink>(
+        cfg_.telemetry_stream);
+    DECOR_REQUIRE_MSG(stream->ok(), "cannot open telemetry stream: " +
+                                        cfg_.telemetry_stream);
+    bus_.add_sink(std::move(stream));
+  }
+  if (!cfg_.otlp.empty()) {
+    auto otlp = std::make_unique<common::OtlpSink>(cfg_.otlp);
+    otlp->set_span_namer([](std::string_view kind, std::string_view detail) {
+      return otlp_span_name(kind, detail);
+    });
+    bus_.add_sink(std::move(otlp));
+    world_->trace().enable(true);
+  }
   if (cfg_.trace_capacity > 0) {
     world_->trace().set_capacity(cfg_.trace_capacity);
   }
@@ -271,6 +294,7 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
             : coverage::FieldRecorder::default_raster(p.field, p.rs);
     field_ = std::make_unique<coverage::FieldRecorder>(p.field, p.k, side,
                                                        side);
+    field_->attach_bus(&bus_);
     if (!cfg_.field_jsonl.empty()) {
       DECOR_REQUIRE_MSG(field_->open_jsonl(cfg_.field_jsonl),
                         "cannot open field JSONL sink: " + cfg_.field_jsonl);
@@ -279,6 +303,10 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
   if (!cfg_.audit_jsonl.empty()) {
     DECOR_REQUIRE_MSG(audit_.open_jsonl(cfg_.audit_jsonl),
                       "cannot open audit JSONL sink: " + cfg_.audit_jsonl);
+  }
+  if (!cfg_.metrics_jsonl.empty()) {
+    DECOR_REQUIRE_MSG(metrics_snap_.open_jsonl(cfg_.metrics_jsonl),
+                      "cannot open metrics JSONL sink: " + cfg_.metrics_jsonl);
   }
   shared_ = std::make_shared<Shared>();
   shared_->params = p;
@@ -424,6 +452,11 @@ sim::TimelineSample VoronoiSimHarness::sample_timeline() {
     s.has_invariants = true;
     s.invariant_violations = monitor_.violations();
   }
+  if (cfg_.timeline_arq) {
+    s.has_arq_detail = true;
+    s.arq_sent = shared_->arq_stats.sent;
+    s.arq_retx = shared_->arq_stats.retx;
+  }
   return s;
 }
 
@@ -439,6 +472,12 @@ void VoronoiSimHarness::dump_flight_bundle(const std::string& reason,
     info.field_jsonl = field_->header_json() + "\n";
     if (const auto* s = field_->latest()) {
       info.field_jsonl += coverage::FieldRecorder::snapshot_json(*s) + "\n";
+    }
+  }
+  if (metrics_snap_.snapshots_taken() > 0) {
+    info.metrics_jsonl = "{\"schema\":\"decor.metrics.v1\"}\n";
+    for (const auto& line : metrics_snap_.tail()) {
+      info.metrics_jsonl += line + "\n";
     }
   }
   sim::write_flight_bundle(cfg_.flight_dir, info, world_->trace(),
@@ -512,6 +551,14 @@ VoronoiSimResult VoronoiSimHarness::run() {
   if (cfg_.invariant_interval > 0.0 && !monitor_.active()) {
     monitor_.start(world_->sim(), cfg_.invariant_interval);
   }
+  if ((cfg_.metrics_interval > 0.0 || !cfg_.metrics_jsonl.empty()) &&
+      !metrics_snap_.active()) {
+    const double every =
+        cfg_.metrics_interval > 0.0
+            ? cfg_.metrics_interval
+            : (cfg_.timeline_interval > 0.0 ? cfg_.timeline_interval : 1.0);
+    metrics_snap_.start(world_->sim(), every);
+  }
 
   VoronoiSimResult result;
   result.initial_nodes = initial_nodes_;
@@ -539,6 +586,7 @@ VoronoiSimResult VoronoiSimHarness::run() {
       world_->trace().record(world_->sim().now(), sim::TraceKind::kProtocol,
                              0, "converged");
       if (timeline_.active()) timeline_.sample_once();
+      if (metrics_snap_.active()) metrics_snap_.snapshot_once();
       // Final proof pass at the convergence instant, mirroring the
       // timeline's forced sample.
       if (monitor_.active()) monitor_.check_now();
@@ -629,6 +677,8 @@ VoronoiSimResult VoronoiSimHarness::run() {
     seeded.inc(seeded_ - seeded_before);
     if (result.reached_full_coverage) covered.inc();
   }
+  // End-of-run barrier for buffered sinks (OTLP document, live stream).
+  bus_.flush();
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "coverage/coverage_map.hpp"
 #include "coverage/field_recorder.hpp"
 #include "coverage/metrics.hpp"
@@ -26,6 +27,7 @@
 #include "sim/audit_log.hpp"
 #include "sim/fault.hpp"
 #include "sim/invariant_monitor.hpp"
+#include "sim/metrics_snapshot.hpp"
 #include "sim/timeline.hpp"
 #include "sim/world.hpp"
 
@@ -107,6 +109,21 @@ struct VoronoiSimConfig {
   /// SimRunConfig::invariant_interval. The leaderless scheme checks
   /// coverage consistency, ArqStats conservation and the goodput bound.
   double invariant_interval = 0.0;
+
+  /// Periodic metrics-registry snapshots (decor.metrics.v1); see
+  /// SimRunConfig::metrics_interval.
+  double metrics_interval = 0.0;
+  std::string metrics_jsonl;
+
+  /// Live telemetry stream target; see SimRunConfig::telemetry_stream.
+  std::string telemetry_stream;
+
+  /// OTLP/JSON export endpoint; see SimRunConfig::otlp.
+  std::string otlp;
+
+  /// Serialize cumulative ARQ sent/retx per timeline sample; see
+  /// SimRunConfig::timeline_arq.
+  bool timeline_arq = false;
 };
 
 struct VoronoiSimResult {
@@ -154,6 +171,12 @@ class VoronoiSimHarness {
   coverage::FieldRecorder* field() noexcept { return field_.get(); }
   /// The placement audit log (empty unless cfg.audit / cfg.audit_jsonl).
   sim::AuditLog& audit() noexcept { return audit_; }
+  /// The telemetry bus every producer of this harness publishes on.
+  common::TelemetryBus& telemetry() noexcept { return bus_; }
+  /// The periodic metrics snapshotter (inactive unless configured).
+  sim::MetricsSnapshotter& metrics_snapshotter() noexcept {
+    return metrics_snap_;
+  }
 
   std::uint32_t spawn_node(geom::Point2 pos);
   void kill_node(std::uint32_t id);
@@ -183,10 +206,13 @@ class VoronoiSimHarness {
   void register_invariants();
 
   VoronoiSimConfig cfg_;
+  /// Declared before the producers; see GridSimHarness::bus_.
+  common::TelemetryBus bus_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;
   sim::Timeline timeline_;
+  sim::MetricsSnapshotter metrics_snap_;
   std::unique_ptr<coverage::FieldRecorder> field_;
   sim::AuditLog audit_;
   std::unique_ptr<sim::FaultInjector> injector_;

@@ -1,0 +1,130 @@
+// Live TUI dashboard over the streaming telemetry artifacts.
+//
+// `decor watch` renders the same decor.* JSONL streams the simulators
+// emit — decor.timeline.v1 samples, decor.field.v1 deficit rasters and
+// decor.metrics.v1 registry snapshots — as a fixed-size text dashboard:
+// a k-deficit heatmap (max-pooled onto the terminal raster) plus
+// sparklines for coverage %, alive nodes, the ARQ retransmission ratio
+// and data-plane goodput. Two feeding modes share one DashboardState:
+//
+//   * replay: a completed run directory (or flight bundle) is scanned
+//     for JSONL artifacts, their lines merged in time order, and one
+//     frame rendered per timeline/field event;
+//   * follow: a DTLM frame stream (`--telemetry=-` piped from a live
+//     `decor sim`, a capture file, or stdin) is consumed incrementally.
+//
+// Rendering is byte-deterministic: frames depend only on the ingested
+// lines and the requested geometry — identical artifacts produce
+// identical frames (the golden-frame test diffs renderer output).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decor::core {
+
+/// One ingested decor.timeline.v1 sample (only the dashboard's columns).
+struct WatchTimelinePoint {
+  double t = 0.0;
+  double covered = 0.0;  ///< fraction in [0,1]
+  std::uint64_t uncovered = 0;
+  std::uint64_t alive = 0;
+  std::uint64_t arq_in_flight = 0;
+  /// --timeline-arq columns (absent on historical timelines).
+  bool has_arq = false;
+  std::uint64_t arq_sent = 0;
+  std::uint64_t arq_retx = 0;
+  /// Data-plane columns (absent unless the workload ran).
+  bool has_readings = false;
+  std::uint64_t reading_bytes = 0;
+};
+
+/// Accumulated dashboard inputs; fed one JSONL line at a time.
+class DashboardState {
+ public:
+  /// Ingests one line from stream `stream` ("timeline", "field",
+  /// "metrics", "audit"; other names are ignored). Header lines (any
+  /// object with a "schema" member) configure the state — the field
+  /// header carries k and the raster geometry. Returns false for lines
+  /// that do not parse as JSON (counted in malformed()).
+  bool ingest(std::string_view stream, std::string_view line);
+
+  const std::vector<WatchTimelinePoint>& timeline() const noexcept {
+    return timeline_;
+  }
+  bool has_field() const noexcept {
+    return field_cols_ > 0 && field_rows_ > 0 && !raster_.empty();
+  }
+  std::uint32_t k() const noexcept { return k_; }
+  std::size_t field_cols() const noexcept { return field_cols_; }
+  std::size_t field_rows() const noexcept { return field_rows_; }
+  const std::vector<std::uint32_t>& raster() const noexcept {
+    return raster_;
+  }
+  double field_t() const noexcept { return field_t_; }
+  double field_deficit() const noexcept { return field_deficit_; }
+  std::uint64_t field_uncovered() const noexcept { return field_uncovered_; }
+  std::size_t field_snapshots() const noexcept { return field_count_; }
+  std::size_t metrics_snapshots() const noexcept { return metrics_count_; }
+  std::size_t audit_records() const noexcept { return audit_count_; }
+  /// Latest sim time seen on any stream.
+  double last_t() const noexcept { return last_t_; }
+  std::size_t malformed() const noexcept { return malformed_; }
+
+ private:
+  std::vector<WatchTimelinePoint> timeline_;
+  std::uint32_t k_ = 0;
+  std::size_t field_cols_ = 0;
+  std::size_t field_rows_ = 0;
+  std::vector<std::uint32_t> raster_;
+  double field_t_ = 0.0;
+  double field_deficit_ = 0.0;
+  std::uint64_t field_uncovered_ = 0;
+  std::size_t field_count_ = 0;
+  std::size_t metrics_count_ = 0;
+  std::size_t audit_count_ = 0;
+  double last_t_ = 0.0;
+  std::size_t malformed_ = 0;
+};
+
+/// Renders one dashboard frame: exactly `rows` lines (each padded or
+/// truncated to `cols` display columns, '\n'-terminated). Geometry is
+/// clamped to the 32x10 minimum the layout needs. Pure function of the
+/// state — the determinism contract of the golden-frame test.
+std::string render_dashboard_frame(const DashboardState& state,
+                                   std::size_t cols, std::size_t rows);
+
+struct WatchOptions {
+  std::size_t cols = 72;
+  std::size_t rows = 20;
+  /// Replay: render at most this many frames, evenly subsampled with
+  /// first and last kept (0 = every timeline/field event). Follow: stop
+  /// after this many frames (0 = until EOF).
+  std::size_t max_frames = 0;
+  /// true = prefix each frame with an ANSI home+clear (live terminal);
+  /// false = separate frames with a form-feed line (files, goldens).
+  bool ansi = false;
+};
+
+/// Replays the JSONL artifacts under `dir` (recursively; files are
+/// classified by their schema header and merged in time order) and
+/// writes one frame per timeline/field event to `out`. Returns the
+/// number of frames written. Throws common::RequireError when `dir` is
+/// not a readable directory.
+std::size_t watch_replay_dir(const std::string& dir,
+                             const WatchOptions& opts, std::ostream& out);
+
+/// Consumes DTLM frames ("DTLM <stream> <seq> <len>\n<payload>\n") from
+/// `in` until EOF (or max_frames), rendering a dashboard frame after
+/// every timeline/field event. Non-DTLM lines are skipped, so the feed
+/// may be interleaved with ordinary program output. Returns the number
+/// of frames written.
+std::size_t watch_follow(std::FILE* in, const WatchOptions& opts,
+                         std::ostream& out);
+
+}  // namespace decor::core

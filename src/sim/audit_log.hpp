@@ -17,11 +17,11 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "geometry/point.hpp"
 
 namespace decor::sim {
@@ -55,9 +55,13 @@ struct AuditRecord {
 
 class AuditLog {
  public:
-  /// Streams subsequent records to `path` (schema header emitted
-  /// immediately); logs and returns false when the file cannot be
-  /// opened.
+  /// Publishes records through `bus` instead of the internally-owned
+  /// fallback; must precede open_jsonl.
+  void attach_bus(common::TelemetryBus* bus);
+
+  /// Streams subsequent records to `path` via a bus file sink (schema
+  /// header emitted immediately); logs and returns false when the file
+  /// cannot be opened.
   bool open_jsonl(const std::string& path);
   void close_jsonl();
 
@@ -71,8 +75,14 @@ class AuditLog {
   static std::string record_json(const AuditRecord& r);
 
  private:
+  common::TelemetryBus& ensure_bus();
+  void publish_header();
+
   std::vector<AuditRecord> records_;
-  std::unique_ptr<std::ofstream> jsonl_;
+  common::TelemetryBus* bus_ = nullptr;
+  std::unique_ptr<common::TelemetryBus> owned_bus_;
+  bool header_published_ = false;
+  common::TelemetryBus::SinkId file_sink_ = 0;
 };
 
 }  // namespace decor::sim

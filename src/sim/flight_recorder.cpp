@@ -66,6 +66,16 @@ bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
     }
   }
 
+  std::size_t metrics_lines = 0;
+  if (!info.metrics_jsonl.empty()) {
+    std::ofstream out;
+    if (!open_for_write(root / "metrics.jsonl", out)) return false;
+    out << info.metrics_jsonl;
+    for (const char c : info.metrics_jsonl) {
+      if (c == '\n') ++metrics_lines;
+    }
+  }
+
   {
     std::ofstream out;
     if (!open_for_write(root / "metrics.json", out)) return false;
@@ -98,6 +108,13 @@ bool write_flight_bundle(const std::string& dir, const FlightBundleInfo& info,
     // Schema header included; 0 means no field recorder was active.
     w.key("field_lines");
     w.value(static_cast<std::uint64_t>(field_lines));
+    if (metrics_lines > 0) {
+      // Schema header included; key absent when no periodic metrics
+      // snapshotter was active (manifest layout stays stable for old
+      // consumers).
+      w.key("metrics_lines");
+      w.value(static_cast<std::uint64_t>(metrics_lines));
+    }
     if (!info.faults_json.empty()) {
       w.key("faults");
       w.raw_value(info.faults_json);

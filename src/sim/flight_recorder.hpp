@@ -48,6 +48,10 @@ struct FlightBundleInfo {
   /// coverage library — the harness owns the FieldRecorder and hands the
   /// bytes down.
   std::string field_jsonl;
+  /// Pre-rendered decor.metrics.v1 lines (schema header plus the
+  /// snapshotter tail), newline-terminated; empty when no periodic
+  /// metrics snapshotter was active.
+  std::string metrics_jsonl;
   /// Pre-rendered JSON value describing the active fault campaign:
   /// {"plan":<decor.faults.v1>,"fired":[...]} from
   /// FaultInjector::manifest_json(). Empty when no fault engine was

@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
 
@@ -43,6 +43,13 @@ struct TimelineSample {
   /// without a monitor keep their historical byte layout.
   bool has_invariants = false;
   std::uint64_t invariant_violations = 0;
+  /// ARQ detail series (`--timeline-arq`): cumulative reliable sends and
+  /// retransmissions at sample time, for live retx-ratio sparklines.
+  /// Only serialized when `has_arq_detail` — default runs keep their
+  /// historical byte layout.
+  bool has_arq_detail = false;
+  std::uint64_t arq_sent = 0;
+  std::uint64_t arq_retx = 0;
 };
 
 class Timeline {
@@ -62,8 +69,16 @@ class Timeline {
 
   bool active() const noexcept { return active_; }
 
-  /// Streams subsequent samples to `path`; logs and returns false if the
-  /// file cannot be opened. Emits the schema header line immediately.
+  /// Publishes samples through `bus` instead of the internally-owned
+  /// fallback bus. Must precede open_jsonl; the harness attaches all its
+  /// producers to one bus so extra sinks (live stream, OTLP) see every
+  /// stream.
+  void attach_bus(common::TelemetryBus* bus);
+
+  /// Routes subsequent samples to a `path` file sink on the bus; logs and
+  /// returns false if the file cannot be opened. The schema header line
+  /// is emitted immediately (bus header replay covers sinks attached
+  /// later).
   bool open_jsonl(const std::string& path);
   void close_jsonl();
 
@@ -81,13 +96,18 @@ class Timeline {
  private:
   void tick();
   void write_sample(const TimelineSample& s);
+  common::TelemetryBus& ensure_bus();
+  void publish_header();
 
   Simulator* sim_ = nullptr;
   Time period_ = 0.0;
   Probe probe_;
   bool active_ = false;
   std::vector<TimelineSample> samples_;
-  std::unique_ptr<std::ofstream> jsonl_;
+  common::TelemetryBus* bus_ = nullptr;
+  std::unique_ptr<common::TelemetryBus> owned_bus_;
+  bool header_published_ = false;
+  common::TelemetryBus::SinkId file_sink_ = 0;
 };
 
 /// Serializes one sample as a decor.timeline.v1 JSON line (no trailing

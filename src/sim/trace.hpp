@@ -10,11 +10,11 @@
 #pragma once
 
 #include <cstdint>
-#include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/telemetry.hpp"
 #include "sim/event_queue.hpp"
 
 namespace decor::sim {
@@ -73,8 +73,15 @@ class Trace {
     return total_ - static_cast<std::uint64_t>(records_.size());
   }
 
+  /// Publishes records through `bus` instead of the internally-owned
+  /// fallback; must precede open_jsonl. Records are only serialized when
+  /// some sink on the bus wants the trace stream, so the hot path stays
+  /// cheap for purely in-memory tracing.
+  void attach_bus(common::TelemetryBus* bus);
+
   /// Streams every subsequent record to `path` as JSON lines
-  /// ({"seq":1,"t":...,"kind":"tx","node":3,"trace":7,"detail":"..."});
+  /// ({"seq":1,"t":...,"kind":"tx","node":3,"trace":7,"detail":"..."})
+  /// via a bus file sink (the trace stream has no schema header line);
   /// on failure to open, logs the error via common::log and returns false
   /// (callers that cannot proceed without the sink should treat false as
   /// fatal). The sink sees records regardless of the ring capacity, but
@@ -102,13 +109,16 @@ class Trace {
  private:
   /// Index into records_ of the i-th oldest buffered record.
   std::size_t slot(std::size_t i) const noexcept;
+  common::TelemetryBus& ensure_bus();
 
   bool enabled_ = false;
   std::size_t capacity_ = 0;
   std::size_t head_ = 0;  // ring mode: next slot to overwrite once full
   std::uint64_t total_ = 0;
   std::vector<TraceRecord> records_;
-  std::unique_ptr<std::ofstream> jsonl_;
+  common::TelemetryBus* bus_ = nullptr;
+  std::unique_ptr<common::TelemetryBus> owned_bus_;
+  common::TelemetryBus::SinkId file_sink_ = 0;
 };
 
 }  // namespace decor::sim

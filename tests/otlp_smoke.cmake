@@ -1,0 +1,69 @@
+# OTLP-export smoke: a traced lossy run must write an OTLP/JSON document
+# that parses (CMake's string(JSON) here; the structural contract against
+# common::parse_json lives in telemetry_test), carries both resourceSpans
+# and resourceMetrics, and is byte-deterministic across same-seed runs.
+#
+# Invoked by ctest as:
+#   cmake -DBIN=<decor_cli> -DOUT=<scratch dir> -P otlp_smoke.cmake
+if(NOT DEFINED BIN OR NOT DEFINED OUT)
+  message(FATAL_ERROR "otlp_smoke.cmake needs -DBIN= and -DOUT=")
+endif()
+
+file(REMOVE_RECURSE ${OUT})
+file(MAKE_DIRECTORY ${OUT})
+
+function(otlp_run tag)
+  execute_process(
+    COMMAND ${BIN} sim --scheme=grid --side=20 --points=200 --initial=8
+            --k=1 --loss=0.3 --seed=7
+            --trace-jsonl=${OUT}/trace-${tag}.jsonl
+            --timeline=1 --metrics=1
+            --otlp=${OUT}/otlp-${tag}.json
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "traced sim (${tag}) failed (rc=${rc})")
+  endif()
+  if(NOT EXISTS ${OUT}/otlp-${tag}.json)
+    message(FATAL_ERROR "sim did not write the OTLP document (${tag})")
+  endif()
+endfunction()
+
+otlp_run(a)
+otlp_run(b)
+
+file(READ ${OUT}/otlp-a.json doc)
+string(LENGTH "${doc}" doc_len)
+if(doc_len EQUAL 0)
+  message(FATAL_ERROR "OTLP document is empty")
+endif()
+
+# Parse and require both top-level sections to be non-empty arrays: the
+# lossy traced run produces spans, the armed registry produces metrics.
+string(JSON nspans ERROR_VARIABLE err LENGTH "${doc}" resourceSpans)
+if(err)
+  message(FATAL_ERROR "OTLP document does not parse: ${err}")
+endif()
+if(nspans EQUAL 0)
+  message(FATAL_ERROR "OTLP document has no resourceSpans")
+endif()
+string(JSON nmetrics ERROR_VARIABLE err LENGTH "${doc}" resourceMetrics)
+if(err)
+  message(FATAL_ERROR "OTLP resourceMetrics missing: ${err}")
+endif()
+if(nmetrics EQUAL 0)
+  message(FATAL_ERROR "OTLP document has no resourceMetrics")
+endif()
+string(JSON service ERROR_VARIABLE err
+       GET "${doc}" resourceSpans 0 resource attributes 0 value stringValue)
+if(err OR NOT service STREQUAL "decor-sim")
+  message(FATAL_ERROR "unexpected service.name: '${service}' ${err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/otlp-a.json
+          ${OUT}/otlp-b.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "same-seed runs exported different OTLP documents")
+endif()

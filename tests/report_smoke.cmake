@@ -84,6 +84,55 @@ foreach(needle "<svg" "Field snapshots" "Placement audit" "Message stats"
   endif()
 endforeach()
 
+# --- multi-run aggregate -------------------------------------------------
+
+# Two run directories in one invocation must produce a byte-deterministic
+# aggregate report with the seed-vs-seed summary and the overlaid
+# convergence chart.
+foreach(pass a b)
+  execute_process(
+    COMMAND ${BIN} report html ${OUT}/run1 ${OUT}/run2
+            --out=${OUT}/agg-${pass}.html
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "aggregate report pass ${pass} failed (rc=${rc})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}/agg-a.html
+          ${OUT}/agg-b.html
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "two aggregate renders of the same runs differ")
+endif()
+file(READ ${OUT}/agg-a.html agg)
+foreach(needle "aggregate report (2 runs)" "Convergence overlay"
+        "artifact warnings" "id=\"run-0\"" "id=\"run-1\"")
+  string(FIND "${agg}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "aggregate report is missing '${needle}'")
+  endif()
+endforeach()
+
+# An empty artifact must degrade to a counted warning in the report
+# header, never a skipped render.
+file(MAKE_DIRECTORY ${OUT}/run3)
+file(WRITE ${OUT}/run3/timeline.jsonl "")
+execute_process(
+  COMMAND ${BIN} report html ${OUT}/run3 --out=${OUT}/run3.html
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report on an empty artifact must still render "
+                      "(rc=${rc})")
+endif()
+file(READ ${OUT}/run3.html warn_html)
+string(FIND "${warn_html}" "artifact warnings: 1" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "empty artifact did not surface as a counted warning")
+endif()
+
 # An unreadable directory is an error, not an empty report.
 execute_process(
   COMMAND ${BIN} report html ${OUT}/no-such-dir

@@ -9,13 +9,18 @@
 //   lifetime      duty-cycled sleep scheduling on a k-covered network
 //   peas          PEAS baseline working-set formation
 //   trace report  summarize a trace dump (JSONL or Perfetto JSON)
-//   report html   render a run directory's artifacts as one HTML file
+//   report html   render one or more run directories as one HTML file
+//   watch         live TUI dashboard (run dir replay, DTLM capture, or
+//                 `watch -- sim ...` to spawn and follow a live run)
 //   bench diff    compare two decor.bench.v1 documents (perf gate)
 //
 // Common flags: --k --rs --rc --side --points --initial --seed --cell
 // Run `decor <subcommand> --help` for the specifics; every flag has a
 // paper-default so bare invocations work.
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -40,6 +45,7 @@
 #include "decor/decor.hpp"
 #include "decor/run_report.hpp"
 #include "decor/voronoi_sim.hpp"
+#include "decor/watch.hpp"
 #include "graph/comm_graph.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/vertex_connectivity.hpp"
@@ -368,6 +374,29 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
       static_cast<std::size_t>(opts.get_int("field-raster", 0));
   const bool audit_on = opts.get_bool("audit", false);
   const std::string audit_jsonl = opts.get("audit-jsonl", "");
+  // Streaming telemetry: --metrics[=T] snapshots the metrics registry
+  // every T sim-seconds as decor.metrics.v1 (--metrics-jsonl streams it
+  // and, alone, rides the timeline cadence), --telemetry frames the
+  // live streams as DTLM records to "-"/path/tcp:HOST:PORT (what
+  // `decor watch` consumes), --otlp exports spans + metrics as an
+  // OTLP/JSON document (file path or http://host:port; implies
+  // --trace), --timeline-arq adds cumulative ARQ sent/retx counters to
+  // every timeline sample.
+  double metrics_interval = opts.get_double("metrics", 0.0);
+  const std::string metrics_jsonl = opts.get("metrics-jsonl", "");
+  if (metrics_interval <= 0.0 && opts.has("metrics")) {
+    metrics_interval = timeline_interval > 0.0 ? timeline_interval : 1.0;
+  }
+  const std::string telemetry_stream = opts.get("telemetry", "");
+  const std::string otlp = opts.get("otlp", "");
+  const bool timeline_arq = opts.get_bool("timeline-arq", false);
+  // Snapshots sample the global registry, so asking for them turns the
+  // registry on even without --json (which enables it in main()).
+  if ((metrics_interval > 0.0 || !metrics_jsonl.empty()) &&
+      !common::metrics_enabled()) {
+    common::metrics().reset();
+    common::metrics().enable(true);
+  }
   if (opts.get_bool("profile", false)) common::set_profiling_enabled(true);
   // Chaos knobs: --loss (frame loss probability), --burst (mean loss-run
   // length; > 1 switches from i.i.d. loss to a Gilbert–Elliott bursty
@@ -453,6 +482,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     cfg.audit_jsonl = audit_jsonl;
     cfg.fault_plan = fault_plan;
     cfg.invariant_interval = invariant_interval;
+    cfg.metrics_interval = metrics_interval;
+    cfg.metrics_jsonl = metrics_jsonl;
+    cfg.telemetry_stream = telemetry_stream;
+    cfg.otlp = otlp;
+    cfg.timeline_arq = timeline_arq;
     core::VoronoiSimHarness harness(cfg);
     const auto r = harness.run();
     std::cout << "voronoi sim: placed " << r.placed_nodes << " (+"
@@ -498,6 +532,13 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
       rep.add("audit_records", static_cast<std::uint64_t>(
                                    harness.audit().records().size()));
     }
+    if (metrics_interval > 0.0 || !metrics_jsonl.empty()) {
+      rep.add("metrics_snapshots",
+              harness.metrics_snapshotter().snapshots_taken());
+    }
+    if (!telemetry_stream.empty() || !otlp.empty()) {
+      rep.add("telemetry_events", harness.telemetry().events_published());
+    }
     if (!trace_perfetto.empty() &&
         !export_perfetto(trace_perfetto, harness.world().trace())) {
       return 1;
@@ -526,6 +567,11 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
   cfg.audit_jsonl = audit_jsonl;
   cfg.fault_plan = fault_plan;
   cfg.invariant_interval = invariant_interval;
+  cfg.metrics_interval = metrics_interval;
+  cfg.metrics_jsonl = metrics_jsonl;
+  cfg.telemetry_stream = telemetry_stream;
+  cfg.otlp = otlp;
+  cfg.timeline_arq = timeline_arq;
   core::GridSimHarness harness(cfg);
   if (kill_leader_at >= 0.0) harness.schedule_leader_kill(kill_leader_at);
   const auto r = harness.run();
@@ -569,11 +615,130 @@ int cmd_sim(const common::Options& opts, CliReport& rep) {
     rep.add("audit_records", static_cast<std::uint64_t>(
                                  harness.audit().records().size()));
   }
+  if (metrics_interval > 0.0 || !metrics_jsonl.empty()) {
+    rep.add("metrics_snapshots",
+            harness.metrics_snapshotter().snapshots_taken());
+  }
+  if (!telemetry_stream.empty() || !otlp.empty()) {
+    rep.add("telemetry_events", harness.telemetry().events_published());
+  }
   if (!trace_perfetto.empty() &&
       !export_perfetto(trace_perfetto, harness.world().trace())) {
     return 1;
   }
   return r.reached_full_coverage ? 0 : 2;
+}
+
+/// Shell-quotes one token for the `decor watch -- sim ...` popen line.
+std::string shell_quote(const std::string& s) {
+  std::string out = "'";
+  for (const char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+/// `decor watch` — live TUI dashboard over the telemetry streams.
+///
+///   decor watch RUN_DIR          replay a completed run directory
+///   decor watch CAPTURE|-        follow a DTLM capture file / stdin
+///   decor watch [opts] -- sim …  spawn the sim with --telemetry=- and
+///                                follow it live
+///
+/// Takes argc/argv directly (not Options) because everything after the
+/// bare "--" is the child command, not watch flags.
+int cmd_watch(int argc, char** argv, CliReport& rep) {
+  int sep = argc;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--") {
+      sep = i;
+      break;
+    }
+  }
+  const common::Options opts(sep - 1, argv + 1);
+  core::WatchOptions wopts;
+  wopts.cols = static_cast<std::size_t>(opts.get_int("cols", 72));
+  wopts.rows = static_cast<std::size_t>(opts.get_int("rows", 20));
+  wopts.max_frames = static_cast<std::size_t>(opts.get_int("frames", 0));
+  const std::string out_path = opts.get("out", "");
+  std::ofstream out_file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    out_file.open(out_path, std::ios::binary | std::ios::trunc);
+    if (!out_file.is_open()) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out = &out_file;
+  }
+  // ANSI clear-screen frames only on an interactive terminal; files and
+  // pipes get deterministic form-feed-separated frames (--plain forces
+  // that on a terminal too, for byte-compare smokes).
+  wopts.ansi = out_path.empty() && !opts.get_bool("plain", false) &&
+               ::isatty(1) != 0;
+
+  std::size_t frames = 0;
+  if (sep < argc) {
+    // Live mode: re-invoke this binary with the child args, a DTLM
+    // stream on stdout, and dashboard-friendly cadences unless the
+    // caller already picked them.
+    std::string cmd = shell_quote(argv[0]);
+    bool has_timeline = false;
+    bool has_field = false;
+    for (int i = sep + 1; i < argc; ++i) {
+      const std::string_view a = argv[i];
+      if (a.rfind("--timeline", 0) == 0) has_timeline = true;
+      if (a.rfind("--field", 0) == 0) has_field = true;
+      cmd += ' ';
+      cmd += shell_quote(argv[i]);
+    }
+    if (!has_timeline) cmd += " --timeline=0.5";
+    if (!has_field) cmd += " --field=1";
+    cmd += " --telemetry=-";
+    std::FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      std::cerr << "error: cannot spawn: " << cmd << "\n";
+      return 1;
+    }
+    frames = core::watch_follow(pipe, wopts, *out);
+    const int status = ::pclose(pipe);
+    // A child that ran out of sim time (exit 2) or died of EPIPE after
+    // --frames stopped the reader is not a watch failure; report it.
+    rep.add("child_status", static_cast<std::uint64_t>(
+                                status < 0 ? 0 : static_cast<unsigned>(
+                                                     status)));
+  } else {
+    const auto& pos = opts.positional();
+    const std::string target = pos.empty() ? std::string() : pos.front();
+    if (target.empty()) {
+      std::cerr << "usage: decor watch RUN_DIR | decor watch CAPTURE|- | "
+                   "decor watch [opts] -- sim ...\n";
+      return 1;
+    }
+    if (target == "-") {
+      frames = core::watch_follow(stdin, wopts, *out);
+    } else if (std::filesystem::is_directory(target)) {
+      frames = core::watch_replay_dir(target, wopts, *out);
+    } else {
+      std::FILE* f = std::fopen(target.c_str(), "rb");
+      if (f == nullptr) {
+        std::cerr << "error: cannot open " << target << "\n";
+        return 1;
+      }
+      frames = core::watch_follow(f, wopts, *out);
+      std::fclose(f);
+    }
+  }
+  rep.add("watch_frames", static_cast<std::uint64_t>(frames));
+  if (!out_path.empty()) {
+    std::cout << "watch frames: " << frames << " -> " << out_path << "\n";
+  }
+  return 0;
 }
 
 int cmd_discrepancy(const common::Options& opts, CliReport& rep) {
@@ -863,9 +1028,17 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
       }
     }
   }
+  // A dump with zero parseable records is a *warning*, not an error: a
+  // crashed run can legitimately leave an empty or fully-truncated file
+  // behind, and the report should say so rather than refuse to exist.
+  // (An unopenable path stays a hard error above.)
   if (records == 0) {
-    std::cerr << "error: no trace records in " << path << "\n";
-    return 1;
+    std::cerr << "warning: no trace records in " << path
+              << (malformed > 0
+                      ? " (" + std::to_string(malformed) +
+                            " malformed lines skipped)"
+                      : " (empty artifact)")
+              << "\n";
   }
 
   const auto originals = static_cast<std::uint64_t>(spans.size());
@@ -953,26 +1126,31 @@ int cmd_trace(const common::Options& opts, CliReport& rep) {
   return cmd_trace_report(opts, rep);
 }
 
-/// `decor report html <run-dir>` — renders every recognized artifact in
-/// the directory (recursively) into one self-contained HTML file,
-/// <run-dir>/report.html unless --out says otherwise.
+/// `decor report html <run-dir> [more-dirs...]` — renders every
+/// recognized artifact in the directories (recursively) into one
+/// self-contained HTML file. Several directories produce the aggregate
+/// seed-vs-seed report. Default output: <first-dir>/report.html for one
+/// directory, ./report.html for several (--out overrides either).
 int cmd_report(const common::Options& opts, CliReport& rep) {
   const auto& pos = opts.positional();
   if (pos.size() < 2 || pos[0] != "html") {
-    std::cerr << "usage: decor report html <run-dir> [--out=path] "
-                 "[--max-heatmaps=N] [--max-audit-rows=N]\n";
+    std::cerr << "usage: decor report html <run-dir> [more-dirs...] "
+                 "[--out=path] [--max-heatmaps=N] [--max-audit-rows=N]\n";
     return 1;
   }
-  const std::string dir = pos[1];
+  const std::vector<std::string> dirs(pos.begin() + 1, pos.end());
   core::RunReportOptions ropts;
   ropts.max_heatmaps =
       static_cast<std::size_t>(opts.get_int("max-heatmaps", 10));
   ropts.max_audit_rows =
       static_cast<std::size_t>(opts.get_int("max-audit-rows", 200));
-  const std::string html = core::render_run_report_html(dir, ropts);
+  const std::string html = core::render_run_report_html(dirs, ropts);
   std::string out = opts.get("out", "");
   if (out.empty()) {
-    out = (std::filesystem::path(dir) / "report.html").string();
+    out = dirs.size() == 1
+              ? (std::filesystem::path(dirs.front()) / "report.html")
+                    .string()
+              : std::string("report.html");
   }
   std::ofstream f(out, std::ios::binary);
   if (!f.is_open()) {
@@ -983,6 +1161,7 @@ int cmd_report(const common::Options& opts, CliReport& rep) {
   std::cout << "report: " << out << " (" << html.size() << " bytes)\n";
   rep.add("out", out);
   rep.add("bytes", static_cast<std::uint64_t>(html.size()));
+  rep.add("runs", static_cast<std::uint64_t>(dirs.size()));
   return 0;
 }
 
@@ -1066,9 +1245,15 @@ void usage() {
       "  connectivity  communication-graph analysis (--kappa)\n"
       "  trace report  summarize a trace dump (JSONL or Perfetto JSON;\n"
       "                --in=path or positional, --top=N)\n"
-      "  report html   render a run directory's JSONL artifacts into one\n"
+      "  report html   render run directories' JSONL artifacts into one\n"
       "                self-contained HTML file (--out, --max-heatmaps,\n"
-      "                --max-audit-rows)\n"
+      "                --max-audit-rows; several dirs = aggregate\n"
+      "                seed-vs-seed report)\n"
+      "  watch         live TUI dashboard: `watch RUN_DIR` replays a\n"
+      "                completed run, `watch CAPTURE|-` follows a DTLM\n"
+      "                feed, `watch [opts] -- sim ...` spawns the sim\n"
+      "                live (--cols --rows --frames=N --out=path\n"
+      "                --plain)\n"
       "  bench diff    compare two decor.bench.v1 docs; --fail-over=PCT\n"
       "                exits 3 when any metric moved more than PCT%\n\n"
       "common flags: --k --rs --rc --side --points --initial --seed "
@@ -1080,6 +1265,13 @@ void usage() {
       "                     --timeline=T --timeline-jsonl=path\n"
       "                     --flight-dir=dir (post-mortem bundle)\n"
       "                     --profile (wall-clock scope timers)\n"
+      "  sim streaming telemetry:\n"
+      "    --metrics[=T] --metrics-jsonl=path (decor.metrics.v1\n"
+      "                  registry snapshots, p50/p90/p99 summaries)\n"
+      "    --telemetry=TARGET (- | path | tcp:HOST:PORT, DTLM frames)\n"
+      "    --otlp=ENDPOINT (file or http://host:port, OTLP/JSON export;\n"
+      "                     implies --trace)\n"
+      "    --timeline-arq (ARQ sent/retx on each timeline sample)\n"
       "  sim chaos knobs: --loss=P --burst=B (B>1 = bursty channel)\n"
       "                   --kill-leader-at=T (grid scheme only)\n"
       "  sim fault campaigns:\n"
@@ -1119,6 +1311,7 @@ int main(int argc, char** argv) {
     if (cmd == "deploy") rc = cmd_deploy(opts, rep);
     if (cmd == "restore") rc = cmd_restore(opts, rep);
     if (cmd == "sim") rc = cmd_sim(opts, rep);
+    if (cmd == "watch") rc = cmd_watch(argc, argv, rep);
     if (cmd == "discrepancy") rc = cmd_discrepancy(opts, rep);
     if (cmd == "connectivity") rc = cmd_connectivity(opts, rep);
     if (cmd == "lifetime") rc = cmd_lifetime(opts, rep);
