@@ -10,6 +10,8 @@
 
 #include "common/json.hpp"
 #include "common/require.hpp"
+#include "decor/artifacts.hpp"
+#include "decor/explain.hpp"
 #include "net/messages.hpp"
 #include "sim/trace_export.hpp"
 
@@ -91,71 +93,6 @@ std::string json_to_string(const JsonValue& v) {
   std::ostringstream os;
   json_to_stream(v, os);
   return os.str();
-}
-
-/// One artifact file, classified by its first line: a "schema" member
-/// names the JSONL dialect; trace dumps (which carry no header) are
-/// recognized by their seq/kind record shape; whole-file JSON documents
-/// (manifest.json, metrics.json) are parsed in one piece.
-struct Artifact {
-  std::string rel;     // path relative to the scanned dir, generic form
-  std::string kind;    // "field", "timeline", "audit", "trace",
-                       // "manifest", "metrics", "other"
-  JsonValue header;    // schema line (field header) or the whole document
-  std::vector<JsonValue> records;  // parsed data lines, file order
-  std::size_t malformed = 0;       // unparseable lines, skipped
-};
-
-Artifact load_jsonl(const fs::path& path, const std::string& rel) {
-  Artifact a;
-  a.rel = rel;
-  a.kind = "other";
-  std::ifstream f(path);
-  std::string line;
-  bool first = true;
-  while (std::getline(f, line)) {
-    if (line.empty()) continue;
-    auto parsed = common::parse_json(line);
-    if (!parsed) {
-      ++a.malformed;
-      continue;
-    }
-    if (first) {
-      first = false;
-      if (const auto* schema = parsed->find("schema");
-          schema != nullptr && schema->is_string()) {
-        const std::string& s = schema->as_string();
-        if (s == "decor.field.v1") a.kind = "field";
-        if (s == "decor.timeline.v1") a.kind = "timeline";
-        if (s == "decor.audit.v1") a.kind = "audit";
-        a.header = std::move(*parsed);
-        continue;
-      }
-      if (parsed->find("seq") != nullptr && parsed->find("kind") != nullptr) {
-        a.kind = "trace";
-      }
-    }
-    a.records.push_back(std::move(*parsed));
-  }
-  return a;
-}
-
-Artifact load_document(const fs::path& path, const std::string& rel,
-                       const std::string& kind) {
-  Artifact a;
-  a.rel = rel;
-  a.kind = kind;
-  std::ifstream f(path);
-  std::stringstream buf;
-  buf << f.rdbuf();
-  auto parsed = common::parse_json(buf.str());
-  if (parsed) {
-    a.header = std::move(*parsed);
-  } else {
-    a.malformed = 1;
-    a.kind = "other";
-  }
-  return a;
 }
 
 double num_at(const JsonValue& obj, std::string_view key, double def = 0.0) {
@@ -460,6 +397,154 @@ void render_trace_section(std::ostream& os, const Artifact& a) {
   }
 }
 
+// --- explain: convergence critical path ----------------------------------
+
+constexpr const char* kPhaseColors[3] = {"#e80", "#06c", "#c33"};
+
+void render_phase_waterfall(std::ostream& os, const ExplainDoc& doc) {
+  const int w = 640, h = 26;
+  const double total = doc.detection + doc.decision + doc.propagation;
+  os << "<figure><svg width=\"" << w << "\" height=\"" << h
+     << "\" viewBox=\"0 0 " << w << " " << h
+     << "\" xmlns=\"http://www.w3.org/2000/svg\">"
+     << "<rect width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>";
+  if (total > 0.0) {
+    const double phases[3] = {doc.detection, doc.decision, doc.propagation};
+    double x = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      const double pw = phases[i] / total * (w - 2);
+      if (pw > 0.0) {
+        os << "<rect x=\"" << fmt(1.0 + x) << "\" y=\"3\" width=\""
+           << fmt(pw) << "\" height=\"" << h - 6 << "\" fill=\""
+           << kPhaseColors[i] << "\"/>";
+      }
+      x += pw;
+    }
+  }
+  os << "</svg><figcaption>restoration latency attribution — "
+     << "<span style=\"color:" << kPhaseColors[0] << "\">detection "
+     << fmt(doc.detection) << " s</span>, <span style=\"color:"
+     << kPhaseColors[1] << "\">decision " << fmt(doc.decision)
+     << " s</span>, <span style=\"color:" << kPhaseColors[2]
+     << "\">propagation " << fmt(doc.propagation)
+     << " s</span></figcaption></figure>\n";
+}
+
+void render_exchange_waterfall(std::ostream& os, const ExplainExchange& ex) {
+  constexpr std::size_t kMaxLegs = 24;
+  const std::size_t shown = std::min(ex.legs.size(), kMaxLegs);
+  const int w = 640, row = 14, pad = 4;
+  const int h = static_cast<int>(shown) * row + 2 * pad;
+  const double span = ex.last_t > ex.first_t ? ex.last_t - ex.first_t : 1.0;
+  os << "<figure><svg width=\"" << w << "\" height=\"" << h
+     << "\" viewBox=\"0 0 " << w << " " << h
+     << "\" xmlns=\"http://www.w3.org/2000/svg\">"
+     << "<rect width=\"" << w << "\" height=\"" << h
+     << "\" fill=\"#f7f7f7\" stroke=\"#ccc\"/>";
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& leg = ex.legs[i];
+    const double x = pad + leg.dt / span * (w / 2 - 2 * pad);
+    const int y = pad + static_cast<int>(i) * row;
+    const char* color = leg.leg == "retransmit" ? "#c33"
+                        : leg.leg == "drop"     ? "#a2a"
+                        : leg.leg == "forward"  ? "#e80"
+                        : leg.leg == "send"     ? "#06c"
+                                                : "#2a2";
+    os << "<rect x=\"" << fmt(x) << "\" y=\"" << y + 2
+       << "\" width=\"5\" height=\"" << row - 4 << "\" fill=\"" << color
+       << "\"/><text x=\"" << fmt(x + 9.0) << "\" y=\"" << y + row - 3
+       << "\" font-size=\"10\" fill=\"#333\">" << html_escape(leg.leg)
+       << " node " << leg.node;
+    if (leg.from >= 0) os << " &#8592; " << leg.from;
+    os << " +" << fmt(leg.dt) << "s</text>";
+  }
+  os << "</svg><figcaption>critical exchange waterfall — trace "
+     << ex.trace_id << ", " << ex.legs.size() << " legs";
+  if (shown < ex.legs.size()) {
+    os << " (first " << shown << " shown)";
+  }
+  os << ", " << ex.retransmits << " retransmit"
+     << (ex.retransmits == 1 ? "" : "s") << ", "
+     << (ex.completed ? "acked" : "never completed")
+     << "</figcaption></figure>\n";
+}
+
+void render_explain_section(std::ostream& os,
+                            const std::vector<Artifact>& artifacts) {
+  const ExplainDoc doc = analyze_run(artifacts);
+  os << "<h2>Explain — convergence critical path</h2>\n";
+  os << "<p>"
+     << (doc.converged
+             ? "converged at t=" + fmt(doc.convergence_time) + " s"
+             : std::string("never converged within the artifacts"))
+     << "; " << doc.audited_exchanges
+     << " audited placement exchanges joined against " << doc.trace_records
+     << " trace records</p>\n";
+  render_phase_waterfall(os, doc);
+  os << "<table><tr><th>critical path step</th><th>detail</th></tr>\n";
+  if (doc.last_hole.present) {
+    os << "<tr><td>last hole to close</td><td>centroid "
+       << fmt(doc.last_hole.cx) << "," << fmt(doc.last_hole.cy) << ", "
+       << doc.last_hole.points << " points, area " << fmt(doc.last_hole.area)
+       << ", max deficit " << doc.last_hole.max_deficit << " (open at t="
+       << fmt(doc.last_hole.t) << ")</td></tr>\n";
+  }
+  if (doc.closing_placement.present) {
+    os << "<tr><td>closing placement</td><td>t="
+       << fmt(doc.closing_placement.t) << " by node "
+       << doc.closing_placement.actor << " ("
+       << html_escape(doc.closing_placement.reason) << ") at "
+       << fmt(doc.closing_placement.x) << ","
+       << fmt(doc.closing_placement.y) << ", newly satisfied "
+       << doc.closing_placement.newly_satisfied << ", trace "
+       << doc.closing_placement.trace_id << "</td></tr>\n";
+  }
+  if (doc.exchange.present) {
+    os << "<tr><td>exchange latency</td><td>"
+       << fmt(doc.exchange.last_t - doc.exchange.first_t) << " s ("
+       << fmt(doc.exchange.retx_delay)
+       << " s retransmission-induced)</td></tr>\n";
+  }
+  os << "</table>\n";
+  if (doc.exchange.present) render_exchange_waterfall(os, doc.exchange);
+  if (!doc.nodes.empty()) {
+    os << "<h3>Worst nodes</h3>\n"
+       << "<table><tr><th>node</th><th>tx</th><th>retx</th><th>drops</th>"
+          "<th>dead peers</th><th>retx ratio</th><th>latency infl.</th>"
+          "<th>score</th></tr>\n";
+    for (const auto& n : doc.nodes) {
+      os << "<tr><td>" << n.node << "</td><td>" << n.tx << "</td><td>"
+         << n.retx << "</td><td>" << n.drops << "</td><td>"
+         << n.dead_peer_events << "</td><td>" << fmt(n.retx_ratio)
+         << "</td><td>" << fmt(n.latency_inflation) << "</td><td>"
+         << fmt(n.score) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  if (!doc.links.empty()) {
+    os << "<h3>Worst links</h3>\n"
+       << "<table><tr><th>link</th><th>delivered</th><th>crc drops</th>"
+          "<th>median latency</th><th>latency infl.</th><th>score</th>"
+          "</tr>\n";
+    for (const auto& l : doc.links) {
+      os << "<tr><td>" << l.src << " &#8594; " << l.dst << "</td><td>"
+         << l.delivered << "</td><td>" << l.crc_drops << "</td><td>"
+         << fmt(l.median_latency) << "</td><td>"
+         << fmt(l.latency_inflation) << "</td><td>" << fmt(l.score)
+         << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+  if (!doc.warnings.empty()) {
+    os << "<p>explain warnings: " << doc.warnings.size() << "</p>\n<ul>\n";
+    for (const auto& warning : doc.warnings) {
+      os << "<li>" << html_escape(warning) << "</li>\n";
+    }
+    os << "</ul>\n";
+  }
+}
+
 // --- manifest ------------------------------------------------------------
 
 void render_manifest_section(std::ostream& os, const Artifact& a) {
@@ -478,73 +563,6 @@ void render_manifest_section(std::ostream& os, const Artifact& a) {
 }
 
 // --- run loading and aggregation -----------------------------------------
-
-/// Artifacts that cannot contribute anything to the report: a file with
-/// zero parsed records (sinks that opened but never flushed a line, or
-/// files truncated down to nothing) or one that did not parse at all.
-/// These used to vanish silently into their sections; the header now
-/// counts them so a gutted run directory is visible at a glance.
-struct ArtifactWarning {
-  std::string rel;
-  std::string reason;
-};
-
-std::vector<ArtifactWarning> collect_warnings(
-    const std::vector<Artifact>& artifacts) {
-  std::vector<ArtifactWarning> warnings;
-  for (const auto& a : artifacts) {
-    const bool document = a.kind == "manifest" || a.kind == "metrics";
-    if (a.kind == "other" && a.records.empty()) {
-      warnings.push_back(
-          {a.rel, a.malformed > 0 ? "unparseable" : "empty"});
-      continue;
-    }
-    if (!document && a.records.empty()) {
-      warnings.push_back({a.rel, "no records (empty or truncated)"});
-      continue;
-    }
-    if (a.malformed > 0) {
-      warnings.push_back({a.rel, std::to_string(a.malformed) +
-                                     " malformed line" +
-                                     (a.malformed == 1 ? "" : "s")});
-    }
-  }
-  return warnings;
-}
-
-std::vector<Artifact> load_artifacts(const std::string& dir) {
-  std::error_code ec;
-  DECOR_REQUIRE_MSG(fs::is_directory(dir, ec),
-                    "report: not a readable directory: " + dir);
-
-  // Discover artifacts in sorted relative-path order: directory iteration
-  // order is filesystem-dependent, the report's byte layout must not be.
-  std::vector<fs::path> paths;
-  for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
-       it.increment(ec)) {
-    if (ec) break;
-    if (it->is_regular_file(ec)) paths.push_back(it->path());
-  }
-  std::vector<std::pair<std::string, fs::path>> files;
-  files.reserve(paths.size());
-  for (const auto& p : paths) {
-    files.emplace_back(fs::relative(p, dir, ec).generic_string(), p);
-  }
-  std::sort(files.begin(), files.end());
-
-  std::vector<Artifact> artifacts;
-  for (const auto& [rel, path] : files) {
-    const std::string name = path.filename().string();
-    if (name.size() > 6 && name.ends_with(".jsonl")) {
-      artifacts.push_back(load_jsonl(path, rel));
-    } else if (name == "manifest.json") {
-      artifacts.push_back(load_document(path, rel, "manifest"));
-    } else if (name == "metrics.json") {
-      artifacts.push_back(load_document(path, rel, "metrics"));
-    }
-  }
-  return artifacts;
-}
 
 void render_warning_block(std::ostream& os,
                           const std::vector<ArtifactWarning>& warnings) {
@@ -581,6 +599,7 @@ void render_run_body(std::ostream& os, const std::vector<Artifact>& artifacts,
   for (const auto& a : artifacts) {
     if (a.kind == "manifest") render_manifest_section(os, a);
   }
+  render_explain_section(os, artifacts);
   for (const auto& a : artifacts) {
     if (a.kind == "field") render_field_section(os, a, opts);
   }
@@ -731,12 +750,14 @@ std::string render_run_report_html(const std::vector<std::string>& dirs,
 
   std::vector<std::vector<Artifact>> runs;
   runs.reserve(dirs.size());
-  for (const auto& dir : dirs) runs.push_back(load_artifacts(dir));
+  for (const auto& dir : dirs) {
+    runs.push_back(load_run_artifacts(dir, "report"));
+  }
 
   std::ostringstream os;
   if (runs.size() == 1) {
     render_html_head(os, "DECOR run report");
-    render_warning_block(os, collect_warnings(runs.front()));
+    render_warning_block(os, collect_artifact_warnings(runs.front()));
     render_run_body(os, runs.front(), opts);
     os << "</body></html>\n";
     return os.str();
@@ -749,7 +770,7 @@ std::string render_run_report_html(const std::vector<std::string>& dirs,
   std::size_t total_warnings = 0;
   for (std::size_t i = 0; i < runs.size(); ++i) {
     summaries.emplace_back(run_label(dirs[i], i), summarize_run(runs[i]));
-    warnings.push_back(collect_warnings(runs[i]));
+    warnings.push_back(collect_artifact_warnings(runs[i]));
     total_warnings += warnings.back().size();
   }
   os << "<p>artifact warnings: " << total_warnings

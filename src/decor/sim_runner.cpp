@@ -476,6 +476,7 @@ GridSimHarness::GridSimHarness(SimRunConfig cfg) : cfg_(std::move(cfg)) {
         cfg_.telemetry_stream);
     DECOR_REQUIRE_MSG(stream->ok(), "cannot open telemetry stream: " +
                                         cfg_.telemetry_stream);
+    telemetry_sink_ = stream.get();
     bus_.add_sink(std::move(stream));
   }
   if (!cfg_.otlp.empty()) {
@@ -904,6 +905,16 @@ SimRunResult GridSimHarness::run() {
   // End-of-run barrier for buffered sinks: the OTLP exporter writes its
   // document here, the live stream drains its pending frames.
   bus_.flush();
+  // Whole frames the live stream shed (TCP backpressure drops entire
+  // DTLM frames, never partial ones) — counted after the flush so the
+  // final drain is included. Delta since the last run() on this harness.
+  if (telemetry_sink_ != nullptr && common::metrics_enabled()) {
+    const std::uint64_t dropped = telemetry_sink_->frames_dropped();
+    common::metrics()
+        .counter("telemetry.dropped_frames")
+        .inc(dropped - telemetry_dropped_reported_);
+    telemetry_dropped_reported_ = dropped;
+  }
   return result;
 }
 

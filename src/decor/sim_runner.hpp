@@ -238,6 +238,10 @@ class GridSimHarness {
   /// publishes into them (producers detach their file sinks themselves;
   /// destruction order only matters for the bus-owned extra sinks).
   common::TelemetryBus bus_;
+  /// Bus-owned live stream sink, retained to surface its whole-frame
+  /// drop count (TCP backpressure) as telemetry.dropped_frames.
+  common::FrameStreamSink* telemetry_sink_ = nullptr;
+  std::uint64_t telemetry_dropped_reported_ = 0;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;

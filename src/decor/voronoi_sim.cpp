@@ -253,6 +253,7 @@ VoronoiSimHarness::VoronoiSimHarness(VoronoiSimConfig cfg)
         cfg_.telemetry_stream);
     DECOR_REQUIRE_MSG(stream->ok(), "cannot open telemetry stream: " +
                                         cfg_.telemetry_stream);
+    telemetry_sink_ = stream.get();
     bus_.add_sink(std::move(stream));
   }
   if (!cfg_.otlp.empty()) {
@@ -679,6 +680,14 @@ VoronoiSimResult VoronoiSimHarness::run() {
   }
   // End-of-run barrier for buffered sinks (OTLP document, live stream).
   bus_.flush();
+  // See GridSimHarness::run(): post-flush whole-frame drop accounting.
+  if (telemetry_sink_ != nullptr && common::metrics_enabled()) {
+    const std::uint64_t dropped = telemetry_sink_->frames_dropped();
+    common::metrics()
+        .counter("telemetry.dropped_frames")
+        .inc(dropped - telemetry_dropped_reported_);
+    telemetry_dropped_reported_ = dropped;
+  }
   return result;
 }
 

@@ -208,6 +208,9 @@ class VoronoiSimHarness {
   VoronoiSimConfig cfg_;
   /// Declared before the producers; see GridSimHarness::bus_.
   common::TelemetryBus bus_;
+  /// See GridSimHarness::telemetry_sink_.
+  common::FrameStreamSink* telemetry_sink_ = nullptr;
+  std::uint64_t telemetry_dropped_reported_ = 0;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<coverage::CoverageMap> map_;
   std::shared_ptr<Shared> shared_;

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
 #include <tuple>
@@ -12,12 +11,11 @@
 
 #include "common/json.hpp"
 #include "common/require.hpp"
+#include "decor/artifacts.hpp"
 
 namespace decor::core {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 /// One decimal place, C locale (the CLI never calls setlocale).
 std::string fmt1(double v) {
@@ -181,6 +179,9 @@ std::string render_dashboard_frame(const DashboardState& state,
   status += "  [tl " + std::to_string(tl.size()) + " | field " +
             std::to_string(state.field_snapshots()) + " | metrics " +
             std::to_string(state.metrics_snapshots()) + "]";
+  if (state.dropped_frames() > 0) {
+    status += "  dropped=" + std::to_string(state.dropped_frames());
+  }
   if (state.malformed() > 0) {
     status += "  !" + std::to_string(state.malformed()) + " bad";
   }
@@ -291,13 +292,13 @@ void emit_frame(const DashboardState& state, const WatchOptions& opts,
   if (!opts.ansi) out << "\f\n";
 }
 
-/// Stream name for a JSONL artifact's schema header, or "" to skip the
-/// file (trace dumps are headerless and irrelevant to the dashboard).
-std::string stream_for_schema(const std::string& schema) {
-  if (schema == "decor.timeline.v1") return "timeline";
-  if (schema == "decor.field.v1") return "field";
-  if (schema == "decor.metrics.v1") return "metrics";
-  if (schema == "decor.audit.v1") return "audit";
+/// Dashboard stream name for a classified artifact kind, or "" to skip
+/// the file (trace dumps and whole-file documents are irrelevant here).
+std::string stream_for_kind(const std::string& kind) {
+  if (kind == "timeline") return "timeline";
+  if (kind == "field") return "field";
+  if (kind == "metrics-stream") return "metrics";
+  if (kind == "audit") return "audit";
   return "";
 }
 
@@ -314,51 +315,24 @@ struct ReplayEvent {
 
 std::size_t watch_replay_dir(const std::string& dir,
                              const WatchOptions& opts, std::ostream& out) {
-  std::error_code ec;
-  DECOR_REQUIRE_MSG(fs::is_directory(dir, ec),
-                    "watch: not a readable directory: " + dir);
-  std::vector<fs::path> files;
-  for (auto it = fs::recursive_directory_iterator(
-           dir, fs::directory_options::skip_permission_denied, ec);
-       it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (ec) break;
-    if (it->is_regular_file(ec) && it->path().extension() == ".jsonl") {
-      files.push_back(it->path());
-    }
-  }
-  std::sort(files.begin(), files.end(),
-            [](const fs::path& a, const fs::path& b) {
-              return a.generic_string() < b.generic_string();
-            });
+  const auto artifacts = load_run_artifacts(dir, "watch");
 
   DashboardState state;
   std::vector<ReplayEvent> events;
-  for (std::size_t fi = 0; fi < files.size(); ++fi) {
-    std::ifstream in(files[fi]);
-    if (!in.is_open()) continue;
-    std::string line;
-    if (!std::getline(in, line)) continue;
-    const auto header = common::parse_json(line);
-    if (!header || !header->is_object()) continue;
-    const auto* schema = header->find("schema");
-    if (schema == nullptr) continue;
-    const std::string stream = stream_for_schema(schema->as_string());
-    if (stream.empty()) continue;
+  for (std::size_t fi = 0; fi < artifacts.size(); ++fi) {
+    const auto& a = artifacts[fi];
+    const std::string stream = stream_for_kind(a.kind);
+    if (stream.empty() || a.header_line.empty()) continue;
     // Headers configure the state up front (the bus replays them the
     // same way to late-attached sinks), data lines are merged by time.
-    state.ingest(stream, line);
+    state.ingest(stream, a.header_line);
     const int rank = stream == "timeline" ? 0 : stream == "field" ? 1 : 2;
-    std::size_t li = 0;
     double prev_t = 0.0;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      const auto doc = common::parse_json(line);
+    for (std::size_t li = 0; li < a.records.size(); ++li) {
       double t = prev_t;
-      if (doc && doc->is_object()) {
-        if (const auto* tv = doc->find("t")) t = tv->as_number();
-      }
+      if (const auto* tv = a.records[li].find("t")) t = tv->as_number();
       prev_t = t;
-      events.push_back({t, rank, fi, li++, stream, line});
+      events.push_back({t, rank, fi, li, stream, a.lines[li]});
     }
   }
   std::sort(events.begin(), events.end(),
@@ -421,6 +395,10 @@ std::size_t watch_follow(std::FILE* in, const WatchOptions& opts,
   DashboardState state;
   std::string line;
   std::size_t written = 0;
+  // Per-stream DTLM sequence tracking: data frames carry a 1-based
+  // per-stream seq (headers ride seq 0), so a gap is exactly the number
+  // of whole frames a lossy transport (FrameStreamSink over TCP) shed.
+  std::map<std::string, unsigned long long> last_seq;
   while (read_stream_line(in, line)) {
     char stream_buf[32];
     unsigned long long seq = 0;
@@ -435,6 +413,14 @@ std::size_t watch_follow(std::FILE* in, const WatchOptions& opts,
     const int nl = std::fgetc(in);
     if (nl != '\n' && nl != EOF) std::ungetc(nl, in);
     const std::string stream(stream_buf);
+    if (seq > 0) {
+      const auto it = last_seq.find(stream);
+      if (it != last_seq.end() && seq > it->second + 1) {
+        state.note_dropped(seq - it->second - 1);
+      }
+      last_seq[stream] = std::max(seq, it != last_seq.end() ? it->second
+                                                            : 0ULL);
+    }
     state.ingest(stream, payload);
     // Schema headers configure the state but carry no sample — wait for
     // the first data line before painting.

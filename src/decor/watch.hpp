@@ -76,6 +76,11 @@ class DashboardState {
   double last_t() const noexcept { return last_t_; }
   std::size_t malformed() const noexcept { return malformed_; }
 
+  /// Whole frames a lossy transport shed upstream (DTLM sequence gaps in
+  /// follow mode); surfaced on the status line when nonzero.
+  void note_dropped(std::uint64_t n) noexcept { dropped_frames_ += n; }
+  std::uint64_t dropped_frames() const noexcept { return dropped_frames_; }
+
  private:
   std::vector<WatchTimelinePoint> timeline_;
   std::uint32_t k_ = 0;
@@ -90,6 +95,7 @@ class DashboardState {
   std::size_t audit_count_ = 0;
   double last_t_ = 0.0;
   std::size_t malformed_ = 0;
+  std::uint64_t dropped_frames_ = 0;
 };
 
 /// Renders one dashboard frame: exactly `rows` lines (each padded or

@@ -201,4 +201,43 @@ TEST(Watch, FollowResyncsOverInterleavedOutput) {
   fs::remove(capture);
 }
 
+TEST(Watch, FollowSurfacesDroppedFramesFromSeqGaps) {
+  const fs::path capture =
+      fs::temp_directory_path() / "decor_watch_dropped_test.dtlm";
+  {
+    std::ofstream f(capture, std::ios::binary);
+    f << dtlm("timeline", 0, "{\"schema\":\"decor.timeline.v1\"}");
+    f << dtlm("timeline", 1,
+              "{\"t\":1,\"covered\":0.5,\"uncovered\":8,\"alive\":15,"
+              "\"arq_in_flight\":0}");
+    // A TCP sink under backpressure drops whole frames: seq jumps 1 -> 4,
+    // so two frames never arrived and the dashboard must say so.
+    f << dtlm("timeline", 4,
+              "{\"t\":4,\"covered\":0.75,\"uncovered\":4,\"alive\":15,"
+              "\"arq_in_flight\":0}");
+  }
+
+  WatchOptions opts;
+  opts.cols = 120;  // wide enough that the status line is not clipped
+  opts.rows = 12;
+  std::FILE* in = std::fopen(capture.string().c_str(), "rb");
+  ASSERT_NE(in, nullptr);
+  std::ostringstream out;
+  EXPECT_EQ(decor::core::watch_follow(in, opts, out), 2u);
+  std::fclose(in);
+  // The first frame saw no gap; the final frame carries the count.
+  EXPECT_EQ(out.str().find("dropped="),
+            out.str().rfind("dropped=2"));
+  EXPECT_NE(out.str().find("dropped=2"), std::string::npos);
+  fs::remove(capture);
+}
+
+TEST(Watch, DashboardStateAccumulatesDroppedFrames) {
+  DashboardState state;
+  EXPECT_EQ(state.dropped_frames(), 0u);
+  state.note_dropped(2);
+  state.note_dropped(1);
+  EXPECT_EQ(state.dropped_frames(), 3u);
+}
+
 }  // namespace

@@ -41,8 +41,10 @@
 #include "common/table.hpp"
 #include "coverage/area_estimate.hpp"
 #include "coverage/field_recorder.hpp"
+#include "decor/artifacts.hpp"
 #include "decor/bench_diff.hpp"
 #include "decor/decor.hpp"
+#include "decor/explain.hpp"
 #include "decor/run_report.hpp"
 #include "decor/voronoi_sim.hpp"
 #include "decor/watch.hpp"
@@ -890,7 +892,9 @@ bool json_field(const std::string& line, const std::string& key,
 /// (per-kind send counts, retransmit ratio, convergence time, slowest
 /// exchanges) from a trace dump alone: either a decor trace JSONL file
 /// (--trace-jsonl / flight-recorder trace.jsonl) or a Perfetto export
-/// (--trace-perfetto). The format is sniffed from the first line.
+/// (--trace-perfetto). The format is sniffed from the first line. A run
+/// directory is also accepted: the shared artifact loader classifies its
+/// files and the trace artifact is reported.
 int cmd_trace_report(const common::Options& opts, CliReport& rep) {
   std::string path = opts.get("in", "");
   const auto& pos = opts.positional();
@@ -898,9 +902,25 @@ int cmd_trace_report(const common::Options& opts, CliReport& rep) {
   // "report" and [1] the dump path.
   if (path.empty() && pos.size() >= 2) path = pos[1];
   if (path.empty()) {
-    std::cerr << "usage: decor trace report <dump.jsonl|trace.json> "
+    std::cerr << "usage: decor trace report <dump.jsonl|trace.json|run-dir> "
                  "[--top=N]\n";
     return 1;
+  }
+  std::error_code dir_ec;
+  if (std::filesystem::is_directory(path, dir_ec)) {
+    const auto artifacts = core::load_run_artifacts(path, "trace report");
+    const core::Artifact* trace = nullptr;
+    for (const auto& a : artifacts) {
+      if (a.kind == "trace") {
+        trace = &a;
+        break;
+      }
+    }
+    if (trace == nullptr) {
+      std::cerr << "error: " << path << " holds no trace artifact\n";
+      return 1;
+    }
+    path = (std::filesystem::path(path) / trace->rel).string();
   }
   std::ifstream f(path);
   if (!f.is_open()) {
@@ -1126,6 +1146,209 @@ int cmd_trace(const common::Options& opts, CliReport& rep) {
   return cmd_trace_report(opts, rep);
 }
 
+/// Loads an explain document from either a run directory (analyzed on
+/// the spot) or a saved decor.explain.v1 JSON file. Returns false (with
+/// a message on stderr) when the path is neither.
+bool load_explain_input(const std::string& path, core::ExplainDoc& doc) {
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    doc = core::explain_run_dir(path);
+    return true;
+  }
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return false;
+  }
+  std::stringstream buf;
+  buf << f.rdbuf();
+  const auto parsed = common::parse_json(buf.str());
+  if (!parsed || !core::explain_from_json(*parsed, doc)) {
+    std::cerr << "error: " << path
+              << " is neither a run directory nor a decor.explain.v1 "
+                 "document\n";
+    return false;
+  }
+  return true;
+}
+
+void print_phase_line(const core::ExplainDoc& doc) {
+  std::cout << "phases: detection " << common::format_double(doc.detection)
+            << " s, decision " << common::format_double(doc.decision)
+            << " s, propagation "
+            << common::format_double(doc.propagation) << " s (total "
+            << common::format_double(doc.detection + doc.decision +
+                                     doc.propagation)
+            << " s)\n";
+}
+
+/// `decor explain diff <A> <B>` — joins two explain documents (run dirs
+/// or saved JSON) and names the phase and links responsible for the
+/// convergence delta.
+int cmd_explain_diff(const common::Options& opts, CliReport& rep) {
+  const auto& pos = opts.positional();
+  if (pos.size() < 3) {
+    std::cerr << "usage: decor explain diff <run-dir|explain.json> "
+                 "<run-dir|explain.json>\n";
+    return 1;
+  }
+  core::ExplainDoc a, b;
+  if (!load_explain_input(pos[1], a) || !load_explain_input(pos[2], b)) {
+    return 1;
+  }
+  const auto diff = core::explain_diff(a, b);
+  if (diff.comparable) {
+    std::cout << "convergence: " << common::format_double(a.convergence_time)
+              << " s -> " << common::format_double(b.convergence_time)
+              << " s (delta "
+              << common::format_double(diff.convergence_delta) << " s)\n";
+  } else {
+    std::cout << "convergence: not comparable (a run never converged)\n";
+  }
+  common::Table table({"phase", "A", "B", "delta"});
+  table.add_row({"detection", common::format_double(a.detection),
+                 common::format_double(b.detection),
+                 common::format_double(diff.detection_delta)});
+  table.add_row({"decision", common::format_double(a.decision),
+                 common::format_double(b.decision),
+                 common::format_double(diff.decision_delta)});
+  table.add_row({"propagation", common::format_double(a.propagation),
+                 common::format_double(b.propagation),
+                 common::format_double(diff.propagation_delta)});
+  std::cout << table.to_text();
+  std::cout << "dominant phase: " << diff.dominant_phase << "\n";
+  for (const auto& l : diff.suspect_links) {
+    std::cout << "suspect link " << l.src << " -> " << l.dst
+              << ": score worsened by " << common::format_double(l.score)
+              << " (median latency " << common::format_double(l.median_latency)
+              << " s, " << l.crc_drops << " crc drops)\n";
+  }
+  for (const auto& n : diff.suspect_nodes) {
+    std::cout << "suspect node " << n.node << ": score worsened by "
+              << common::format_double(n.score) << " (retx ratio "
+              << common::format_double(n.retx_ratio) << ", "
+              << n.dead_peer_events << " dead-peer events)\n";
+  }
+  rep.add("comparable", diff.comparable);
+  rep.add("convergence_delta", diff.convergence_delta);
+  rep.add("detection_delta", diff.detection_delta);
+  rep.add("decision_delta", diff.decision_delta);
+  rep.add("propagation_delta", diff.propagation_delta);
+  rep.add("dominant_phase", diff.dominant_phase);
+  rep.add("suspect_links",
+          static_cast<std::uint64_t>(diff.suspect_links.size()));
+  rep.add("suspect_nodes",
+          static_cast<std::uint64_t>(diff.suspect_nodes.size()));
+  return 0;
+}
+
+/// `decor explain <run-dir>` — reconstructs the convergence critical
+/// path from the run's artifacts and writes the deterministic
+/// decor.explain.v1 document (default <run-dir>/explain.json).
+int cmd_explain(const common::Options& opts, CliReport& rep) {
+  const auto& pos = opts.positional();
+  if (!pos.empty() && pos[0] == "diff") return cmd_explain_diff(opts, rep);
+  if (pos.empty()) {
+    std::cerr << "usage: decor explain <run-dir> [--out=path] [--top=N]\n"
+                 "       decor explain diff <A> <B>\n";
+    return 1;
+  }
+  core::ExplainOptions eopts;
+  eopts.top_n = static_cast<std::size_t>(opts.get_int("top", 5));
+  const auto doc = core::explain_run_dir(pos[0], eopts);
+
+  if (doc.converged) {
+    std::cout << "converged at t=" << common::format_double(doc.convergence_time)
+              << " s\n";
+  } else {
+    std::cout << "never converged within the artifacts\n";
+  }
+  print_phase_line(doc);
+  if (doc.last_hole.present) {
+    std::cout << "last hole to close: centroid "
+              << common::format_double(doc.last_hole.cx) << ","
+              << common::format_double(doc.last_hole.cy) << " ("
+              << doc.last_hole.points << " points, max deficit "
+              << doc.last_hole.max_deficit << ", open at t="
+              << common::format_double(doc.last_hole.t) << ")\n";
+  }
+  if (doc.closing_placement.present) {
+    std::cout << "closing placement: t="
+              << common::format_double(doc.closing_placement.t) << " node "
+              << doc.closing_placement.actor << " ("
+              << doc.closing_placement.reason << ") at "
+              << common::format_double(doc.closing_placement.x) << ","
+              << common::format_double(doc.closing_placement.y)
+              << ", newly satisfied "
+              << doc.closing_placement.newly_satisfied << ", trace "
+              << doc.closing_placement.trace_id << "\n";
+  }
+  if (doc.exchange.present) {
+    std::cout << "critical exchange: " << doc.exchange.legs.size()
+              << " legs over "
+              << common::format_double(doc.exchange.last_t -
+                                       doc.exchange.first_t)
+              << " s, " << doc.exchange.retransmits << " retransmit"
+              << (doc.exchange.retransmits == 1 ? "" : "s") << " ("
+              << common::format_double(doc.exchange.retx_delay)
+              << " s induced), "
+              << (doc.exchange.completed ? "acked" : "never completed")
+              << "\n";
+  }
+  if (!doc.nodes.empty()) {
+    common::Table table({"node", "tx", "retx", "drops", "dead peers",
+                         "retx ratio", "lat infl", "score"});
+    for (const auto& n : doc.nodes) {
+      table.add_row({std::to_string(n.node), std::to_string(n.tx),
+                     std::to_string(n.retx), std::to_string(n.drops),
+                     std::to_string(n.dead_peer_events),
+                     common::format_double(n.retx_ratio),
+                     common::format_double(n.latency_inflation),
+                     common::format_double(n.score)});
+    }
+    std::cout << "worst nodes:\n" << table.to_text();
+  }
+  if (!doc.links.empty()) {
+    common::Table table({"link", "delivered", "crc drops", "median lat",
+                         "lat infl", "score"});
+    for (const auto& l : doc.links) {
+      table.add_row({std::to_string(l.src) + "->" + std::to_string(l.dst),
+                     std::to_string(l.delivered),
+                     std::to_string(l.crc_drops),
+                     common::format_double(l.median_latency),
+                     common::format_double(l.latency_inflation),
+                     common::format_double(l.score)});
+    }
+    std::cout << "worst links:\n" << table.to_text();
+  }
+  for (const auto& warning : doc.warnings) {
+    std::cout << "warning: " << warning << "\n";
+  }
+
+  std::string out = opts.get("out", "");
+  if (out.empty()) {
+    out = (std::filesystem::path(pos[0]) / "explain.json").string();
+  }
+  const std::string json = core::explain_to_json(doc);
+  std::ofstream f(out, std::ios::binary);
+  if (!f.is_open()) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  f << json;
+  std::cout << "explain document: " << out << " (" << json.size()
+            << " bytes)\n";
+  rep.add("out", out);
+  rep.add("converged", doc.converged);
+  rep.add("convergence_time", doc.convergence_time);
+  rep.add("detection", doc.detection);
+  rep.add("decision", doc.decision);
+  rep.add("propagation", doc.propagation);
+  rep.add("audited_exchanges", doc.audited_exchanges);
+  rep.add("warnings", static_cast<std::uint64_t>(doc.warnings.size()));
+  return 0;
+}
+
 /// `decor report html <run-dir> [more-dirs...]` — renders every
 /// recognized artifact in the directories (recursively) into one
 /// self-contained HTML file. Several directories produce the aggregate
@@ -1243,8 +1466,15 @@ void usage() {
       "  lifetime      duty-cycled sleep scheduling (--battery, --epochs)\n"
       "  peas          PEAS baseline working-set (--rp, --mean-sleep)\n"
       "  connectivity  communication-graph analysis (--kappa)\n"
-      "  trace report  summarize a trace dump (JSONL or Perfetto JSON;\n"
-      "                --in=path or positional, --top=N)\n"
+      "  trace report  summarize a trace dump (JSONL, Perfetto JSON or a\n"
+      "                run dir; --in=path or positional, --top=N)\n"
+      "  explain       reconstruct the convergence critical path from a\n"
+      "                run directory's artifacts (last hole, closing\n"
+      "                placement, message exchange), attribute latency\n"
+      "                across detection/decision/propagation phases and\n"
+      "                rank node/link health (--out=path, --top=N);\n"
+      "                `explain diff A B` names the phase and links\n"
+      "                behind a convergence delta\n"
       "  report html   render run directories' JSONL artifacts into one\n"
       "                self-contained HTML file (--out, --max-heatmaps,\n"
       "                --max-audit-rows; several dirs = aggregate\n"
@@ -1317,6 +1547,7 @@ int main(int argc, char** argv) {
     if (cmd == "lifetime") rc = cmd_lifetime(opts, rep);
     if (cmd == "peas") rc = cmd_peas(opts, rep);
     if (cmd == "trace") rc = cmd_trace(opts, rep);
+    if (cmd == "explain") rc = cmd_explain(opts, rep);
     if (cmd == "report") rc = cmd_report(opts, rep);
     if (cmd == "bench") rc = cmd_bench(opts, rep);
   } catch (const std::exception& e) {
